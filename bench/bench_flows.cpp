@@ -1,0 +1,53 @@
+// Experiment: Fig. 1 vs Fig. 2 — the cost of converting between set
+// representations. The Coudert/Berthet/Madre flow (Fig. 1) simulates like
+// the BFV flow but converts chi -> BFV and BFV -> chi on every iteration;
+// the paper's flow (Fig. 2) never leaves the functional-vector world. The
+// monolithic and IWLS95-partitioned transition-relation engines complete
+// the comparison.
+#include "support.hpp"
+
+using namespace bfvr;
+using namespace bfvr::bench;
+
+int main() {
+  const circuit::Netlist circuits[] = {
+      circuit::makeJohnson(16), circuit::makeTwinShift(12),
+      circuit::makeFifoCtrl(3), circuit::makeLfsr(10),
+      circuit::makeRandomSeq(12, 4, 60, 7)};
+  const RunSpec::Engine engines[] = {
+      RunSpec::Engine::kTrMono, RunSpec::Engine::kTr, RunSpec::Engine::kCbm,
+      RunSpec::Engine::kBfv};
+
+  std::printf("Fig. 1 vs Fig. 2 flows (order = topo)\n");
+  std::printf("%-12s %-10s %10s %9s %6s %10s\n", "circuit", "engine",
+              "time(s)", "Peak(K)", "iters", "states");
+  hr(64);
+  for (const auto& n : circuits) {
+    for (const RunSpec::Engine e : engines) {
+      RunSpec spec;
+      spec.engine = e;
+      spec.opts.budget.max_seconds = 30.0;
+      spec.opts.budget.max_live_nodes = 1000000;
+      const reach::ReachResult r =
+          runOnce(n, {circuit::OrderKind::kTopo, 0}, spec);
+      char states[32];
+      if (r.status == RunStatus::kDone) {
+        std::snprintf(states, sizeof states, "%.0f", r.states);
+      } else {
+        std::snprintf(states, sizeof states, "-");
+      }
+      std::printf("%-12s %-10s %10s %9s %6u %10s\n", n.name().c_str(),
+                  engineName(e), timeCell(r).c_str(), peakCell(r).c_str(),
+                  r.iterations, states);
+    }
+    hr(64);
+  }
+  std::printf(
+      "\nShape to compare with the paper: wherever the set representation\n"
+      "matters (twin12), CBM-Fig1 pays the per-iteration conversions\n"
+      "(\"the conversion between the two representations is costly\", §1)\n"
+      "and BFV-Fig2 wins; on small or long-diameter circuits the BFV\n"
+      "flow's re-parameterization overhead dominates and the chi engines\n"
+      "lead — the same mixed outcome as the paper's Table 2.\n");
+  return 0;
+}

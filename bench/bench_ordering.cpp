@@ -1,0 +1,60 @@
+// Experiment: the §3 variable-ordering discussion — for
+// chi = (v1 == v2) & (v3 == v4) & ... the characteristic function needs the
+// paired variables adjacent, while the Boolean functional vector is small
+// under EVERY order because the functional dependencies are factored out
+// (Hu & Dill's observation, built into the representation).
+//
+// We sweep the number of pairs k and build the same set under two orders:
+//   adjacent:  pairs sit next to each other (the good chi order)
+//   separated: all left elements precede all right elements (the bad one)
+// and report BDD sizes of chi and shared sizes of the canonical BFV.
+#include <cstdio>
+
+#include "bfv/bfv.hpp"
+
+using namespace bfvr;
+using bfv::Bfv;
+
+namespace {
+
+struct Sizes {
+  std::size_t chi;
+  std::size_t bfv;
+};
+
+/// Build chi = AND_i (var(a_i) == var(b_i)) and the canonical BFV of its
+/// set over the given (increasing) choice variables.
+Sizes build(unsigned k, bool adjacent) {
+  bdd::Manager m(2 * k);
+  std::vector<unsigned> vars(2 * k);
+  for (unsigned i = 0; i < 2 * k; ++i) vars[i] = i;
+  bdd::Bdd chi = m.one();
+  for (unsigned i = 0; i < k; ++i) {
+    const unsigned a = adjacent ? 2 * i : i;
+    const unsigned b = adjacent ? 2 * i + 1 : k + i;
+    chi &= m.xnorB(m.var(a), m.var(b));
+  }
+  const Bfv f = bfv::fromChar(m, chi, vars);
+  return Sizes{m.nodeCount(chi), f.sharedSize()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ordering sensitivity: chi = AND_i (v_a == v_b), k pairs\n"
+      "%-4s | %14s %14s | %14s %14s\n",
+      "k", "chi adjacent", "chi separated", "BFV adjacent", "BFV separated");
+  for (unsigned k = 2; k <= 16; k += 2) {
+    const Sizes adj = build(k, true);
+    const Sizes sep = build(k, false);
+    std::printf("%-4u | %14zu %14zu | %14zu %14zu\n", k, adj.chi, sep.chi,
+                adj.bfv, sep.bfv);
+  }
+  std::printf(
+      "\nShape to compare with the paper: chi grows linearly under the\n"
+      "paired order but exponentially when the pairs are separated; the\n"
+      "BFV stays linear under both (\"with the Boolean functional vector,\n"
+      "all orderings are good in this case\", §3).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Experiment: the §3 re-parameterization quantification schedule — the
+// paper uses "a dynamic quantification schedule based on a simple support
+// based cost heuristic"; this ablation compares it against quantifying
+// parameters in a fixed (variable-index) order.
+#include "support.hpp"
+
+using namespace bfvr;
+using namespace bfvr::bench;
+
+int main() {
+  const circuit::Netlist circuits[] = {
+      circuit::makeTwinShift(14), circuit::makeFifoCtrl(4),
+      circuit::makeJohnson(20), circuit::makeRandomSeq(14, 4, 80, 11),
+      circuit::makeRandomSeq(16, 5, 100, 23)};
+
+  std::printf("Re-parameterization schedule ablation (BFV engine, topo)\n");
+  std::printf("%-12s | %10s %9s | %10s %9s\n", "circuit", "static t",
+              "Peak(K)", "dynamic t", "Peak(K)");
+  hr(60);
+  for (const auto& n : circuits) {
+    RunSpec stat;
+    stat.engine = RunSpec::Engine::kBfv;
+    stat.opts.budget.max_seconds = 30.0;
+    stat.opts.reparam.schedule = bfv::QuantSchedule::kStaticOrder;
+    RunSpec dyn = stat;
+    dyn.opts.reparam.schedule = bfv::QuantSchedule::kSupportCost;
+    const circuit::OrderSpec order{circuit::OrderKind::kTopo, 0};
+    const reach::ReachResult a = runOnce(n, order, stat);
+    const reach::ReachResult b = runOnce(n, order, dyn);
+    std::printf("%-12s | %10s %9s | %10s %9s\n", n.name().c_str(),
+                timeCell(a).c_str(), peakCell(a).c_str(),
+                timeCell(b).c_str(), peakCell(b).c_str());
+  }
+  hr(60);
+  std::printf(
+      "\nThe dynamic schedule touches fewer components per quantification\n"
+      "(\"we compute supports to avoid BDD operations on vector components\n"
+      "that do not depend on the variable being quantified\", §3).\n");
+  return 0;
+}

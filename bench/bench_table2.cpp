@@ -1,0 +1,84 @@
+// Experiment: Table 2 of the paper — reachability analysis with fixed
+// variable orders: the characteristic-function baseline ("VIS - IWLS95")
+// against the Boolean-functional-vector flow ("BFV"), reporting runtime and
+// peak live BDD nodes, with T.O. / M.O. entries when a budget trips.
+//
+// The circuit suite stands in for the ISCAS89 benchmarks (see DESIGN.md §3):
+//   twin16/twin20  - functional-dependency-rich (the s3271/s4863 role:
+//                    BFV completes everywhere, chi blows up / M.O.s)
+//   lfsr12, cnt10  - long-diameter shift/counter structures (the s1512
+//                    role: the chi flow wins, BFV pays re-parameterization
+//                    on every one of thousands of iterations)
+//   fifo4          - redundant occupancy encoding (mixed)
+//   arb12          - one-hot control (both easy; sanity row)
+//   rnd_*          - random sequential logic (generic rows)
+#include <cstring>
+
+#include "support.hpp"
+
+using namespace bfvr;
+using namespace bfvr::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  struct Row {
+    circuit::Netlist n;
+    std::size_t node_budget;
+  };
+  std::vector<Row> rows;
+  rows.push_back({circuit::makeTwinShift(16), 400000});
+  if (!quick) rows.push_back({circuit::makeTwinShift(20), 400000});
+  rows.push_back({circuit::makeLfsr(12), 400000});
+  rows.push_back({circuit::makeCounter(10, 1000), 400000});
+  rows.push_back({circuit::makeFifoCtrl(4), 400000});
+  rows.push_back({circuit::makeArbiter(12), 400000});
+  rows.push_back({circuit::makeRandomSeq(14, 4, 80, 11), 400000});
+  rows.push_back({circuit::makeRandomSeq(16, 5, 100, 23), 400000});
+
+  const circuit::OrderSpec orders[] = {
+      {circuit::OrderKind::kTopo, 0},     // the paper's S2
+      {circuit::OrderKind::kNatural, 0},  // declaration order
+      {circuit::OrderKind::kRandom, 1},   // stand-in for external orders
+  };
+
+  std::printf("Table 2: reachability with fixed variable orders\n");
+  std::printf("%-17s %-8s | %12s %9s | %12s %9s | %10s %5s\n", "circuit",
+              "order", "VIS-IWLS95 t", "Peak(K)", "BFV-Fig2 t", "Peak(K)",
+              "states", "iters");
+  hr(96);
+  for (const Row& row : rows) {
+    for (const circuit::OrderSpec& order : orders) {
+      RunSpec tr;
+      tr.engine = RunSpec::Engine::kTr;
+      tr.opts.budget.max_seconds = quick ? 5.0 : 20.0;
+      tr.opts.budget.max_live_nodes = row.node_budget;
+      RunSpec bf = tr;
+      bf.engine = RunSpec::Engine::kBfv;
+      const reach::ReachResult a = runOnce(row.n, order, tr);
+      const reach::ReachResult b = runOnce(row.n, order, bf);
+      const reach::ReachResult& done =
+          a.status == RunStatus::kDone ? a : b;
+      char states[32];
+      if (done.status == RunStatus::kDone) {
+        std::snprintf(states, sizeof states, "%.0f", done.states);
+      } else {
+        std::snprintf(states, sizeof states, "-");
+      }
+      std::printf("%-17s %-8s | %12s %9s | %12s %9s | %10s %5u\n",
+                  row.n.name().c_str(), order.label().c_str(),
+                  timeCell(a).c_str(), peakCell(a).c_str(),
+                  timeCell(b).c_str(), peakCell(b).c_str(), states,
+                  done.iterations);
+    }
+    hr(96);
+  }
+  std::printf(
+      "\nShape to compare with the paper: the BFV flow completes the\n"
+      "dependency-rich circuits (twin*) under every order while the chi\n"
+      "flow exceeds its node budget; the chi flow wins the long-diameter\n"
+      "rows (lfsr12, cnt10) where BFV re-parameterizes on every of\n"
+      "thousands of iterations — the s3271/s4863 vs s1512/s3330 split of\n"
+      "Table 2.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment: Table 3 of the paper — size of the reached set's
+// characteristic function vs the shared size of its Boolean functional
+// vector, across variable orders, on a dependency-rich circuit (the s4863
+// role is played by the twin shift register, whose reachable set is the
+// paper's own chi = AND_i (a_i == b_i) example; a FIFO controller gives a
+// second, less extreme instance).
+#include "support.hpp"
+#include "sym/ordersearch.hpp"
+
+using namespace bfvr;
+using namespace bfvr::bench;
+
+namespace {
+
+reach::ReachResult runOrder(const circuit::Netlist& n,
+                            const std::vector<circuit::ObjRef>& order) {
+  bdd::Manager m(0);
+  sym::StateSpace s(m, n, order);
+  reach::ReachOptions opts;
+  opts.budget.max_seconds = 30.0;
+  return reach::reachBfv(s, opts);
+}
+
+void printRow(const char* label, const reach::ReachResult& r) {
+  if (r.status != RunStatus::kDone) {
+    std::printf("%-10s %14s %14s %10s\n", label, to_string(r.status).c_str(),
+                "-", "-");
+    return;
+  }
+  std::printf("%-10s %14zu %14zu %10.0f\n", label, r.chi_nodes, r.bfv_nodes,
+              r.states);
+}
+
+void table(const circuit::Netlist& n) {
+  std::printf("Table 3 (%s): reached-set sizes per order\n",
+              n.name().c_str());
+  std::printf("%-10s %14s %14s %10s\n", "order", "Char.Fn nodes",
+              "BFV shared", "states");
+  hr(52);
+  const circuit::OrderSpec orders[] = {
+      {circuit::OrderKind::kTopo, 0},    {circuit::OrderKind::kNatural, 0},
+      {circuit::OrderKind::kReverse, 0}, {circuit::OrderKind::kRandom, 1},
+      {circuit::OrderKind::kRandom, 2},
+  };
+  for (const circuit::OrderSpec& order : orders) {
+    printRow(order.label().c_str(),
+             runOrder(n, circuit::makeOrder(n, order)));
+  }
+  // The paper's better external orders (D/P) are stand-ins for "a search
+  // found something good": reproduce with the offline hill-climb.
+  const auto searched = sym::searchOrder(
+      n, circuit::makeOrder(n, {circuit::OrderKind::kRandom, 1}), {});
+  printRow("searched", runOrder(n, searched));
+  hr(52);
+}
+
+}  // namespace
+
+int main() {
+  table(circuit::makeTwinShift(14));
+  std::printf("\n");
+  table(circuit::makeFifoCtrl(4));
+  std::printf(
+      "\nShape to compare with the paper: the BFV shared size stays small\n"
+      "and nearly order-independent, while the characteristic function is\n"
+      "orders of magnitude larger under unlucky orders (Table 3's 4.5x-9x\n"
+      "gap, amplified here by the twin circuit's pairing structure).\n");
+  return 0;
+}

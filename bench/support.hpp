@@ -1,0 +1,86 @@
+// Shared harness plumbing for the experiment binaries: circuit/order
+// suites, engine runners and fixed-width table printing in the style of the
+// paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "circuit/orders.hpp"
+#include "reach/engine.hpp"
+#include "sym/space.hpp"
+
+namespace bfvr::bench {
+
+/// One engine invocation on a fresh manager (each run gets its own BDD
+/// universe so peaks and caches do not leak across rows — the paper runs
+/// each configuration as a separate process).
+struct RunSpec {
+  enum class Engine { kTr, kTrMono, kCbm, kBfv, kCdec };
+  Engine engine = Engine::kBfv;
+  reach::ReachOptions opts;
+};
+
+inline const char* engineName(RunSpec::Engine e) {
+  switch (e) {
+    case RunSpec::Engine::kTr:
+      return "TR-IWLS95";
+    case RunSpec::Engine::kTrMono:
+      return "TR-mono";
+    case RunSpec::Engine::kCbm:
+      return "CBM-Fig1";
+    case RunSpec::Engine::kBfv:
+      return "BFV-Fig2";
+    case RunSpec::Engine::kCdec:
+      return "CDEC-Fig2";
+  }
+  return "?";
+}
+
+inline reach::ReachResult runOnce(const circuit::Netlist& n,
+                                  const circuit::OrderSpec& order,
+                                  RunSpec spec) {
+  bdd::Manager m(0);
+  sym::StateSpace s(m, n, circuit::makeOrder(n, order));
+  switch (spec.engine) {
+    case RunSpec::Engine::kTr:
+      return reach::reachTr(s, spec.opts);
+    case RunSpec::Engine::kTrMono:
+      spec.opts.transition.cluster_limit = 0;
+      return reach::reachTr(s, spec.opts);
+    case RunSpec::Engine::kCbm:
+      return reach::reachCbm(s, spec.opts);
+    case RunSpec::Engine::kBfv:
+      spec.opts.backend = reach::SetBackend::kBfv;
+      return reach::reachBfv(s, spec.opts);
+    case RunSpec::Engine::kCdec:
+      spec.opts.backend = reach::SetBackend::kCdec;
+      return reach::reachBfv(s, spec.opts);
+  }
+  throw std::logic_error("bad engine");
+}
+
+/// "time(s)" cell: the run time, or T.O. / M.O. like the paper's Table 2.
+inline std::string timeCell(const reach::ReachResult& r) {
+  if (r.status != RunStatus::kDone) return to_string(r.status);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", r.seconds);
+  return buf;
+}
+
+/// "Peak(K)" cell: peak live nodes in thousands (one decimal).
+inline std::string peakCell(const reach::ReachResult& r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f",
+                static_cast<double>(r.peak_live_nodes) / 1000.0);
+  return buf;
+}
+
+inline void hr(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace bfvr::bench

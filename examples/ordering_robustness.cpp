@@ -1,0 +1,60 @@
+// The §3 ordering story on a real circuit: a twin shift register whose
+// reachable set is exactly chi = AND_i (a_i == b_i). Under orders that
+// separate the two banks the characteristic function explodes; the
+// canonical functional vector stays linear under every order because the
+// b-bank components are just functional dependencies on the a-bank.
+//
+//   ./examples/ordering_robustness [bits]
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuit/generators.hpp"
+#include "reach/engine.hpp"
+
+using namespace bfvr;
+
+namespace {
+
+void runOrder(const circuit::Netlist& n, const std::string& label,
+              const std::vector<circuit::ObjRef>& order) {
+  bdd::Manager m(0);
+  sym::StateSpace s(m, n, order);
+  const reach::ReachResult r = reach::reachBfv(s, {});
+  std::printf("%-12s %10.4f s   chi nodes %8zu   BFV shared %6zu\n",
+              label.c_str(), r.seconds, r.chi_nodes, r.bfv_nodes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned bits =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 12;
+  const circuit::Netlist n = circuit::makeTwinShift(bits);
+  std::printf("twin shift register, %u+%u latches; reachable set is\n"
+              "chi = AND_i (a_i == b_i), %.0f states\n\n",
+              bits, bits, static_cast<double>(std::uint64_t{1} << bits));
+
+  // Bank-separated order (all a's, then all b's): adversarial for chi.
+  runOrder(n, "separated",
+           circuit::makeOrder(n, {circuit::OrderKind::kNatural, 0}));
+
+  // Hand-interleaved order: the good chi order.
+  std::vector<circuit::ObjRef> inter;
+  inter.push_back({true, 0});
+  for (unsigned i = 0; i < bits; ++i) {
+    inter.push_back({false, i});
+    inter.push_back({false, bits + i});
+  }
+  runOrder(n, "interleaved", inter);
+
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    runOrder(n, "random" + std::to_string(seed),
+             circuit::makeOrder(n, {circuit::OrderKind::kRandom, seed}));
+  }
+
+  std::printf(
+      "\nThe BFV column is flat: \"the property of Boolean functional\n"
+      "vectors to factor out functional dependencies can often reduce the\n"
+      "variable ordering requirements\" (paper, §3).\n");
+  return 0;
+}

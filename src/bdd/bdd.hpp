@@ -1,0 +1,328 @@
+// A self-contained ROBDD package with complement edges — the substrate the
+// paper builds on (it used CUDD; see DESIGN.md for the substitution note).
+//
+// Features: shared unique table, lossy computed cache, ITE / AND / XOR,
+// existential & universal quantification, AND-EXISTS (relational product),
+// generalized cofactor (constrain) and restrict, (vector) composition,
+// variable permutation, support, minterm counting, mark-and-sweep garbage
+// collection driven by RAII handles, node budgets with out-of-nodes
+// reporting, and operation counters used by the benchmark harness.
+//
+// Representation notes:
+//  * An Edge is a 32-bit node index shifted left by one, with the low bit as
+//    the complement flag. Edge 0 is the constant TRUE, edge 1 is FALSE.
+//  * Canonical form: the `high` (then) edge of every node is regular
+//    (never complemented); complements are pushed to `low` and to the
+//    incoming edge. This makes negation O(1).
+//  * Variable index == level: the variable order is the index order. Order
+//    sweeps (the paper uses several fixed orders per circuit) are realized
+//    by mapping problem signals to indices differently (see sym/space.hpp).
+//  * Not thread-safe; one Manager per thread.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bfvr::bdd {
+
+class Manager;
+class Bdd;
+
+/// Internal edge handle: (node index << 1) | complement bit.
+using Edge = std::uint32_t;
+
+inline constexpr Edge kTrueEdge = 0;   // regular edge to the terminal node
+inline constexpr Edge kFalseEdge = 1;  // complemented edge to the terminal
+
+/// Thrown when an operation would exceed the manager's node budget. The
+/// reachability engines map this to the paper's "M.O." outcome.
+class NodeBudgetExceeded : public std::runtime_error {
+ public:
+  explicit NodeBudgetExceeded(std::size_t budget)
+      : std::runtime_error("BDD node budget exceeded (" +
+                           std::to_string(budget) + " nodes)") {}
+};
+
+/// Cumulative operation counters (monotone; reset with Manager::resetStats).
+/// `recursive_steps` counts every cache-missing recursion step of the apply
+/// family — the unit behind the paper's "number of BDD operations" claims
+/// (quadratic intersection, cdec-vs-BFV op counts).
+struct OpStats {
+  std::uint64_t top_ops = 0;          ///< public operation entry points
+  std::uint64_t recursive_steps = 0;  ///< cache-missing recursion steps
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t nodes_created = 0;
+  std::uint64_t gc_runs = 0;
+};
+
+/// RAII handle to a BDD function. Copyable and movable; registers itself
+/// with the owning Manager so garbage collection can mark from all live
+/// handles. A default-constructed handle is "null" and owns nothing.
+class Bdd {
+ public:
+  Bdd() noexcept = default;
+  Bdd(const Bdd& o) noexcept;
+  Bdd(Bdd&& o) noexcept;
+  Bdd& operator=(const Bdd& o) noexcept;
+  Bdd& operator=(Bdd&& o) noexcept;
+  ~Bdd();
+
+  bool isNull() const noexcept { return mgr_ == nullptr; }
+  bool isTrue() const noexcept { return !isNull() && e_ == kTrueEdge; }
+  bool isFalse() const noexcept { return !isNull() && e_ == kFalseEdge; }
+  bool isConst() const noexcept { return !isNull() && (e_ >> 1) == 0; }
+
+  /// Top (smallest-index) variable. Requires a non-constant function.
+  unsigned topVar() const;
+  /// Cofactors with respect to the top variable. Require non-constant.
+  Bdd high() const;
+  Bdd low() const;
+
+  Bdd operator~() const;
+  Bdd operator&(const Bdd& o) const;
+  Bdd operator|(const Bdd& o) const;
+  Bdd operator^(const Bdd& o) const;
+  Bdd& operator&=(const Bdd& o) { return *this = *this & o; }
+  Bdd& operator|=(const Bdd& o) { return *this = *this | o; }
+  Bdd& operator^=(const Bdd& o) { return *this = *this ^ o; }
+
+  /// Canonical (structural) equality: equal iff same function.
+  bool operator==(const Bdd& o) const noexcept {
+    return mgr_ == o.mgr_ && e_ == o.e_;
+  }
+  bool operator!=(const Bdd& o) const noexcept { return !(*this == o); }
+
+  /// f <= g in the implication order (f implies g).
+  bool implies(const Bdd& o) const;
+
+  // Convenience forwarders to the Manager (see there for semantics).
+  Bdd exists(const Bdd& cube) const;
+  Bdd forall(const Bdd& cube) const;
+  Bdd constrain(const Bdd& c) const;
+  Bdd restrict(const Bdd& c) const;
+  Bdd cofactor(unsigned var, bool value) const;
+  std::size_t nodeCount() const;
+  double satCount(unsigned num_vars) const;
+
+  Manager* manager() const noexcept { return mgr_; }
+  /// Raw edge value; stable only between garbage collections of other
+  /// handles. Used for hashing/interning by higher layers.
+  Edge raw() const noexcept { return e_; }
+
+ private:
+  friend class Manager;
+  Bdd(Manager* m, Edge e) noexcept;
+  void link() noexcept;
+  void unlink() noexcept;
+
+  Manager* mgr_ = nullptr;
+  Edge e_ = kFalseEdge;
+  Bdd* prev_ = nullptr;  // intrusive registry for GC marking
+  Bdd* next_ = nullptr;
+};
+
+/// The BDD manager: node store, unique table, computed cache, GC.
+class Manager {
+ public:
+  struct Config {
+    /// Hard ceiling on allocated nodes; 0 = unlimited. Exceeding it throws
+    /// NodeBudgetExceeded (after a GC attempt).
+    std::size_t max_nodes = 0;
+    /// log2 of computed-cache slots.
+    unsigned cache_bits = 18;
+    /// Initial GC threshold (in-use nodes); grows geometrically when GC
+    /// reclaims too little.
+    std::size_t gc_threshold = 1U << 16;
+  };
+
+  explicit Manager(unsigned num_vars);
+  Manager(unsigned num_vars, Config cfg);
+  ~Manager();
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  // ---- constants and variables -------------------------------------------
+  Bdd one() { return make(kTrueEdge); }
+  Bdd zero() { return make(kFalseEdge); }
+  /// Projection function of variable `idx` (extends the variable count if
+  /// needed).
+  Bdd var(unsigned idx);
+  /// Negated projection function.
+  Bdd nvar(unsigned idx) { return ~var(idx); }
+  unsigned numVars() const noexcept { return num_vars_; }
+
+  // ---- core operations ----------------------------------------------------
+  Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+  Bdd andB(const Bdd& f, const Bdd& g);
+  Bdd orB(const Bdd& f, const Bdd& g);
+  Bdd xorB(const Bdd& f, const Bdd& g);
+  Bdd xnorB(const Bdd& f, const Bdd& g) { return ~xorB(f, g); }
+
+  /// Existential quantification over all variables of the positive cube.
+  Bdd exists(const Bdd& f, const Bdd& cube);
+  /// Universal quantification over all variables of the positive cube.
+  Bdd forall(const Bdd& f, const Bdd& cube);
+  /// exists(vars(cube), f & g) without building f & g — the relational
+  /// product at the heart of characteristic-function image computation.
+  Bdd andExists(const Bdd& f, const Bdd& g, const Bdd& cube);
+
+  /// Coudert–Madre generalized cofactor ("constrain"): agrees with f on c,
+  /// and constrain(f,c) & c == f & c. Requires c != 0.
+  Bdd constrain(const Bdd& f, const Bdd& c);
+  /// Sibling-substitution "restrict": like constrain but never grows the
+  /// result's support beyond f's. Requires c != 0.
+  Bdd restrict(const Bdd& f, const Bdd& c);
+  /// Shannon cofactor with respect to a single variable.
+  Bdd cofactor(const Bdd& f, unsigned var, bool value);
+
+  /// Substitute g for variable `var` in f.
+  Bdd compose(const Bdd& f, unsigned var, const Bdd& g);
+  /// Simultaneous substitution: map[i] replaces variable i. Null entries
+  /// (or entries past the end) mean identity.
+  Bdd vectorCompose(const Bdd& f, std::span<const Bdd> map);
+  /// Variable renaming: variable i becomes perm[i]. perm must be injective
+  /// on the support of f.
+  Bdd permute(const Bdd& f, std::span<const unsigned> perm);
+
+  // ---- inspection ----------------------------------------------------------
+  /// Sorted list of variables f depends on.
+  std::vector<unsigned> support(const Bdd& f);
+  /// Positive cube of the support variables.
+  Bdd supportCube(const Bdd& f);
+  /// Positive cube over the given variables.
+  Bdd cube(std::span<const unsigned> vars);
+  /// Number of minterms over `num_vars` variables.
+  double satCount(const Bdd& f, unsigned num_vars);
+  /// Distinct nodes reachable from f (including the terminal), à la
+  /// Cudd_DagSize.
+  std::size_t nodeCount(const Bdd& f);
+  /// Distinct nodes reachable from any of the given functions — the paper's
+  /// "shared size" of a Boolean functional vector.
+  std::size_t sharedNodeCount(std::span<const Bdd> fs);
+  /// Evaluate under a total assignment (values[i] = value of variable i).
+  bool eval(const Bdd& f, const std::vector<bool>& values);
+  /// One satisfying assignment as var->{0,1,-1=dontcare}; f must not be 0.
+  std::vector<signed char> pickCube(const Bdd& f);
+
+  // ---- resources -----------------------------------------------------------
+  /// Force a mark-and-sweep collection now.
+  void gc();
+  /// Run GC if the in-use count crossed the adaptive threshold. Safe to call
+  /// between operations only (never during one — handles protect operands,
+  /// but intermediate recursion results are unprotected by design).
+  void maybeGc();
+  /// Nodes currently allocated and not on the free list (live + garbage).
+  std::size_t inUseNodes() const noexcept { return in_use_; }
+  /// Exact number of nodes reachable from live handles (runs a mark pass).
+  std::size_t liveNodeCount();
+  /// High-water mark of inUseNodes() since construction / resetPeak().
+  std::size_t peakNodes() const noexcept { return peak_nodes_; }
+  void resetPeak() noexcept { peak_nodes_ = in_use_; }
+
+  const OpStats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = OpStats{}; }
+
+  /// Graphviz dump of the given (labelled) functions, for debugging & docs.
+  std::string toDot(std::span<const Bdd> fs,
+                    std::span<const std::string> labels);
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    std::uint32_t var;   // level; kTermVar for the terminal, kFreeVar if free
+    Edge high;           // regular by canonical-form invariant
+    Edge low;            // may be complemented
+    std::uint32_t next;  // unique-table chain / free list link
+    std::uint32_t mark;  // GC mark epoch
+  };
+
+  struct CacheEntry {
+    Edge a = 0, b = 0, c = 0;
+    std::uint32_t op = 0;  // 0 = empty
+    Edge result = 0;
+  };
+
+  static constexpr std::uint32_t kTermVar = 0xFFFFFFFFU;
+  static constexpr std::uint32_t kFreeVar = 0xFFFFFFFEU;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFU;
+
+  // Operation tags for the computed cache.
+  enum Op : std::uint32_t {
+    kOpNone = 0,
+    kOpAnd,
+    kOpXor,
+    kOpIte,
+    kOpExists,
+    kOpAndExists,
+    kOpConstrain,
+    kOpRestrict,
+    kOpComposeBase  // kOpComposeBase + var
+  };
+
+  // -- edge helpers ----------------------------------------------------------
+  static Edge negate(Edge e) noexcept { return e ^ 1U; }
+  static bool isCompl(Edge e) noexcept { return (e & 1U) != 0; }
+  static Edge regular(Edge e) noexcept { return e & ~1U; }
+  static std::uint32_t index(Edge e) noexcept { return e >> 1; }
+  std::uint32_t level(Edge e) const noexcept { return nodes_[index(e)].var; }
+  bool isConstEdge(Edge e) const noexcept { return index(e) == 0; }
+  // Cofactors at the node's own level, with complement pushed through.
+  Edge highOf(Edge e) const noexcept {
+    const Node& n = nodes_[index(e)];
+    return n.high ^ (e & 1U);
+  }
+  Edge lowOf(Edge e) const noexcept {
+    const Node& n = nodes_[index(e)];
+    return n.low ^ (e & 1U);
+  }
+
+  // -- node store ------------------------------------------------------------
+  Edge mkNode(std::uint32_t var, Edge high, Edge low);
+  std::uint32_t allocNode();
+  void uniqueInsert(std::uint32_t idx);
+  void growTable();
+  std::size_t tableSlot(std::uint32_t var, Edge high, Edge low) const noexcept;
+
+  // -- computed cache ---------------------------------------------------------
+  bool cacheLookup(std::uint32_t op, Edge a, Edge b, Edge c, Edge& out);
+  void cacheStore(std::uint32_t op, Edge a, Edge b, Edge c, Edge r);
+
+  // -- recursive kernels (raw edges; no handle churn) -------------------------
+  Edge andRec(Edge f, Edge g);
+  Edge xorRec(Edge f, Edge g);
+  Edge iteRec(Edge f, Edge g, Edge h);
+  Edge existsRec(Edge f, Edge cube);
+  Edge andExistsRec(Edge f, Edge g, Edge cube);
+  Edge constrainRec(Edge f, Edge c);
+  Edge restrictRec(Edge f, Edge c);
+  Edge composeRec(Edge f, std::uint32_t var, Edge g);
+
+  // -- GC ----------------------------------------------------------------------
+  void markFrom(Edge e);
+
+  Bdd make(Edge e) noexcept { return Bdd(this, e); }
+  Edge requireSameManager(const Bdd& b) const;
+
+  unsigned num_vars_;
+  Config cfg_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> table_;  // unique-table buckets
+  std::uint32_t free_list_ = kNil;
+  std::size_t in_use_ = 0;
+  std::size_t peak_nodes_ = 0;
+  std::size_t gc_threshold_ = 0;
+  std::uint32_t mark_epoch_ = 0;
+  std::vector<CacheEntry> cache_;
+  std::uint32_t cache_mask_ = 0;
+  OpStats stats_;
+  Bdd* handles_ = nullptr;  // head of intrusive handle registry
+  std::vector<std::uint32_t> mark_stack_;
+};
+
+}  // namespace bfvr::bdd

@@ -1,0 +1,108 @@
+// Shannon cofactors and the two generalized-cofactor operators the paper's
+// related work leans on: Coudert–Madre `constrain` (used for range
+// computation by recursive splitting and for the conjunctive-decomposition
+// algorithms of §2.7) and the size-minimizing `restrict`.
+#include <algorithm>
+
+#include "bdd/bdd.hpp"
+
+namespace bfvr::bdd {
+
+Bdd Manager::cofactor(const Bdd& f, unsigned var, bool value) {
+  ++stats_.top_ops;
+  // f|v=c is composition of the constant c for v.
+  const Edge g = value ? kTrueEdge : kFalseEdge;
+  return make(composeRec(requireSameManager(f), var, g));
+}
+
+// ---------------------------------------------------------------------------
+// constrain (Coudert–Madre generalized cofactor)
+// ---------------------------------------------------------------------------
+
+Edge Manager::constrainRec(Edge f, Edge c) {
+  if (c == kTrueEdge || isConstEdge(f)) return f;
+  if (f == c) return kTrueEdge;
+  if (f == negate(c)) return kFalseEdge;
+  Edge out;
+  if (cacheLookup(kOpConstrain, f, c, 0, out)) return out;
+  ++stats_.recursive_steps;
+  const std::uint32_t lf = level(f);
+  const std::uint32_t lc = level(c);
+  const std::uint32_t top = std::min(lf, lc);
+  const Edge fh = lf == top ? highOf(f) : f;
+  const Edge fl = lf == top ? lowOf(f) : f;
+  const Edge ch = lc == top ? highOf(c) : c;
+  const Edge cl = lc == top ? lowOf(c) : c;
+  Edge r;
+  if (cl == kFalseEdge) {
+    r = constrainRec(fh, ch);
+  } else if (ch == kFalseEdge) {
+    r = constrainRec(fl, cl);
+  } else {
+    r = mkNode(top, constrainRec(fh, ch), constrainRec(fl, cl));
+  }
+  cacheStore(kOpConstrain, f, c, 0, r);
+  return r;
+}
+
+Bdd Manager::constrain(const Bdd& f, const Bdd& c) {
+  ++stats_.top_ops;
+  const Edge ce = requireSameManager(c);
+  if (ce == kFalseEdge) {
+    throw std::invalid_argument("constrain with unsatisfiable care set");
+  }
+  return make(constrainRec(requireSameManager(f), ce));
+}
+
+// ---------------------------------------------------------------------------
+// restrict (sibling substitution)
+// ---------------------------------------------------------------------------
+
+Edge Manager::restrictRec(Edge f, Edge c) {
+  if (c == kTrueEdge || isConstEdge(f)) return f;
+  if (f == c) return kTrueEdge;
+  if (f == negate(c)) return kFalseEdge;
+  const std::uint32_t lf = level(f);
+  // Quantify out of the care set any variable above f's support: restrict
+  // must not introduce variables f does not depend on.
+  while (!isConstEdge(c) && level(c) < lf) {
+    const Edge ch = highOf(c);
+    const Edge cl = lowOf(c);
+    c = negate(andRec(negate(ch), negate(cl)));  // ch | cl
+    if (c == kTrueEdge) return f;
+  }
+  if (isConstEdge(c)) return f;  // c == TRUE (FALSE cannot arise from |)
+  Edge out;
+  if (cacheLookup(kOpRestrict, f, c, 0, out)) return out;
+  ++stats_.recursive_steps;
+  const std::uint32_t lc = level(c);
+  const Edge fh = highOf(f);
+  const Edge fl = lowOf(f);
+  Edge r;
+  if (lc == lf) {
+    const Edge ch = highOf(c);
+    const Edge cl = lowOf(c);
+    if (cl == kFalseEdge) {
+      r = restrictRec(fh, ch);
+    } else if (ch == kFalseEdge) {
+      r = restrictRec(fl, cl);
+    } else {
+      r = mkNode(lf, restrictRec(fh, ch), restrictRec(fl, cl));
+    }
+  } else {
+    r = mkNode(lf, restrictRec(fh, c), restrictRec(fl, c));
+  }
+  cacheStore(kOpRestrict, f, c, 0, r);
+  return r;
+}
+
+Bdd Manager::restrict(const Bdd& f, const Bdd& c) {
+  ++stats_.top_ops;
+  const Edge ce = requireSameManager(c);
+  if (ce == kFalseEdge) {
+    throw std::invalid_argument("restrict with unsatisfiable care set");
+  }
+  return make(restrictRec(requireSameManager(f), ce));
+}
+
+}  // namespace bfvr::bdd

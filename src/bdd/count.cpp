@@ -1,0 +1,131 @@
+// Structural queries: support, node counts, minterm counting, evaluation,
+// and satisfying-cube extraction.
+#include <algorithm>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+
+namespace bfvr::bdd {
+
+std::vector<unsigned> Manager::support(const Bdd& f) {
+  const Edge root = requireSameManager(f);
+  std::vector<unsigned> vars;
+  ++mark_epoch_;
+  if (mark_epoch_ == 0) {
+    for (Node& n : nodes_) n.mark = 0;
+    mark_epoch_ = 1;
+  }
+  mark_stack_.clear();
+  mark_stack_.push_back(index(root));
+  nodes_[0].mark = mark_epoch_;
+  while (!mark_stack_.empty()) {
+    const std::uint32_t i = mark_stack_.back();
+    mark_stack_.pop_back();
+    Node& n = nodes_[i];
+    if (n.mark == mark_epoch_) continue;
+    n.mark = mark_epoch_;
+    vars.push_back(n.var);
+    mark_stack_.push_back(index(n.high));
+    mark_stack_.push_back(index(n.low));
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+Bdd Manager::supportCube(const Bdd& f) {
+  const std::vector<unsigned> vars = support(f);
+  return cube(vars);
+}
+
+double Manager::satCount(const Bdd& f, unsigned num_vars) {
+  const Edge root = requireSameManager(f);
+  std::unordered_map<Edge, double> memo;
+  // Satisfying fraction, memoized on regular edges (complements are 1-p).
+  auto prob = [&](auto&& self, Edge e) -> double {
+    if (e == kTrueEdge) return 1.0;
+    if (e == kFalseEdge) return 0.0;
+    const bool compl_in = isCompl(e);
+    const Edge reg = regular(e);
+    double p;
+    if (auto it = memo.find(reg); it != memo.end()) {
+      p = it->second;
+    } else {
+      const double ph = self(self, highOf(reg));
+      const double pl = self(self, lowOf(reg));
+      p = 0.5 * ph + 0.5 * pl;
+      memo.emplace(reg, p);
+    }
+    return compl_in ? 1.0 - p : p;
+  };
+  double scale = 1.0;
+  for (unsigned i = 0; i < num_vars; ++i) scale *= 2.0;
+  return prob(prob, root) * scale;
+}
+
+std::size_t Manager::nodeCount(const Bdd& f) {
+  const Bdd fs[] = {f};
+  return sharedNodeCount(fs);
+}
+
+std::size_t Manager::sharedNodeCount(std::span<const Bdd> fs) {
+  ++mark_epoch_;
+  if (mark_epoch_ == 0) {
+    for (Node& n : nodes_) n.mark = 0;
+    mark_epoch_ = 1;
+  }
+  std::size_t count = 0;
+  for (const Bdd& f : fs) {
+    if (f.isNull()) continue;
+    requireSameManager(f);
+    mark_stack_.clear();
+    mark_stack_.push_back(index(f.raw()));
+    while (!mark_stack_.empty()) {
+      const std::uint32_t i = mark_stack_.back();
+      mark_stack_.pop_back();
+      Node& n = nodes_[i];
+      if (n.mark == mark_epoch_) continue;
+      n.mark = mark_epoch_;
+      ++count;
+      if (n.var != kTermVar) {
+        mark_stack_.push_back(index(n.high));
+        mark_stack_.push_back(index(n.low));
+      }
+    }
+  }
+  return count;
+}
+
+bool Manager::eval(const Bdd& f, const std::vector<bool>& values) {
+  Edge e = requireSameManager(f);
+  while (!isConstEdge(e)) {
+    const std::uint32_t v = level(e);
+    if (v >= values.size()) {
+      throw std::out_of_range("eval: assignment shorter than support");
+    }
+    e = values[v] ? highOf(e) : lowOf(e);
+  }
+  return e == kTrueEdge;
+}
+
+std::vector<signed char> Manager::pickCube(const Bdd& f) {
+  Edge e = requireSameManager(f);
+  if (e == kFalseEdge) {
+    throw std::invalid_argument("pickCube of the zero BDD");
+  }
+  std::vector<signed char> cube(num_vars_, -1);
+  while (!isConstEdge(e)) {
+    const std::uint32_t v = level(e);
+    const Edge h = highOf(e);
+    if (h != kFalseEdge) {
+      cube[v] = 1;
+      e = h;
+    } else {
+      cube[v] = 0;
+      e = lowOf(e);
+    }
+  }
+  return cube;
+}
+
+}  // namespace bfvr::bdd

@@ -1,0 +1,56 @@
+// Graphviz export, used by the examples and when debugging orderings.
+#include <sstream>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace bfvr::bdd {
+
+std::string Manager::toDot(std::span<const Bdd> fs,
+                           std::span<const std::string> labels) {
+  std::ostringstream os;
+  os << "digraph bdd {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=circle];\n"
+     << "  t1 [shape=box,label=\"1\"];\n";
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    if (fs[i].isNull()) continue;
+    const Edge e = requireSameManager(fs[i]);
+    const std::string label =
+        i < labels.size() ? labels[i] : ("f" + std::to_string(i));
+    os << "  r" << i << " [shape=plaintext,label=\"" << label << "\"];\n";
+    os << "  r" << i << " -> n" << index(e)
+       << (isCompl(e) ? " [style=dotted]" : "") << ";\n";
+    stack.push_back(index(e));
+  }
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (!seen.insert(i).second) continue;
+    const Node& n = nodes_[i];
+    if (n.var == kTermVar) continue;
+    os << "  n" << i << " [label=\"v" << (n.var + 1) << "\"];\n";
+    auto emit = [&](Edge child, bool then_edge) {
+      const std::uint32_t ci = index(child);
+      os << "  n" << i << " -> ";
+      if (ci == 0) {
+        os << "t1";
+      } else {
+        os << "n" << ci;
+      }
+      os << " [";
+      if (!then_edge) os << "style=dashed,";
+      if (isCompl(child)) os << "arrowhead=odot,";
+      os << "];\n";
+      if (ci != 0) stack.push_back(ci);
+    };
+    emit(n.high, true);
+    emit(n.low, false);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bfvr::bdd

@@ -1,0 +1,351 @@
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+
+namespace bfvr::bdd {
+
+// ---------------------------------------------------------------------------
+// Bdd handle: intrusive registration with the manager so GC can mark roots.
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(Manager* m, Edge e) noexcept : mgr_(m), e_(e) { link(); }
+
+Bdd::Bdd(const Bdd& o) noexcept : mgr_(o.mgr_), e_(o.e_) { link(); }
+
+Bdd::Bdd(Bdd&& o) noexcept : mgr_(o.mgr_), e_(o.e_) {
+  link();
+  o.unlink();
+  o.mgr_ = nullptr;
+}
+
+Bdd& Bdd::operator=(const Bdd& o) noexcept {
+  if (this == &o) return *this;
+  unlink();
+  mgr_ = o.mgr_;
+  e_ = o.e_;
+  link();
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& o) noexcept {
+  if (this == &o) return *this;
+  unlink();
+  mgr_ = o.mgr_;
+  e_ = o.e_;
+  link();
+  o.unlink();
+  o.mgr_ = nullptr;
+  return *this;
+}
+
+Bdd::~Bdd() { unlink(); }
+
+void Bdd::link() noexcept {
+  if (mgr_ == nullptr) return;
+  prev_ = nullptr;
+  next_ = mgr_->handles_;
+  if (next_ != nullptr) next_->prev_ = this;
+  mgr_->handles_ = this;
+}
+
+void Bdd::unlink() noexcept {
+  if (mgr_ == nullptr) return;
+  if (prev_ != nullptr) {
+    prev_->next_ = next_;
+  } else {
+    mgr_->handles_ = next_;
+  }
+  if (next_ != nullptr) next_->prev_ = prev_;
+  prev_ = next_ = nullptr;
+}
+
+unsigned Bdd::topVar() const {
+  if (isNull() || isConst()) throw std::logic_error("topVar of constant BDD");
+  return mgr_->level(e_);
+}
+
+Bdd Bdd::high() const {
+  if (isNull() || isConst()) throw std::logic_error("high of constant BDD");
+  return Bdd(mgr_, mgr_->highOf(e_));
+}
+
+Bdd Bdd::low() const {
+  if (isNull() || isConst()) throw std::logic_error("low of constant BDD");
+  return Bdd(mgr_, mgr_->lowOf(e_));
+}
+
+Bdd Bdd::operator~() const {
+  if (isNull()) throw std::logic_error("negation of null BDD");
+  return Bdd(mgr_, Manager::negate(e_));
+}
+
+Bdd Bdd::operator&(const Bdd& o) const {
+  if (isNull()) throw std::logic_error("operation on null BDD");
+  return mgr_->andB(*this, o);
+}
+
+Bdd Bdd::operator|(const Bdd& o) const {
+  if (isNull()) throw std::logic_error("operation on null BDD");
+  return mgr_->orB(*this, o);
+}
+
+Bdd Bdd::operator^(const Bdd& o) const {
+  if (isNull()) throw std::logic_error("operation on null BDD");
+  return mgr_->xorB(*this, o);
+}
+
+bool Bdd::implies(const Bdd& o) const {
+  if (isNull()) throw std::logic_error("operation on null BDD");
+  return (*this & ~o).isFalse();
+}
+
+Bdd Bdd::exists(const Bdd& cube) const { return mgr_->exists(*this, cube); }
+Bdd Bdd::forall(const Bdd& cube) const { return mgr_->forall(*this, cube); }
+Bdd Bdd::constrain(const Bdd& c) const { return mgr_->constrain(*this, c); }
+Bdd Bdd::restrict(const Bdd& c) const { return mgr_->restrict(*this, c); }
+Bdd Bdd::cofactor(unsigned var, bool value) const {
+  return mgr_->cofactor(*this, var, value);
+}
+std::size_t Bdd::nodeCount() const { return mgr_->nodeCount(*this); }
+double Bdd::satCount(unsigned num_vars) const {
+  return mgr_->satCount(*this, num_vars);
+}
+
+// ---------------------------------------------------------------------------
+// Manager: node store and unique table.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kMul1 = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kMul2 = 0xc2b2ae3d27d4eb4fULL;
+
+std::uint64_t hash3(std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c) noexcept {
+  std::uint64_t h = a * kMul1;
+  h ^= (b + kMul2) * kMul1;
+  h = (h << 31) | (h >> 33);
+  h ^= (c + kMul1) * kMul2;
+  h ^= h >> 29;
+  h *= kMul1;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+Manager::Manager(unsigned num_vars) : Manager(num_vars, Config{}) {}
+
+Manager::Manager(unsigned num_vars, Config cfg)
+    : num_vars_(num_vars), cfg_(cfg) {
+  nodes_.reserve(1U << 12);
+  // Node 0: the terminal (TRUE when referenced by a regular edge).
+  nodes_.push_back(Node{kTermVar, kTrueEdge, kTrueEdge, kNil, 0});
+  in_use_ = 1;
+  peak_nodes_ = 1;
+  table_.assign(1U << 12, kNil);
+  gc_threshold_ = cfg_.gc_threshold;
+  cache_.assign(std::size_t{1} << cfg_.cache_bits, CacheEntry{});
+  cache_mask_ = static_cast<std::uint32_t>(cache_.size() - 1);
+}
+
+Manager::~Manager() {
+  // Orphan any handles that outlive the manager (they become null).
+  for (Bdd* h = handles_; h != nullptr;) {
+    Bdd* next = h->next_;
+    h->mgr_ = nullptr;
+    h->prev_ = h->next_ = nullptr;
+    h = next;
+  }
+}
+
+Bdd Manager::var(unsigned idx) {
+  if (idx >= num_vars_) num_vars_ = idx + 1;
+  return make(mkNode(idx, kTrueEdge, kFalseEdge));
+}
+
+std::size_t Manager::tableSlot(std::uint32_t var, Edge high,
+                               Edge low) const noexcept {
+  return static_cast<std::size_t>(hash3(var, high, low) &
+                                  (table_.size() - 1));
+}
+
+Edge Manager::mkNode(std::uint32_t var, Edge high, Edge low) {
+  if (high == low) return high;
+  // Canonical form: the high edge must be regular.
+  if (isCompl(high)) {
+    return negate(mkNode(var, negate(high), negate(low)));
+  }
+  assert(var < num_vars_);
+  assert(isConstEdge(high) || level(high) > var);
+  assert(isConstEdge(low) || level(low) > var);
+  const std::size_t slot = tableSlot(var, high, low);
+  for (std::uint32_t i = table_[slot]; i != kNil; i = nodes_[i].next) {
+    const Node& n = nodes_[i];
+    if (n.var == var && n.high == high && n.low == low) {
+      return i << 1;
+    }
+  }
+  const std::uint32_t idx = allocNode();
+  Node& n = nodes_[idx];
+  n.var = var;
+  n.high = high;
+  n.low = low;
+  n.mark = 0;
+  // Insert into the (possibly regrown) table.
+  const std::size_t s2 = tableSlot(var, high, low);
+  n.next = table_[s2];
+  table_[s2] = idx;
+  ++stats_.nodes_created;
+  return idx << 1;
+}
+
+std::uint32_t Manager::allocNode() {
+  if (free_list_ != kNil) {
+    const std::uint32_t idx = free_list_;
+    free_list_ = nodes_[idx].next;
+    ++in_use_;
+    if (in_use_ > peak_nodes_) peak_nodes_ = in_use_;
+    return idx;
+  }
+  if (cfg_.max_nodes != 0 && nodes_.size() >= cfg_.max_nodes) {
+    throw NodeBudgetExceeded(cfg_.max_nodes);
+  }
+  if (in_use_ + 1 > table_.size()) growTable();
+  nodes_.push_back(Node{});
+  ++in_use_;
+  if (in_use_ > peak_nodes_) peak_nodes_ = in_use_;
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void Manager::growTable() {
+  std::vector<std::uint32_t> old = std::move(table_);
+  table_.assign(old.size() * 2, kNil);
+  // Re-chain every node currently in the table.
+  for (std::uint32_t head : old) {
+    for (std::uint32_t i = head; i != kNil;) {
+      const std::uint32_t next = nodes_[i].next;
+      const Node& n = nodes_[i];
+      const std::size_t slot = tableSlot(n.var, n.high, n.low);
+      nodes_[i].next = table_[slot];
+      table_[slot] = i;
+      i = next;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache.
+// ---------------------------------------------------------------------------
+
+bool Manager::cacheLookup(std::uint32_t op, Edge a, Edge b, Edge c,
+                          Edge& out) {
+  ++stats_.cache_lookups;
+  const std::size_t slot =
+      hash3((static_cast<std::uint64_t>(op) << 32) | a, b, c) & cache_mask_;
+  const CacheEntry& e = cache_[slot];
+  if (e.op == op && e.a == a && e.b == b && e.c == c) {
+    out = e.result;
+    ++stats_.cache_hits;
+    return true;
+  }
+  return false;
+}
+
+void Manager::cacheStore(std::uint32_t op, Edge a, Edge b, Edge c, Edge r) {
+  const std::size_t slot =
+      hash3((static_cast<std::uint64_t>(op) << 32) | a, b, c) & cache_mask_;
+  cache_[slot] = CacheEntry{a, b, c, op, r};
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection: mark from all registered handles, sweep the rest.
+// ---------------------------------------------------------------------------
+
+void Manager::markFrom(Edge e) {
+  mark_stack_.clear();
+  mark_stack_.push_back(index(e));
+  while (!mark_stack_.empty()) {
+    const std::uint32_t i = mark_stack_.back();
+    mark_stack_.pop_back();
+    Node& n = nodes_[i];
+    if (n.mark == mark_epoch_) continue;
+    n.mark = mark_epoch_;
+    if (n.var != kTermVar) {
+      mark_stack_.push_back(index(n.high));
+      mark_stack_.push_back(index(n.low));
+    }
+  }
+}
+
+void Manager::gc() {
+  ++stats_.gc_runs;
+  ++mark_epoch_;
+  if (mark_epoch_ == 0) {  // epoch wrapped: reset all marks
+    for (Node& n : nodes_) n.mark = 0;
+    mark_epoch_ = 1;
+  }
+  nodes_[0].mark = mark_epoch_;  // terminal is always live
+  for (const Bdd* h = handles_; h != nullptr; h = h->next_) {
+    markFrom(h->e_);
+  }
+  // Sweep: rebuild the unique table with live nodes only; free the rest.
+  std::fill(table_.begin(), table_.end(), kNil);
+  free_list_ = kNil;
+  std::size_t live = 1;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.var == kFreeVar) {
+      n.next = free_list_;
+      free_list_ = i;
+      continue;
+    }
+    if (n.mark == mark_epoch_) {
+      const std::size_t slot = tableSlot(n.var, n.high, n.low);
+      n.next = table_[slot];
+      table_[slot] = i;
+      ++live;
+    } else {
+      n.var = kFreeVar;
+      n.next = free_list_;
+      free_list_ = i;
+    }
+  }
+  in_use_ = live;
+  // Cache entries may point at freed nodes: drop them all.
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  // Adapt the threshold: if little was reclaimed, collect less often.
+  if (live * 4 > gc_threshold_ * 3) {
+    gc_threshold_ = gc_threshold_ * 2;
+  }
+}
+
+void Manager::maybeGc() {
+  if (in_use_ >= gc_threshold_) gc();
+}
+
+std::size_t Manager::liveNodeCount() {
+  ++mark_epoch_;
+  if (mark_epoch_ == 0) {
+    for (Node& n : nodes_) n.mark = 0;
+    mark_epoch_ = 1;
+  }
+  nodes_[0].mark = mark_epoch_;
+  for (const Bdd* h = handles_; h != nullptr; h = h->next_) {
+    markFrom(h->e_);
+  }
+  std::size_t live = 0;
+  for (const Node& n : nodes_) {
+    if (n.var != kFreeVar && n.mark == mark_epoch_) ++live;
+  }
+  return live;
+}
+
+Edge Manager::requireSameManager(const Bdd& b) const {
+  if (b.manager() != this) {
+    throw std::logic_error("BDD belongs to a different manager");
+  }
+  return b.raw();
+}
+
+}  // namespace bfvr::bdd

@@ -1,0 +1,71 @@
+// Characteristic function -> canonical BFV, in the style of
+// Coudert/Berthet/Madre [6] (the costly conversion the Fig. 1 flow pays for
+// and the Fig. 2 flow avoids). Also used to build bad-state / constraint
+// sets from predicates in the examples and tests.
+//
+// Component i is derived from the projection P_i = (exists v_{i+1..n} chi)
+// evaluated at the already-selected bits: with c_i = P_i[v_j <- f_j, j < i],
+//   forced-to-one  when c_i|v_i=1 & ~c_i|v_i=0,
+//   free choice    when both cofactors allow,
+// giving f_i = c_i|v_i=1 & (~c_i|v_i=0 | v_i).
+#include "bfv/bfv.hpp"
+
+namespace bfvr::bfv {
+
+Bfv fromChar(Manager& m, const Bdd& chi, std::vector<unsigned> choice_vars) {
+  const std::size_t n = choice_vars.size();
+  if (chi.isFalse()) return Bfv::emptySet(m, std::move(choice_vars));
+
+  // Suffix projections: proj[i] = exists v_{i+1..n} chi.
+  std::vector<Bdd> proj(n);
+  if (n > 0) {
+    proj[n - 1] = chi;
+    for (std::size_t i = n - 1; i-- > 0;) {
+      const unsigned var[] = {choice_vars[i + 1]};
+      proj[i] = m.exists(proj[i + 1], m.cube(var));
+    }
+  }
+
+  std::vector<Bdd> comps(n);
+  std::vector<Bdd> subst(m.numVars());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bdd c = i == 0 ? proj[0] : m.vectorCompose(proj[i], subst);
+    const Bdd c1 = m.cofactor(c, choice_vars[i], true);
+    const Bdd c0 = m.cofactor(c, choice_vars[i], false);
+    comps[i] = c1 & (~c0 | m.var(choice_vars[i]));
+    subst[choice_vars[i]] = comps[i];
+  }
+  return Bfv::fromComponents(m, std::move(choice_vars), std::move(comps),
+                             /*trusted=*/true);
+}
+
+Bfv reorderComponents(const Bfv& f, std::span<const unsigned> perm,
+                      std::vector<unsigned> new_vars) {
+  if (f.isNull()) throw std::logic_error("reorderComponents on null Bfv");
+  Manager& m = *f.manager();
+  const std::size_t n = f.width();
+  if (perm.size() != n || new_vars.size() != n) {
+    throw std::invalid_argument("reorderComponents: arity mismatch");
+  }
+  std::vector<bool> seen(n, false);
+  for (unsigned p : perm) {
+    if (p >= n || seen[p]) {
+      throw std::invalid_argument("reorderComponents: not a permutation");
+    }
+    seen[p] = true;
+  }
+  if (f.isEmpty()) return Bfv::emptySet(m, std::move(new_vars));
+  // Rename the old choice variable of component perm[j] to new variable j
+  // in the characteristic function, then re-canonicalize under the new
+  // component order. The renaming need not be order-preserving — that is
+  // the whole point — so it goes through simultaneous composition.
+  std::vector<unsigned> rename(m.numVars());
+  for (unsigned v = 0; v < rename.size(); ++v) rename[v] = v;
+  for (std::size_t j = 0; j < n; ++j) {
+    rename[f.choiceVars()[perm[j]]] = new_vars[j];
+  }
+  const Bdd chi = m.permute(f.toChar(), rename);
+  return fromChar(m, chi, std::move(new_vars));
+}
+
+}  // namespace bfvr::bfv

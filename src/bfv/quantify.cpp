@@ -1,0 +1,48 @@
+// Cofactors and quantification on canonical vectors (§2.5).
+//
+// Cofactoring a canonical vector with respect to one of its own choice
+// variables fixes that selection choice; the result is still canonical for
+// its (sub)range. Existential quantification ("set smoothing") is then the
+// union of the two cofactors, universal quantification ("consensus") their
+// intersection — the same expansion as the domain partitioning of
+// Coudert/Berthet/Madre, but without recursive splitting, because we have a
+// direct union algorithm.
+#include "bfv/internal.hpp"
+
+namespace bfvr::bfv {
+
+Bfv Bfv::cofactor(unsigned comp, bool value) const {
+  if (isNull()) throw std::logic_error("cofactor on null Bfv");
+  if (comp >= vars_.size()) throw std::out_of_range("cofactor: bad component");
+  if (empty_) return *this;
+  const unsigned v = vars_[comp];
+  std::vector<Bdd> h(comps_.size());
+  // Components before `comp` cannot depend on v (canonical support rule).
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    h[i] = i < comp ? comps_[i] : mgr_->cofactor(comps_[i], v, value);
+  }
+  return Bfv(mgr_, vars_, std::move(h), false);
+}
+
+Bfv Bfv::existsChoice(unsigned comp) const {
+  if (isNull()) throw std::logic_error("existsChoice on null Bfv");
+  if (empty_) return *this;
+  const Bfv lo = cofactor(comp, false);
+  const Bfv hi = cofactor(comp, true);
+  std::vector<Bdd> h = internal::unionCore(*mgr_, vars_, lo.comps_, hi.comps_);
+  return Bfv(mgr_, vars_, std::move(h), false);
+}
+
+Bfv Bfv::forallChoice(unsigned comp) const {
+  if (isNull()) throw std::logic_error("forallChoice on null Bfv");
+  if (empty_) return *this;
+  const Bfv lo = cofactor(comp, false);
+  const Bfv hi = cofactor(comp, true);
+  std::vector<Bdd> h;
+  if (!internal::intersectCore(*mgr_, vars_, lo.comps_, hi.comps_, h)) {
+    return emptySet(*mgr_, vars_);
+  }
+  return Bfv(mgr_, vars_, std::move(h), false);
+}
+
+}  // namespace bfvr::bfv

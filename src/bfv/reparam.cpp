@@ -1,0 +1,127 @@
+// Re-parameterization (§2.6): canonicalize the raw vector produced by
+// symbolic simulation.
+//
+// The simulated next-state functions depend on *parameter* variables (the
+// previous iteration's choice variables and the primary inputs), not on the
+// target choice variables. For every fixed assignment of the parameters the
+// vector is constant — i.e. the canonical representation of a singleton —
+// so existentially quantifying the parameters one at a time with the
+// union-of-cofactors rule keeps every parameter slice canonical and ends
+// with the canonical vector of the simulated range.
+//
+// The quantification order matters for intermediate sizes; following §3 we
+// implement a dynamic schedule driven by per-component supports (quantify
+// first the parameter that the fewest / smallest components depend on), and
+// skip components that do not depend on the variable being quantified.
+//
+// The loop is shared with the conjunctive-decomposition backend
+// (cdec::reparameterizeCdec), which plugs in its constrain-based union.
+#include <algorithm>
+
+#include "bfv/internal.hpp"
+
+namespace bfvr::bfv {
+
+namespace internal {
+
+namespace {
+
+/// Cost of quantifying `var` now: (number of dependent components, total
+/// node count of those components). Smaller is better — fewer components
+/// touched means more of the union sweep stays on its fast path.
+struct QuantCost {
+  std::size_t dependents = 0;
+  std::size_t nodes = 0;
+
+  bool operator<(const QuantCost& o) const {
+    if (dependents != o.dependents) return dependents < o.dependents;
+    return nodes < o.nodes;
+  }
+};
+
+}  // namespace
+
+std::vector<Bdd> quantifyParams(Manager& m, std::vector<Bdd> cur,
+                                const std::vector<unsigned>& choice_vars,
+                                std::span<const unsigned> param_vars,
+                                const ReparamOptions& opts,
+                                SliceUnion slice_union) {
+  std::vector<unsigned> pending(param_vars.begin(), param_vars.end());
+
+  // Per-component support sets, refreshed after each quantification.
+  const std::size_t n = cur.size();
+  std::vector<std::vector<unsigned>> supports(n);
+  auto refresh = [&](std::size_t i) { supports[i] = m.support(cur[i]); };
+  for (std::size_t i = 0; i < n; ++i) refresh(i);
+
+  auto dependsOn = [&](std::size_t i, unsigned v) {
+    return std::binary_search(supports[i].begin(), supports[i].end(), v);
+  };
+
+  while (!pending.empty()) {
+    // Pick the next parameter variable to quantify out.
+    std::size_t pick = 0;
+    if (opts.schedule == QuantSchedule::kSupportCost) {
+      QuantCost best;
+      bool have = false;
+      for (std::size_t c = 0; c < pending.size(); ++c) {
+        QuantCost cost;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (dependsOn(i, pending[c])) {
+            ++cost.dependents;
+            cost.nodes += m.nodeCount(cur[i]);
+          }
+        }
+        if (!have || cost < best) {
+          best = cost;
+          pick = c;
+          have = true;
+        }
+      }
+    }
+    const unsigned v = pending[pick];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    bool touched = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dependsOn(i, v)) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) continue;  // nothing depends on v: exists is the identity
+
+    std::vector<Bdd> lo(n), hi(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dependsOn(i, v)) {
+        lo[i] = m.cofactor(cur[i], v, false);
+        hi[i] = m.cofactor(cur[i], v, true);
+      } else {
+        lo[i] = cur[i];
+        hi[i] = cur[i];
+      }
+    }
+    cur = slice_union(m, choice_vars, lo, hi);
+    for (std::size_t i = 0; i < n; ++i) refresh(i);
+    m.maybeGc();
+  }
+  return cur;
+}
+
+}  // namespace internal
+
+Bfv reparameterize(Manager& m, std::span<const Bdd> outputs,
+                   std::vector<unsigned> choice_vars,
+                   std::span<const unsigned> param_vars,
+                   const ReparamOptions& opts) {
+  if (outputs.size() != choice_vars.size()) {
+    throw std::invalid_argument("reparameterize: arity mismatch");
+  }
+  std::vector<Bdd> cur(outputs.begin(), outputs.end());
+  cur = internal::quantifyParams(m, std::move(cur), choice_vars, param_vars,
+                                 opts, &internal::unionCore);
+  return Bfv::fromComponents(m, std::move(choice_vars), std::move(cur),
+                             /*trusted=*/true);
+}
+
+}  // namespace bfvr::bfv

@@ -1,0 +1,204 @@
+#include "circuit/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfvr::circuit {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+GateOp opFromName(std::string op, const std::string& line) {
+  for (char& c : op) c = static_cast<char>(std::toupper(c));
+  if (op == "AND") return GateOp::kAnd;
+  if (op == "NAND") return GateOp::kNand;
+  if (op == "OR") return GateOp::kOr;
+  if (op == "NOR") return GateOp::kNor;
+  if (op == "XOR") return GateOp::kXor;
+  if (op == "XNOR") return GateOp::kXnor;
+  if (op == "NOT" || op == "INV") return GateOp::kNot;
+  if (op == "BUF" || op == "BUFF") return GateOp::kBuf;
+  if (op == "DFF") return GateOp::kLatch;
+  throw std::invalid_argument("bench: unknown op '" + op + "' in: " + line);
+}
+
+const char* opName(GateOp op) {
+  switch (op) {
+    case GateOp::kAnd:
+      return "AND";
+    case GateOp::kNand:
+      return "NAND";
+    case GateOp::kOr:
+      return "OR";
+    case GateOp::kNor:
+      return "NOR";
+    case GateOp::kXor:
+      return "XOR";
+    case GateOp::kXnor:
+      return "XNOR";
+    case GateOp::kNot:
+      return "NOT";
+    case GateOp::kBuf:
+      return "BUFF";
+    case GateOp::kLatch:
+      return "DFF";
+    default:
+      throw std::logic_error("opName: not a bench gate");
+  }
+}
+
+struct ParsedGate {
+  std::string target;
+  GateOp op;
+  std::vector<std::string> args;
+};
+
+}  // namespace
+
+Netlist parseBench(std::istream& in, const std::string& name) {
+  Netlist n(name);
+  std::vector<std::string> output_names;
+  std::vector<ParsedGate> gates;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t open = line.find('(');
+    const std::size_t close = line.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      throw std::invalid_argument("bench: malformed line: " + line);
+    }
+    const std::string args_str = line.substr(open + 1, close - open - 1);
+    std::vector<std::string> args;
+    std::stringstream ss(args_str);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) args.push_back(trim(tok));
+
+    const std::string head = trim(line.substr(0, open));
+    const std::size_t eq = head.find('=');
+    if (eq == std::string::npos) {
+      std::string kw = head;
+      for (char& c : kw) c = static_cast<char>(std::toupper(c));
+      if (kw == "INPUT") {
+        n.addInput(args.at(0));
+      } else if (kw == "OUTPUT") {
+        output_names.push_back(args.at(0));
+      } else {
+        throw std::invalid_argument("bench: malformed line: " + line);
+      }
+      continue;
+    }
+    ParsedGate g;
+    g.target = trim(head.substr(0, eq));
+    g.op = opFromName(trim(head.substr(eq + 1)), line);
+    g.args = std::move(args);
+    gates.push_back(std::move(g));
+  }
+
+  // First pass: declare latches (their outputs may be used before their
+  // data-input logic is defined).
+  for (const ParsedGate& g : gates) {
+    if (g.op == GateOp::kLatch) n.addLatch(g.target, /*init_value=*/false);
+  }
+  // Second pass: create combinational gates in dependency order. A simple
+  // worklist handles forward references.
+  std::vector<const ParsedGate*> pending;
+  for (const ParsedGate& g : gates) {
+    if (g.op != GateOp::kLatch) pending.push_back(&g);
+  }
+  bool progress = true;
+  while (!pending.empty() && progress) {
+    progress = false;
+    std::vector<const ParsedGate*> next;
+    for (const ParsedGate* g : pending) {
+      bool ready = true;
+      for (const std::string& a : g->args) {
+        if (!n.hasSignal(a)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        next.push_back(g);
+        continue;
+      }
+      std::vector<SignalId> fanins;
+      fanins.reserve(g->args.size());
+      for (const std::string& a : g->args) fanins.push_back(n.signal(a));
+      n.addGate(g->op, std::move(fanins), g->target);
+      progress = true;
+    }
+    pending = std::move(next);
+  }
+  if (!pending.empty()) {
+    throw std::invalid_argument("bench: unresolved signal in gate " +
+                                pending.front()->target);
+  }
+  // Close latch loops.
+  for (const ParsedGate& g : gates) {
+    if (g.op == GateOp::kLatch) {
+      n.setLatchData(n.signal(g.target), n.signal(g.args.at(0)));
+    }
+  }
+  for (const std::string& o : output_names) n.markOutput(n.signal(o));
+  n.validate();
+  return n;
+}
+
+Netlist parseBenchString(const std::string& text, const std::string& name) {
+  std::istringstream is(text);
+  return parseBench(is, name);
+}
+
+Netlist parseBenchFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::string base = path;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base.erase(0, slash + 1);
+  return parseBench(is, base);
+}
+
+std::string toBench(const Netlist& n) {
+  std::ostringstream os;
+  os << "# " << n.name() << "\n";
+  for (SignalId i : n.inputs()) os << "INPUT(" << n.gate(i).name << ")\n";
+  for (SignalId o : n.outputs()) os << "OUTPUT(" << n.gate(o).name << ")\n";
+  for (std::size_t p = 0; p < n.latches().size(); ++p) {
+    const Gate& g = n.gate(n.latches()[p]);
+    os << g.name << " = DFF(" << n.gate(n.latchData(p)).name << ")\n";
+  }
+  for (SignalId id = 0; id < n.numSignals(); ++id) {
+    const Gate& g = n.gate(id);
+    if (isSource(g.op)) continue;
+    // Constants are emitted as degenerate AND/OR of themselves only when
+    // they came from a parsed file; generator circuits avoid constants in
+    // bench output by construction.
+    if (g.op == GateOp::kConst0 || g.op == GateOp::kConst1) {
+      throw std::logic_error("toBench: constants are not representable");
+    }
+    os << g.name << " = " << opName(g.op) << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << n.gate(g.fanins[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace bfvr::circuit

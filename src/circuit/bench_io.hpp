@@ -1,0 +1,25 @@
+// ISCAS89 `.bench` reader/writer, so the paper's actual benchmark circuits
+// (s1269, s3271, ...) can be dropped in unchanged when available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace bfvr::circuit {
+
+/// Parse a `.bench` netlist. Supported lines: `INPUT(x)`, `OUTPUT(x)`,
+/// `y = OP(a, b, ...)` with OP in {AND, NAND, OR, NOR, XOR, XNOR, NOT,
+/// BUF, BUFF, DFF}, and `#` comments. DFF initial values default to 0 (the
+/// ISCAS89 convention).
+Netlist parseBench(std::istream& in, const std::string& name = "bench");
+Netlist parseBenchString(const std::string& text,
+                         const std::string& name = "bench");
+Netlist parseBenchFile(const std::string& path);
+
+/// Serialize back to `.bench` (gates with more than two fanins are kept
+/// as-is; round-trips through parseBench).
+std::string toBench(const Netlist& n);
+
+}  // namespace bfvr::circuit

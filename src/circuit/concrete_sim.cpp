@@ -1,0 +1,110 @@
+#include "circuit/concrete_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace bfvr::circuit {
+
+ConcreteSim::ConcreteSim(const Netlist& n) : n_(n), topo_(n.topoOrder()) {}
+
+std::vector<bool> ConcreteSim::evalAll(const std::vector<bool>& state,
+                                       const std::vector<bool>& inputs) const {
+  if (state.size() != n_.latches().size() ||
+      inputs.size() != n_.inputs().size()) {
+    throw std::invalid_argument("ConcreteSim: wrong vector widths");
+  }
+  std::vector<bool> val(n_.numSignals(), false);
+  for (std::size_t i = 0; i < n_.inputs().size(); ++i) {
+    val[n_.inputs()[i]] = inputs[i];
+  }
+  for (std::size_t p = 0; p < n_.latches().size(); ++p) {
+    val[n_.latches()[p]] = state[p];
+  }
+  std::vector<bool> fanin_vals;
+  for (SignalId id : topo_) {
+    const Gate& g = n_.gate(id);
+    if (isSource(g.op)) {
+      if (g.op == GateOp::kConst1) val[id] = true;
+      continue;
+    }
+    fanin_vals.clear();
+    for (SignalId f : g.fanins) fanin_vals.push_back(val[f]);
+    val[id] = evalGate(g.op, fanin_vals);
+  }
+  return val;
+}
+
+std::vector<bool> ConcreteSim::step(const std::vector<bool>& state,
+                                    const std::vector<bool>& inputs) const {
+  const std::vector<bool> val = evalAll(state, inputs);
+  std::vector<bool> next(n_.latches().size());
+  for (std::size_t p = 0; p < n_.latches().size(); ++p) {
+    next[p] = val[n_.latchData(p)];
+  }
+  return next;
+}
+
+std::vector<bool> ConcreteSim::outputs(const std::vector<bool>& state,
+                                       const std::vector<bool>& inputs) const {
+  const std::vector<bool> val = evalAll(state, inputs);
+  std::vector<bool> out(n_.outputs().size());
+  for (std::size_t i = 0; i < n_.outputs().size(); ++i) {
+    out[i] = val[n_.outputs()[i]];
+  }
+  return out;
+}
+
+std::vector<bool> ConcreteSim::initialState() const {
+  std::vector<bool> s(n_.latches().size());
+  for (std::size_t p = 0; p < n_.latches().size(); ++p) {
+    s[p] = n_.latchInit(p);
+  }
+  return s;
+}
+
+std::optional<std::vector<std::uint64_t>> explicitReach(const Netlist& n,
+                                                        std::size_t limit) {
+  const std::size_t nl = n.latches().size();
+  const std::size_t ni = n.inputs().size();
+  if (nl > 24 || ni > 20) {
+    throw std::invalid_argument("explicitReach: circuit too wide");
+  }
+  const ConcreteSim sim(n);
+  auto pack = [nl](const std::vector<bool>& s) {
+    std::uint64_t x = 0;
+    for (std::size_t i = 0; i < nl; ++i) {
+      if (s[i]) x |= std::uint64_t{1} << i;
+    }
+    return x;
+  };
+  auto unpack = [nl](std::uint64_t x) {
+    std::vector<bool> s(nl);
+    for (std::size_t i = 0; i < nl; ++i) s[i] = ((x >> i) & 1U) != 0;
+    return s;
+  };
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> frontier{pack(sim.initialState())};
+  seen.insert(frontier[0]);
+  std::vector<bool> in(ni);
+  while (!frontier.empty()) {
+    std::vector<std::uint64_t> next_frontier;
+    for (std::uint64_t s : frontier) {
+      const std::vector<bool> sv = unpack(s);
+      for (std::uint64_t iv = 0; iv < (std::uint64_t{1} << ni); ++iv) {
+        for (std::size_t j = 0; j < ni; ++j) in[j] = ((iv >> j) & 1U) != 0;
+        const std::uint64_t t = pack(sim.step(sv, in));
+        if (seen.insert(t).second) {
+          if (seen.size() > limit) return std::nullopt;
+          next_frontier.push_back(t);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  std::vector<std::uint64_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bfvr::circuit

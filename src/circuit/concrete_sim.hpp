@@ -1,0 +1,48 @@
+// Concrete (bit-level) simulation and explicit-state reachability. The
+// explicit BFS is the ground-truth oracle the symbolic engines are tested
+// against on small circuits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace bfvr::circuit {
+
+/// Evaluates the combinational logic of a netlist for concrete state and
+/// input vectors.
+class ConcreteSim {
+ public:
+  explicit ConcreteSim(const Netlist& n);
+
+  /// Values of every signal given latch values (latch order) and input
+  /// values (input order).
+  std::vector<bool> evalAll(const std::vector<bool>& state,
+                            const std::vector<bool>& inputs) const;
+
+  /// Next latch state.
+  std::vector<bool> step(const std::vector<bool>& state,
+                         const std::vector<bool>& inputs) const;
+
+  /// Primary output values.
+  std::vector<bool> outputs(const std::vector<bool>& state,
+                            const std::vector<bool>& inputs) const;
+
+  /// Initial latch state.
+  std::vector<bool> initialState() const;
+
+ private:
+  const Netlist& n_;
+  std::vector<SignalId> topo_;
+};
+
+/// Explicit-state breadth-first reachability from the initial state over
+/// all input combinations. Requires #latches <= 24 and #inputs <= 20;
+/// `limit` aborts (returns nullopt) when more states than that are found.
+/// Returns the set of reachable states as latch bit masks (bit i = latch i).
+std::optional<std::vector<std::uint64_t>> explicitReach(
+    const Netlist& n, std::size_t limit = 1U << 22);
+
+}  // namespace bfvr::circuit

@@ -1,0 +1,62 @@
+// Parameterized sequential circuit generators — the workload suite standing
+// in for the ISCAS89 benchmarks (see DESIGN.md §3 for the substitution
+// rationale). Each generator documents its reachable-state count, which the
+// tests use as an oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/netlist.hpp"
+
+namespace bfvr::circuit {
+
+/// Mod-K up counter with an enable input. Reachable from 0: exactly K
+/// states (requires 2 <= k <= 2^bits).
+Netlist makeCounter(unsigned bits, std::uint64_t modulo);
+
+/// Johnson (twisted-ring) counter with enable. Reachable: 2*bits states.
+Netlist makeJohnson(unsigned bits);
+
+/// Fibonacci LFSR with a primitive polynomial and an enable input, seeded
+/// with 1. Reachable: 2^bits - 1 states. Supported widths: 3..12, 16, 20.
+Netlist makeLfsr(unsigned bits);
+
+/// Twin shift register: two `bits`-deep shift registers fed by the same
+/// serial input. Reachable: the 2^bits states with a == b — the paper's §3
+/// functional-dependency example chi = AND_i (a_i == b_i). With the twin
+/// latches separated in the variable order the characteristic function is
+/// exponential in `bits`; the BFV stays linear in every order.
+Netlist makeTwinShift(unsigned bits);
+
+/// Round-robin arbiter over `clients` request lines: one-hot priority
+/// pointer, cyclic priority chain, grant outputs. Reachable: `clients`
+/// one-hot pointer states.
+Netlist makeArbiter(unsigned clients);
+
+/// FIFO controller with 2^ptr_bits entries: read/write pointers plus an
+/// occupancy counter (a redundant state encoding rich in functional
+/// dependencies). Reachable: 4^ptr_bits + 2^ptr_bits states.
+Netlist makeFifoCtrl(unsigned ptr_bits);
+
+/// Gray-code counter with enable: successive states differ in one bit.
+/// Reachable: all 2^bits states.
+Netlist makeGrayCounter(unsigned bits);
+
+/// Serial CRC register: an LFSR-style feedback register that also XORs a
+/// data input into the feedback — every state becomes reachable quickly
+/// (short diameter), unlike the autonomous LFSR. Reachable: 2^bits.
+/// Supported widths: the same table as makeLfsr.
+Netlist makeCrc(unsigned bits);
+
+/// Random sequential netlist: `gates` random 2-input gates over the
+/// sources, the last `latches` signals feeding the latch data inputs.
+/// Deterministic in `seed`.
+Netlist makeRandomSeq(unsigned latches, unsigned inputs, unsigned gates,
+                      std::uint64_t seed);
+
+/// Side-by-side composition (no interconnection): state space is the
+/// product, reachable set the product of the operands' reachable sets.
+Netlist concatenate(const Netlist& a, const Netlist& b,
+                    const std::string& name);
+
+}  // namespace bfvr::circuit

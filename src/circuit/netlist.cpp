@@ -1,0 +1,233 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bfvr::circuit {
+
+bool isSource(GateOp op) noexcept {
+  return op == GateOp::kInput || op == GateOp::kLatch ||
+         op == GateOp::kConst0 || op == GateOp::kConst1;
+}
+
+bool evalGate(GateOp op, const std::vector<bool>& values) {
+  auto reduceAnd = [&] {
+    for (bool v : values) {
+      if (!v) return false;
+    }
+    return true;
+  };
+  auto reduceOr = [&] {
+    for (bool v : values) {
+      if (v) return true;
+    }
+    return false;
+  };
+  auto reduceXor = [&] {
+    bool acc = false;
+    for (bool v : values) acc ^= v;
+    return acc;
+  };
+  switch (op) {
+    case GateOp::kConst0:
+      return false;
+    case GateOp::kConst1:
+      return true;
+    case GateOp::kBuf:
+      return values.at(0);
+    case GateOp::kNot:
+      return !values.at(0);
+    case GateOp::kAnd:
+      return reduceAnd();
+    case GateOp::kNand:
+      return !reduceAnd();
+    case GateOp::kOr:
+      return reduceOr();
+    case GateOp::kNor:
+      return !reduceOr();
+    case GateOp::kXor:
+      return reduceXor();
+    case GateOp::kXnor:
+      return !reduceXor();
+    case GateOp::kInput:
+    case GateOp::kLatch:
+      throw std::logic_error("evalGate on a source signal");
+  }
+  throw std::logic_error("evalGate: bad op");
+}
+
+SignalId Netlist::add(Gate g) {
+  if (g.name.empty()) {
+    g.name = "_n" + std::to_string(anon_counter_++);
+  }
+  if (by_name_.contains(g.name)) {
+    throw std::invalid_argument("duplicate signal name: " + g.name);
+  }
+  const SignalId id = static_cast<SignalId>(gates_.size());
+  by_name_.emplace(g.name, id);
+  gates_.push_back(std::move(g));
+  return id;
+}
+
+SignalId Netlist::addInput(const std::string& name) {
+  const SignalId id = add(Gate{GateOp::kInput, {}, name});
+  inputs_.push_back(id);
+  return id;
+}
+
+SignalId Netlist::addConst(bool value, const std::string& name) {
+  return add(Gate{value ? GateOp::kConst1 : GateOp::kConst0, {}, name});
+}
+
+SignalId Netlist::addGate(GateOp op, std::vector<SignalId> fanins,
+                          const std::string& name) {
+  if (isSource(op)) {
+    throw std::invalid_argument("addGate cannot create source signals");
+  }
+  const std::size_t arity = fanins.size();
+  const bool unary = op == GateOp::kBuf || op == GateOp::kNot;
+  if ((unary && arity != 1) || (!unary && arity < 1)) {
+    throw std::invalid_argument("bad fanin arity for gate " + name);
+  }
+  for (SignalId f : fanins) {
+    if (f >= gates_.size()) {
+      throw std::invalid_argument("gate " + name + " references unknown fanin");
+    }
+  }
+  return add(Gate{op, std::move(fanins), name});
+}
+
+SignalId Netlist::addLatch(const std::string& name, bool init_value) {
+  const SignalId id = add(Gate{GateOp::kLatch, {}, name});
+  latches_.push_back(id);
+  latch_init_.push_back(init_value);
+  return id;
+}
+
+void Netlist::setLatchData(SignalId latch, SignalId data) {
+  Gate& g = gates_.at(latch);
+  if (g.op != GateOp::kLatch) {
+    throw std::invalid_argument("setLatchData on a non-latch signal");
+  }
+  if (data >= gates_.size()) {
+    throw std::invalid_argument("latch data references unknown signal");
+  }
+  g.fanins.assign(1, data);
+}
+
+void Netlist::markOutput(SignalId sig, const std::string& name) {
+  (void)name;
+  if (sig >= gates_.size()) {
+    throw std::invalid_argument("markOutput: unknown signal");
+  }
+  outputs_.push_back(sig);
+}
+
+SignalId Netlist::mkAnd(SignalId a, SignalId b, const std::string& name) {
+  return addGate(GateOp::kAnd, {a, b}, name);
+}
+SignalId Netlist::mkOr(SignalId a, SignalId b, const std::string& name) {
+  return addGate(GateOp::kOr, {a, b}, name);
+}
+SignalId Netlist::mkXor(SignalId a, SignalId b, const std::string& name) {
+  return addGate(GateOp::kXor, {a, b}, name);
+}
+SignalId Netlist::mkNot(SignalId a, const std::string& name) {
+  return addGate(GateOp::kNot, {a}, name);
+}
+SignalId Netlist::mkMux(SignalId s, SignalId a, SignalId b,
+                        const std::string& name) {
+  const SignalId t = mkAnd(s, a);
+  const SignalId e = addGate(GateOp::kAnd, {mkNot(s), b}, "");
+  return addGate(GateOp::kOr, {t, e}, name);
+}
+
+std::size_t Netlist::latchPos(SignalId sig) const {
+  const auto it = std::find(latches_.begin(), latches_.end(), sig);
+  if (it == latches_.end()) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - latches_.begin());
+}
+
+SignalId Netlist::latchData(std::size_t latch_pos) const {
+  const Gate& g = gates_.at(latches_.at(latch_pos));
+  if (g.fanins.empty()) {
+    throw std::logic_error("latch " + g.name + " has no data input");
+  }
+  return g.fanins[0];
+}
+
+SignalId Netlist::signal(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::invalid_argument("unknown signal: " + name);
+  }
+  return it->second;
+}
+
+std::vector<SignalId> Netlist::topoOrder() const {
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(gates_.size(), kWhite);
+  std::vector<SignalId> order;
+  order.reserve(gates_.size());
+  // Iterative DFS (post-order) over combinational fanin.
+  std::vector<std::pair<SignalId, std::size_t>> stack;
+  auto visit = [&](SignalId root) {
+    if (color[root] != kWhite) return;
+    stack.emplace_back(root, 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Gate& g = gates_[id];
+      const bool source = isSource(g.op);
+      if (source || next >= g.fanins.size()) {
+        color[id] = kBlack;
+        order.push_back(id);
+        stack.pop_back();
+        continue;
+      }
+      const SignalId f = g.fanins[next++];
+      if (color[f] == kGray) {
+        throw std::logic_error("combinational cycle through " + gates_[f].name);
+      }
+      if (color[f] == kWhite) {
+        color[f] = kGray;
+        stack.emplace_back(f, 0);
+      }
+    }
+  };
+  // Roots: latch data inputs and primary outputs (plus every gate, so that
+  // dangling logic is still simulatable).
+  for (std::size_t p = 0; p < latches_.size(); ++p) visit(latchData(p));
+  for (SignalId o : outputs_) visit(o);
+  for (SignalId id = 0; id < gates_.size(); ++id) visit(id);
+  return order;
+}
+
+void Netlist::validate() const {
+  for (std::size_t p = 0; p < latches_.size(); ++p) {
+    (void)latchData(p);  // throws when a latch loop was never closed
+  }
+  (void)topoOrder();  // throws on combinational cycles
+}
+
+std::vector<SignalId> Netlist::faninCone(
+    const std::vector<SignalId>& roots) const {
+  std::vector<bool> seen(gates_.size(), false);
+  std::vector<SignalId> stack(roots.begin(), roots.end());
+  std::vector<SignalId> sources;
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
+    const Gate& g = gates_[id];
+    if (g.op == GateOp::kInput || g.op == GateOp::kLatch) {
+      sources.push_back(id);
+      continue;  // stop at sequential boundary
+    }
+    for (SignalId f : g.fanins) stack.push_back(f);
+  }
+  return sources;
+}
+
+}  // namespace bfvr::circuit

@@ -1,0 +1,113 @@
+// Gate-level sequential netlist: the circuit model under verification.
+// Mirrors the ISCAS89 `.bench` primitives (the paper's benchmark format):
+// primary inputs, DFF latches, and simple gates with arbitrary fan-in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bfvr::circuit {
+
+/// Signal identifier: index of the driving gate in the netlist.
+using SignalId = std::uint32_t;
+
+enum class GateOp : std::uint8_t {
+  kInput,   ///< primary input (no fanins)
+  kConst0,  ///< constant 0
+  kConst1,  ///< constant 1
+  kBuf,     ///< identity (1 fanin)
+  kNot,
+  kAnd,  ///< >= 1 fanins
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kLatch  ///< DFF output; fanin[0] is the next-state (data) signal
+};
+
+/// True for ops whose output is a state element or source (not evaluated by
+/// the combinational simulator).
+bool isSource(GateOp op) noexcept;
+
+/// Evaluate a gate op over concrete fanin values.
+bool evalGate(GateOp op, const std::vector<bool>& values);
+
+struct Gate {
+  GateOp op = GateOp::kInput;
+  std::vector<SignalId> fanins;
+  std::string name;
+};
+
+/// A sequential circuit. Gates are stored in creation order; latches may be
+/// created before their data input exists (setLatchData closes the loop).
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "circuit") : name_(std::move(name)) {}
+
+  // ---- construction ---------------------------------------------------------
+  SignalId addInput(const std::string& name);
+  SignalId addConst(bool value, const std::string& name);
+  SignalId addGate(GateOp op, std::vector<SignalId> fanins,
+                   const std::string& name);
+  /// Creates the latch output signal; data input may be set later.
+  SignalId addLatch(const std::string& name, bool init_value);
+  void setLatchData(SignalId latch, SignalId data);
+  void markOutput(SignalId sig, const std::string& name = "");
+
+  // Convenience builders for common two-input logic.
+  SignalId mkAnd(SignalId a, SignalId b, const std::string& name = "");
+  SignalId mkOr(SignalId a, SignalId b, const std::string& name = "");
+  SignalId mkXor(SignalId a, SignalId b, const std::string& name = "");
+  SignalId mkNot(SignalId a, const std::string& name = "");
+  /// Multiplexer: s ? a : b.
+  SignalId mkMux(SignalId s, SignalId a, SignalId b,
+                 const std::string& name = "");
+
+  // ---- observers ------------------------------------------------------------
+  const std::string& name() const noexcept { return name_; }
+  std::size_t numSignals() const noexcept { return gates_.size(); }
+  const Gate& gate(SignalId id) const { return gates_.at(id); }
+  const std::vector<SignalId>& inputs() const noexcept { return inputs_; }
+  const std::vector<SignalId>& latches() const noexcept { return latches_; }
+  const std::vector<SignalId>& outputs() const noexcept { return outputs_; }
+  bool latchInit(std::size_t latch_pos) const {
+    return latch_init_.at(latch_pos);
+  }
+  /// Position of a latch signal in latches(), or npos.
+  std::size_t latchPos(SignalId sig) const;
+  SignalId latchData(std::size_t latch_pos) const;
+  /// Lookup by name; throws if unknown.
+  SignalId signal(const std::string& name) const;
+  bool hasSignal(const std::string& name) const {
+    return by_name_.contains(name);
+  }
+
+  /// Combinational topological order: every non-source gate appears after
+  /// its fanins; sources (inputs, latches, constants) come first. Throws on
+  /// combinational cycles or latches with unset data inputs.
+  std::vector<SignalId> topoOrder() const;
+
+  /// Structural sanity check (fanin arities, closed latch loops).
+  void validate() const;
+
+  /// The set of sources (input/latch positions) in the transitive fanin of
+  /// `roots`: used by ordering heuristics and cone-of-influence reduction.
+  std::vector<SignalId> faninCone(const std::vector<SignalId>& roots) const;
+
+ private:
+  SignalId add(Gate g);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<SignalId> inputs_;
+  std::vector<SignalId> latches_;
+  std::vector<bool> latch_init_;
+  std::vector<SignalId> outputs_;
+  std::unordered_map<std::string, SignalId> by_name_;
+  std::uint32_t anon_counter_ = 0;
+};
+
+}  // namespace bfvr::circuit

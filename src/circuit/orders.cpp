@@ -1,0 +1,97 @@
+#include "circuit/orders.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bfvr::circuit {
+
+std::string OrderSpec::label() const {
+  switch (kind) {
+    case OrderKind::kNatural:
+      return "natural";
+    case OrderKind::kTopo:
+      return "topo";
+    case OrderKind::kReverse:
+      return "reverse";
+    case OrderKind::kRandom:
+      return "rand" + std::to_string(seed);
+  }
+  return "?";
+}
+
+std::vector<ObjRef> makeOrder(const Netlist& n, const OrderSpec& spec) {
+  std::vector<ObjRef> natural;
+  for (unsigned i = 0; i < n.inputs().size(); ++i) {
+    natural.push_back(ObjRef{true, i});
+  }
+  for (unsigned p = 0; p < n.latches().size(); ++p) {
+    natural.push_back(ObjRef{false, p});
+  }
+  switch (spec.kind) {
+    case OrderKind::kNatural:
+      return natural;
+    case OrderKind::kReverse: {
+      std::reverse(natural.begin(), natural.end());
+      return natural;
+    }
+    case OrderKind::kRandom: {
+      Rng rng(spec.seed * 0x9e3779b9U + 0x1234567U);
+      rng.shuffle(natural);
+      return natural;
+    }
+    case OrderKind::kTopo:
+      break;
+  }
+  // Topological DFS from each next-state function and each primary output,
+  // in turn; sources are emitted in first-visit order. This groups each
+  // latch with the inputs/latches its cone reads — the classic static
+  // interleaving heuristic.
+  std::vector<bool> seen(n.numSignals(), false);
+  std::vector<ObjRef> order;
+  std::vector<SignalId> stack;
+  auto visit = [&](SignalId root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const SignalId id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = true;
+      const Gate& g = n.gate(id);
+      if (g.op == GateOp::kInput) {
+        order.push_back(ObjRef{true, static_cast<unsigned>(
+                                          std::find(n.inputs().begin(),
+                                                    n.inputs().end(), id) -
+                                          n.inputs().begin())});
+        continue;
+      }
+      if (g.op == GateOp::kLatch) {
+        order.push_back(ObjRef{false, static_cast<unsigned>(n.latchPos(id))});
+        continue;  // stop at the sequential boundary
+      }
+      // Push fanins in reverse so the first fanin is visited first.
+      for (auto it = g.fanins.rbegin(); it != g.fanins.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  };
+  for (std::size_t p = 0; p < n.latches().size(); ++p) {
+    // Seed each cone with the latch itself so its variable sits next to
+    // the variables its next-state function reads.
+    visit(n.latches()[p]);
+    visit(n.latchData(p));
+  }
+  for (SignalId o : n.outputs()) visit(o);
+  if (order.size() != n.inputs().size() + n.latches().size()) {
+    // Unreferenced sources (e.g. dangling inputs) go last.
+    for (const ObjRef& o : natural) {
+      if (std::find(order.begin(), order.end(), o) == order.end()) {
+        order.push_back(o);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace bfvr::circuit

@@ -1,0 +1,42 @@
+// Static variable-ordering heuristics. The paper's experiments use fixed
+// orders from several sources (VIS static, their own static, dynamic-run
+// snapshots, pdtrav orders); our suite spans the same good-to-bad range:
+// a topological DFS order (the paper's "S2"), declaration order, its
+// reverse, and seeded random shuffles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace bfvr::circuit {
+
+/// A source object to be ordered: a latch (state element) or an input.
+struct ObjRef {
+  bool is_input = false;
+  unsigned pos = 0;  ///< position within inputs() or latches()
+
+  bool operator==(const ObjRef&) const = default;
+};
+
+enum class OrderKind : std::uint8_t {
+  kNatural,  ///< inputs then latches, in declaration order
+  kTopo,     ///< DFS from next-state functions & outputs (paper's S2)
+  kReverse,  ///< reverse declaration order
+  kRandom    ///< seeded shuffle
+};
+
+struct OrderSpec {
+  OrderKind kind = OrderKind::kTopo;
+  std::uint64_t seed = 0;  ///< used by kRandom
+
+  std::string label() const;
+};
+
+/// Ordered list of all sources of `n` according to the spec. Every latch
+/// and every input appears exactly once.
+std::vector<ObjRef> makeOrder(const Netlist& n, const OrderSpec& spec);
+
+}  // namespace bfvr::circuit

@@ -1,0 +1,57 @@
+// The Coudert/Berthet/Madre flow of Fig. 1: image computation by symbolic
+// simulation, but all set manipulation on characteristic functions. Every
+// iteration pays a chi -> BFV conversion (parameterization) before
+// simulating and a BFV -> chi conversion (recursive range splitting) after.
+#include "bfv/bfv.hpp"
+#include "reach/internal.hpp"
+#include "sym/image.hpp"
+#include "sym/simulate.hpp"
+
+namespace bfvr::reach {
+
+ReachResult reachCbm(sym::StateSpace& s, const ReachOptions& opts) {
+  Manager& m = s.manager();
+  return internal::runGuarded(
+      m, opts.budget, [&](ReachResult& r, internal::RunGuard& guard) {
+        Bdd reached = sym::initialChar(s);
+        Bdd from = reached;
+        for (;;) {
+          ++r.iterations;
+          // Characteristic function -> Boolean functional vector.
+          const Bfv f = bfv::fromChar(m, from, s.currentVars());
+          guard.sample();
+          // Symbolic simulation gives the image as a raw vector ...
+          const sym::SimResult sim = sym::simulate(s, f.comps());
+          guard.sample();
+          // ... which the Fig. 1 flow converts straight back to a
+          // characteristic function by recursive range splitting.
+          const Bdd img_u = sym::rangeChar(s, sim.next_state, m.one());
+          const Bdd img = m.permute(img_u, s.permParamToCurrent());
+          guard.sample();
+          const Bdd next = reached | img;
+          if (next == reached) break;
+          const Bdd frontier = img & ~reached;
+          reached = next;
+          if (opts.use_frontier &&
+              m.nodeCount(frontier) < m.nodeCount(reached)) {
+            from = frontier;
+          } else {
+            from = reached;
+          }
+          m.maybeGc();
+          guard.sample();
+          if (opts.max_iterations != 0 &&
+              r.iterations >= opts.max_iterations) {
+            break;
+          }
+        }
+        r.states = m.satCount(reached, s.numLatches());
+        r.chi_nodes = m.nodeCount(reached);
+        r.reached_chi = reached;
+        const Bfv f = bfv::fromChar(m, reached, s.currentVars());
+        r.bfv_nodes = f.sharedSize();
+        r.reached_bfv = f;
+      });
+}
+
+}  // namespace bfvr::reach

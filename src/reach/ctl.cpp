@@ -1,0 +1,139 @@
+#include "reach/ctl.hpp"
+
+#include <unordered_map>
+
+namespace bfvr::reach {
+
+namespace {
+
+std::shared_ptr<const Ctl::Node> mk(Ctl::Node n) {
+  return std::make_shared<const Ctl::Node>(std::move(n));
+}
+
+}  // namespace
+
+Ctl Ctl::top() { return Ctl(mk({CtlOp::kTrue, {}, nullptr, nullptr})); }
+
+Ctl Ctl::bottom() { return !top(); }
+
+Ctl Ctl::atom(Bdd chi) {
+  return Ctl(mk({CtlOp::kAtom, std::move(chi), nullptr, nullptr}));
+}
+
+Ctl Ctl::operator!() const {
+  return Ctl(mk({CtlOp::kNot, {}, node_, nullptr}));
+}
+
+Ctl Ctl::operator&&(const Ctl& o) const {
+  return Ctl(mk({CtlOp::kAnd, {}, node_, o.node_}));
+}
+
+Ctl Ctl::operator||(const Ctl& o) const {
+  return Ctl(mk({CtlOp::kOr, {}, node_, o.node_}));
+}
+
+Ctl Ctl::EX(Ctl p) { return Ctl(mk({CtlOp::kEX, {}, p.node_, nullptr})); }
+
+Ctl Ctl::EU(Ctl p, Ctl q) {
+  return Ctl(mk({CtlOp::kEU, {}, p.node_, q.node_}));
+}
+
+Ctl Ctl::EF(Ctl p) { return EU(top(), std::move(p)); }
+
+Ctl Ctl::EG(Ctl p) { return Ctl(mk({CtlOp::kEG, {}, p.node_, nullptr})); }
+
+Ctl Ctl::AX(Ctl p) { return !EX(!std::move(p)); }
+
+Ctl Ctl::AF(Ctl p) { return !EG(!std::move(p)); }
+
+Ctl Ctl::AG(Ctl p) { return !EF(!std::move(p)); }
+
+Ctl Ctl::AU(Ctl p, Ctl q) {
+  // A[p U q] == !( E[!q U (!p & !q)] | EG !q ).
+  const Ctl nq = !q;
+  return !(EU(nq, !p && nq) || EG(nq));
+}
+
+namespace {
+
+struct Evaluator {
+  sym::StateSpace& s;
+  const sym::TransitionRelation& tr;
+  bdd::Manager& m;
+  std::unordered_map<const Ctl::Node*, Bdd> memo;
+
+  Bdd run(const Ctl::Node& n) {
+    if (auto it = memo.find(&n); it != memo.end()) return it->second;
+    Bdd r;
+    switch (n.op) {
+      case CtlOp::kTrue:
+        r = m.one();
+        break;
+      case CtlOp::kAtom:
+        r = n.chi;
+        break;
+      case CtlOp::kNot:
+        r = ~run(*n.lhs);
+        break;
+      case CtlOp::kAnd:
+        r = run(*n.lhs) & run(*n.rhs);
+        break;
+      case CtlOp::kOr:
+        r = run(*n.lhs) | run(*n.rhs);
+        break;
+      case CtlOp::kEX:
+        r = tr.preimage(run(*n.lhs));
+        break;
+      case CtlOp::kEG: {
+        // gfp Z. p & EX Z
+        const Bdd p = run(*n.lhs);
+        Bdd z = p;
+        for (;;) {
+          const Bdd next = p & tr.preimage(z);
+          if (next == z) break;
+          z = next;
+          m.maybeGc();
+        }
+        r = z;
+        break;
+      }
+      case CtlOp::kEU: {
+        // lfp Z. q | (p & EX Z)
+        const Bdd p = run(*n.lhs);
+        const Bdd q = run(*n.rhs);
+        Bdd z = q;
+        for (;;) {
+          const Bdd next = q | (p & tr.preimage(z));
+          if (next == z) break;
+          z = next;
+          m.maybeGc();
+        }
+        r = z;
+        break;
+      }
+    }
+    memo.emplace(&n, r);
+    return r;
+  }
+};
+
+}  // namespace
+
+Bdd evalCtl(sym::StateSpace& s, const sym::TransitionRelation& tr,
+            const Ctl& f) {
+  Evaluator ev{s, tr, s.manager(), {}};
+  return ev.run(f.node());
+}
+
+bool holdsInInit(sym::StateSpace& s, const sym::TransitionRelation& tr,
+                 const Ctl& f) {
+  const Bdd sat = evalCtl(s, tr, f);
+  const std::vector<bool> init = s.initialBits();
+  std::vector<bool> assignment(s.manager().numVars(), false);
+  for (std::size_t c = 0; c < init.size(); ++c) {
+    assignment[s.currentVars()[c]] = init[c];
+  }
+  return s.manager().eval(sat, assignment);
+}
+
+}  // namespace bfvr::reach

@@ -1,0 +1,76 @@
+// A CTL model checker over the circuit's state graph — the rest of the
+// paper's "symbolic model checker" future work. Atomic propositions are
+// characteristic functions over the current-state variables; temporal
+// operators are the classic backward fixpoints over TransitionRelation
+// preimages (inputs act as nondeterminism: EX p holds where SOME input
+// leads to p, AX p where EVERY input does).
+#pragma once
+
+#include <memory>
+
+#include "sym/transition.hpp"
+
+namespace bfvr::reach {
+
+using bdd::Bdd;
+
+/// Immutable CTL formula. Build with the static factories / operators:
+///   Ctl::atom(chi), !p, p && q, p || q,
+///   Ctl::EX(p), EF, EG, EU(p, q), AX, AF, AG, AU(p, q).
+class Ctl {
+ public:
+  static Ctl top();
+  static Ctl bottom();
+  /// Predicate over the current-state variables of the space it will be
+  /// evaluated in.
+  static Ctl atom(Bdd chi);
+
+  Ctl operator!() const;
+  Ctl operator&&(const Ctl& o) const;
+  Ctl operator||(const Ctl& o) const;
+
+  static Ctl EX(Ctl p);
+  static Ctl EF(Ctl p);
+  static Ctl EG(Ctl p);
+  static Ctl EU(Ctl p, Ctl q);
+  static Ctl AX(Ctl p);
+  static Ctl AF(Ctl p);
+  static Ctl AG(Ctl p);
+  static Ctl AU(Ctl p, Ctl q);
+
+  struct Node;
+  const Node& node() const { return *node_; }
+
+ private:
+  explicit Ctl(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+enum class CtlOp : std::uint8_t {
+  kTrue,
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kEX,
+  kEG,
+  kEU  // EU(lhs, rhs); EF p == EU(true, p)
+};
+
+struct Ctl::Node {
+  CtlOp op = CtlOp::kTrue;
+  Bdd chi;  // kAtom payload
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+/// Satisfying states of `f` (chi over the current variables). Fixpoints
+/// iterate to convergence; inputs are existentially resolved by EX.
+Bdd evalCtl(sym::StateSpace& s, const sym::TransitionRelation& tr,
+            const Ctl& f);
+
+/// Does the initial state satisfy f?
+bool holdsInInit(sym::StateSpace& s, const sym::TransitionRelation& tr,
+                 const Ctl& f);
+
+}  // namespace bfvr::reach

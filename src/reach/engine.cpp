@@ -1,0 +1,9 @@
+#include "reach/engine.hpp"
+
+namespace bfvr::reach {
+
+// The engines live in their own translation units (tr_reach.cpp,
+// cbm_reach.cpp, bfv_reach.cpp); this one anchors shared vtables/helpers if
+// any are added later and keeps the target layout uniform.
+
+}  // namespace bfvr::reach

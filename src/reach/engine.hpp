@@ -1,0 +1,91 @@
+// Common interface of the three reachability engines:
+//
+//  * TrReach  — characteristic-function flow with (partitioned) transition
+//               relations and IWLS95-style early quantification: the VIS
+//               baseline of Table 2.
+//  * CbmReach — the Coudert/Berthet/Madre flow of Fig. 1: symbolic
+//               simulation for images, but every set operation on the
+//               characteristic function, paying the BFV<->chi conversions.
+//  * BfvReach — the paper's flow of Fig. 2: symbolic simulation,
+//               re-parameterization and set union directly on Boolean
+//               functional vectors (or their conjunctive decomposition).
+//
+// All engines run under a time/node budget and report the paper's metrics:
+// wall-clock seconds and peak live BDD nodes, plus iteration counts and the
+// size of the final reached set in both representations.
+#pragma once
+
+#include <optional>
+
+#include "bfv/bfv.hpp"
+#include "cdec/cdec.hpp"
+#include "sym/space.hpp"
+#include "sym/transition.hpp"
+#include "util/stats.hpp"
+
+namespace bfvr::reach {
+
+using bdd::Bdd;
+using bdd::Manager;
+using bfv::Bfv;
+
+/// Which set-algebra backend the Fig. 2 engine uses (§2.7: with matching
+/// component/BDD orders the conjunctive decomposition needs fewer BDD
+/// operations).
+enum class SetBackend : std::uint8_t { kBfv, kCdec };
+
+struct ReachOptions {
+  Budget budget;
+  /// Selection heuristic (Fig. 1/2 "Selection Heuristic" box): simulate
+  /// from the smaller of the new image and the reached set. When false,
+  /// always simulate from the full reached set.
+  bool use_frontier = true;
+  /// Re-parameterization quantification schedule (BFV/CDEC engines).
+  bfv::ReparamOptions reparam;
+  /// Set algebra of the Fig. 2 engine.
+  SetBackend backend = SetBackend::kBfv;
+  /// Transition-relation clustering (TR engine).
+  sym::TransitionOptions transition;
+  /// Cap on iterations (0 = until fixpoint); a safety net for tests.
+  unsigned max_iterations = 0;
+};
+
+struct ReachResult {
+  RunStatus status = RunStatus::kDone;
+  unsigned iterations = 0;
+  double states = 0.0;  ///< number of reachable states (when completed)
+  double seconds = 0.0;
+  /// Peak live BDD nodes, sampled after every image/union step (the
+  /// paper's Peak(K) metric).
+  std::size_t peak_live_nodes = 0;
+  /// Node count of the reached set's characteristic function (TR/CBM
+  /// engines compute it anyway; BFV engines convert once at the end —
+  /// outside the measured peak — for Table 3).
+  std::size_t chi_nodes = 0;
+  /// Shared node count of the reached set's functional vector.
+  std::size_t bfv_nodes = 0;
+  /// BDD operation counters accumulated over the run.
+  bdd::OpStats ops;
+
+  /// Reached set, when the run completed (one of the two, per engine).
+  std::optional<Bfv> reached_bfv;
+  Bdd reached_chi;  // null unless computed
+};
+
+/// Characteristic-function engine (VIS-like baseline).
+ReachResult reachTr(sym::StateSpace& s, const ReachOptions& opts = {});
+
+/// Coudert/Berthet/Madre Fig. 1 engine.
+ReachResult reachCbm(sym::StateSpace& s, const ReachOptions& opts = {});
+
+/// The paper's Fig. 2 engine (BFV or conjunctive-decomposition backend).
+ReachResult reachBfv(sym::StateSpace& s, const ReachOptions& opts = {});
+
+/// "To split or to conjoin" (Moon/Kukula/Ravi/Somenzi, cited as the hybrid
+/// approach in §1): a characteristic-function engine that picks, per
+/// iteration, between the transition-relation image (conjoin) and the
+/// recursive-splitting transition-function image (split), based on the
+/// size of the from-set relative to the relation.
+ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts = {});
+
+}  // namespace bfvr::reach

@@ -1,0 +1,66 @@
+// Shared engine plumbing: budget enforcement and peak-live-node sampling.
+#pragma once
+
+#include "reach/engine.hpp"
+
+namespace bfvr::reach::internal {
+
+/// Thrown inside the iteration loop when the wall-clock budget expires.
+struct TimeBudgetExceeded {};
+
+/// Samples the paper's Peak(K) metric after every major step and enforces
+/// the run budget.
+class RunGuard {
+ public:
+  RunGuard(Manager& m, const Budget& budget) : m_(m), budget_(budget) {}
+
+  /// Record the current live node count; throw on exhausted budgets.
+  void sample() {
+    const std::size_t live = m_.liveNodeCount();
+    if (live > peak_) peak_ = live;
+    if (budget_.max_live_nodes != 0 && live > budget_.max_live_nodes) {
+      throw bdd::NodeBudgetExceeded(budget_.max_live_nodes);
+    }
+    if (budget_.max_seconds > 0.0 && timer_.seconds() > budget_.max_seconds) {
+      throw TimeBudgetExceeded{};
+    }
+  }
+
+  std::size_t peak() const noexcept { return peak_; }
+  double seconds() const noexcept { return timer_.seconds(); }
+
+ private:
+  Manager& m_;
+  Budget budget_;
+  Timer timer_;
+  std::size_t peak_ = 0;
+};
+
+/// Runs `body` (the iteration loop) and folds budget violations into the
+/// result's status; records time/peak/op metrics.
+template <typename Body>
+ReachResult runGuarded(Manager& m, const Budget& budget, Body&& body) {
+  ReachResult r;
+  RunGuard guard(m, budget);
+  const bdd::OpStats before = m.stats();
+  try {
+    body(r, guard);
+    r.status = RunStatus::kDone;
+  } catch (const bdd::NodeBudgetExceeded&) {
+    r.status = RunStatus::kMemOut;
+  } catch (const TimeBudgetExceeded&) {
+    r.status = RunStatus::kTimeOut;
+  }
+  r.seconds = guard.seconds();
+  r.peak_live_nodes = guard.peak();
+  const bdd::OpStats after = m.stats();
+  r.ops.top_ops = after.top_ops - before.top_ops;
+  r.ops.recursive_steps = after.recursive_steps - before.recursive_steps;
+  r.ops.cache_lookups = after.cache_lookups - before.cache_lookups;
+  r.ops.cache_hits = after.cache_hits - before.cache_hits;
+  r.ops.nodes_created = after.nodes_created - before.nodes_created;
+  r.ops.gc_runs = after.gc_runs - before.gc_runs;
+  return r;
+}
+
+}  // namespace bfvr::reach::internal

@@ -1,0 +1,42 @@
+// Invariant (safety) checking on top of the Fig. 2 flow — the paper's
+// stated future work ("we would like to develop a symbolic simulation
+// based model checker"). Reachability runs on Boolean functional vectors;
+// the bad-state predicate is intersected with each new frontier (§2.4), so
+// violations terminate the traversal early; a concrete counterexample
+// trace is reconstructed from the onion rings.
+#pragma once
+
+#include <optional>
+
+#include "reach/engine.hpp"
+
+namespace bfvr::reach {
+
+/// One step of a counterexample: the state the circuit was in (latch
+/// order) and the inputs applied (input order).
+struct TraceStep {
+  std::vector<bool> state;
+  std::vector<bool> inputs;
+};
+
+struct InvariantResult {
+  RunStatus status = RunStatus::kDone;
+  bool holds = false;
+  unsigned iterations = 0;
+  double seconds = 0.0;
+  std::size_t peak_live_nodes = 0;
+  /// When violated: states[0] is the initial state; applying inputs[i] to
+  /// states[i] yields states[i+1]; the last state satisfies the bad
+  /// predicate. Empty when the invariant holds.
+  std::vector<TraceStep> trace;
+  /// The violating state itself (latch order), when found.
+  std::optional<std::vector<bool>> bad_state;
+};
+
+/// Check AG !bad. `bad` is a characteristic function over the current-state
+/// variables of `s`. Traversal uses the BFV flow of Fig. 2 and stops at the
+/// first frontier intersecting `bad`.
+InvariantResult checkInvariant(sym::StateSpace& s, const Bdd& bad,
+                               const ReachOptions& opts = {});
+
+}  // namespace bfvr::reach

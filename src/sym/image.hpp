@@ -1,0 +1,19 @@
+// Transition-function image by recursive range splitting (Coudert & Madre):
+// the "Boolean functional vector -> characteristic function" conversion the
+// Fig. 1 flow pays for on every iteration.
+#pragma once
+
+#include "sym/space.hpp"
+
+namespace bfvr::sym {
+
+/// Characteristic function, over the param (u) bank, of the range of the
+/// next-state functions `deltas` (component order, over v and x) restricted
+/// to the care set `care` (over v and x). Implements
+///   Range(D) = u_1 & Range(D' |> d_1)  |  ~u_1 & Range(D' |> ~d_1)
+/// with the generalized cofactor `constrain` and memoization on the
+/// remaining vector.
+Bdd rangeChar(const StateSpace& s, std::span<const Bdd> deltas,
+              const Bdd& care);
+
+}  // namespace bfvr::sym

@@ -1,0 +1,45 @@
+#include "sym/ordersearch.hpp"
+
+#include <limits>
+
+#include "sym/simulate.hpp"
+
+namespace bfvr::sym {
+
+std::size_t orderCost(const circuit::Netlist& n,
+                      const std::vector<circuit::ObjRef>& order,
+                      std::size_t eval_node_budget) {
+  bdd::Manager::Config cfg;
+  cfg.max_nodes = eval_node_budget;
+  bdd::Manager m(0, cfg);
+  try {
+    StateSpace s(m, n, order);
+    const std::vector<Bdd> delta = transitionFunctions(s);
+    return m.sharedNodeCount(delta);
+  } catch (const bdd::NodeBudgetExceeded&) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+}
+
+std::vector<circuit::ObjRef> searchOrder(const circuit::Netlist& n,
+                                         std::vector<circuit::ObjRef> start,
+                                         const OrderSearchOptions& opts) {
+  std::size_t best = orderCost(n, start, opts.eval_node_budget);
+  for (unsigned pass = 0; pass < opts.passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i + 1 < start.size(); ++i) {
+      std::swap(start[i], start[i + 1]);
+      const std::size_t cost = orderCost(n, start, opts.eval_node_budget);
+      if (cost < best) {
+        best = cost;
+        improved = true;
+      } else {
+        std::swap(start[i], start[i + 1]);  // revert
+      }
+    }
+    if (!improved) break;
+  }
+  return start;
+}
+
+}  // namespace bfvr::sym

@@ -1,0 +1,34 @@
+// Search-based static variable ordering. The paper's Table 2 compares
+// several externally produced orders (VIS static, dynamic-reordering
+// snapshots, pdtrav orders); this module reproduces the methodology behind
+// the better ones: start from a seed order and hill-climb on a cheap
+// quality proxy — the shared BDD size of the next-state functions built
+// under the candidate order — using adjacent transpositions, like one
+// sifting pass taken offline. The result is then used as a *fixed* order,
+// exactly as the paper fixes its D/P orders.
+#pragma once
+
+#include "circuit/orders.hpp"
+
+namespace bfvr::sym {
+
+struct OrderSearchOptions {
+  /// Full adjacent-transposition sweeps over the order.
+  unsigned passes = 2;
+  /// Abort an evaluation whose manager exceeds this many nodes (counts as
+  /// +infinity cost). 0 = unlimited.
+  std::size_t eval_node_budget = 1U << 22;
+};
+
+/// Quality proxy of an order: shared node count of the transition
+/// functions under it (SIZE_MAX when the evaluation blows the budget).
+std::size_t orderCost(const circuit::Netlist& n,
+                      const std::vector<circuit::ObjRef>& order,
+                      std::size_t eval_node_budget);
+
+/// Hill-climb from `start`; returns an order whose cost is <= the start's.
+std::vector<circuit::ObjRef> searchOrder(const circuit::Netlist& n,
+                                         std::vector<circuit::ObjRef> start,
+                                         const OrderSearchOptions& opts = {});
+
+}  // namespace bfvr::sym

@@ -1,0 +1,79 @@
+#include "sym/simulate.hpp"
+
+#include <stdexcept>
+
+namespace bfvr::sym {
+
+SimResult simulate(const StateSpace& s, std::span<const Bdd> latch_values) {
+  Manager& m = s.manager();
+  const circuit::Netlist& n = s.netlist();
+  if (!latch_values.empty() && latch_values.size() != s.numLatches()) {
+    throw std::invalid_argument("simulate: wrong latch vector width");
+  }
+  std::vector<Bdd> val(n.numSignals());
+  for (std::size_t i = 0; i < n.inputs().size(); ++i) {
+    val[n.inputs()[i]] = m.var(s.inputVar(i));
+  }
+  for (std::size_t p = 0; p < n.latches().size(); ++p) {
+    const std::size_t comp = s.componentOfLatch(p);
+    val[n.latches()[p]] = latch_values.empty()
+                              ? m.var(s.currentVar(p))
+                              : latch_values[comp];
+  }
+  for (circuit::SignalId id : n.topoOrder()) {
+    const circuit::Gate& g = n.gate(id);
+    using circuit::GateOp;
+    switch (g.op) {
+      case GateOp::kInput:
+      case GateOp::kLatch:
+        break;
+      case GateOp::kConst0:
+        val[id] = m.zero();
+        break;
+      case GateOp::kConst1:
+        val[id] = m.one();
+        break;
+      case GateOp::kBuf:
+        val[id] = val[g.fanins[0]];
+        break;
+      case GateOp::kNot:
+        val[id] = ~val[g.fanins[0]];
+        break;
+      case GateOp::kAnd:
+      case GateOp::kNand: {
+        Bdd acc = m.one();
+        for (circuit::SignalId f : g.fanins) acc &= val[f];
+        val[id] = g.op == GateOp::kNand ? ~acc : acc;
+        break;
+      }
+      case GateOp::kOr:
+      case GateOp::kNor: {
+        Bdd acc = m.zero();
+        for (circuit::SignalId f : g.fanins) acc |= val[f];
+        val[id] = g.op == GateOp::kNor ? ~acc : acc;
+        break;
+      }
+      case GateOp::kXor:
+      case GateOp::kXnor: {
+        Bdd acc = m.zero();
+        for (circuit::SignalId f : g.fanins) acc ^= val[f];
+        val[id] = g.op == GateOp::kXnor ? ~acc : acc;
+        break;
+      }
+    }
+  }
+  SimResult r;
+  r.next_state.resize(s.numLatches());
+  for (std::size_t c = 0; c < s.numLatches(); ++c) {
+    r.next_state[c] = val[n.latchData(s.latchOfComponent(c))];
+  }
+  r.outputs.reserve(n.outputs().size());
+  for (circuit::SignalId o : n.outputs()) r.outputs.push_back(val[o]);
+  return r;
+}
+
+std::vector<Bdd> transitionFunctions(const StateSpace& s) {
+  return simulate(s, {}).next_state;
+}
+
+}  // namespace bfvr::sym

@@ -1,0 +1,28 @@
+// Symbolic simulation: evaluate the netlist over BDDs. This is the image
+// half of the paper's Fig. 2 flow — feed the current state set's BFV
+// components into the latch outputs, fresh input variables into the primary
+// inputs, and read the next-state functions at the latch data inputs.
+#pragma once
+
+#include "sym/space.hpp"
+
+namespace bfvr::sym {
+
+struct SimResult {
+  /// Next-state functions in *component order* (aligned with the BFV).
+  std::vector<Bdd> next_state;
+  /// Primary output functions (netlist output order).
+  std::vector<Bdd> outputs;
+};
+
+/// Symbolically simulate one cycle. `latch_values[i]` is the function
+/// driven onto the output of the latch of component i (component order);
+/// if empty, the current-state variables v_i are used (transition-function
+/// extraction). Inputs are driven with their input variables.
+SimResult simulate(const StateSpace& s, std::span<const Bdd> latch_values);
+
+/// Next-state functions delta_i(v, x) in component order — simulation from
+/// the identity state assignment.
+std::vector<Bdd> transitionFunctions(const StateSpace& s);
+
+}  // namespace bfvr::sym

@@ -1,0 +1,60 @@
+#include "sym/space.hpp"
+
+#include <stdexcept>
+
+namespace bfvr::sym {
+
+StateSpace::StateSpace(Manager& m, const circuit::Netlist& n,
+                       const std::vector<circuit::ObjRef>& order)
+    : mgr_(&m), netlist_(&n) {
+  if (order.size() != n.inputs().size() + n.latches().size()) {
+    throw std::invalid_argument("StateSpace: order must list every source");
+  }
+  v_of_latch_.assign(n.latches().size(), 0);
+  x_of_input_.assign(n.inputs().size(), 0);
+  comp_of_latch_.assign(n.latches().size(), 0);
+  unsigned next = 0;
+  for (const circuit::ObjRef& o : order) {
+    if (o.is_input) {
+      x_of_input_.at(o.pos) = next;
+      x_.push_back(next);
+      next += 1;
+    } else {
+      v_of_latch_.at(o.pos) = next;
+      v_.push_back(next);
+      u_.push_back(next + 1);
+      comp_of_latch_.at(o.pos) = comp_to_latch_.size();
+      comp_to_latch_.push_back(o.pos);
+      next += 2;
+    }
+  }
+  num_vars_ = next;
+  // Make sure the manager knows all indices (also pre-creates projection
+  // nodes, which keeps later var() calls cheap).
+  for (unsigned i = 0; i < num_vars_; ++i) (void)m.var(i);
+
+  perm_u_to_v_.resize(num_vars_);
+  perm_v_to_u_.resize(num_vars_);
+  for (unsigned i = 0; i < num_vars_; ++i) {
+    perm_u_to_v_[i] = i;
+    perm_v_to_u_[i] = i;
+  }
+  for (std::size_t c = 0; c < v_.size(); ++c) {
+    perm_u_to_v_[u_[c]] = v_[c];
+    perm_v_to_u_[v_[c]] = u_[c];
+  }
+}
+
+std::vector<bool> StateSpace::initialBits() const {
+  std::vector<bool> bits(comp_to_latch_.size());
+  for (std::size_t c = 0; c < comp_to_latch_.size(); ++c) {
+    bits[c] = netlist_->latchInit(comp_to_latch_[c]);
+  }
+  return bits;
+}
+
+Bdd StateSpace::currentCube() const { return mgr_->cube(v_); }
+
+Bdd StateSpace::inputCube() const { return mgr_->cube(x_); }
+
+}  // namespace bfvr::sym

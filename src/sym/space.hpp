@@ -1,0 +1,96 @@
+// Binds a netlist and a variable order to BDD variable indices.
+//
+// Layout: walking the ordered source list, each latch gets an adjacent pair
+// of indices — v (current-state / choice variable) then u (parameter bank,
+// used as the re-parameterization target and as the next-state variable of
+// transition relations) — and each input gets one index. Interleaving the
+// banks keeps the u->v renaming after each image step cheap and gives both
+// banks the same quality of order.
+//
+// The *component order* of every state set (BFV or conjunctive
+// decomposition) is the order latches appear in the source list, so choice
+// variables are strictly increasing as the paper requires.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/orders.hpp"
+
+namespace bfvr::sym {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+class StateSpace {
+ public:
+  StateSpace(Manager& m, const circuit::Netlist& n,
+             const std::vector<circuit::ObjRef>& order);
+
+  Manager& manager() const noexcept { return *mgr_; }
+  const circuit::Netlist& netlist() const noexcept { return *netlist_; }
+  unsigned numLatches() const noexcept {
+    return static_cast<unsigned>(comp_to_latch_.size());
+  }
+
+  // ---- variable indices -----------------------------------------------------
+  unsigned currentVar(std::size_t latch_pos) const {
+    return v_of_latch_.at(latch_pos);
+  }
+  unsigned paramVar(std::size_t latch_pos) const {
+    return v_of_latch_.at(latch_pos) + 1;
+  }
+  unsigned inputVar(std::size_t input_pos) const {
+    return x_of_input_.at(input_pos);
+  }
+
+  /// Choice variables of the current-state bank, in component order.
+  const std::vector<unsigned>& currentVars() const noexcept { return v_; }
+  /// Choice variables of the parameter/next bank, in component order.
+  const std::vector<unsigned>& paramVars() const noexcept { return u_; }
+  /// Input variables (declaration order).
+  const std::vector<unsigned>& inputVars() const noexcept { return x_; }
+
+  /// Latch position (within netlist.latches()) of component i.
+  std::size_t latchOfComponent(std::size_t comp) const {
+    return comp_to_latch_.at(comp);
+  }
+  /// Component index of a latch position.
+  std::size_t componentOfLatch(std::size_t latch_pos) const {
+    return comp_of_latch_.at(latch_pos);
+  }
+
+  /// Renaming permutation: param bank -> current bank (u_i |-> v_i).
+  const std::vector<unsigned>& permParamToCurrent() const noexcept {
+    return perm_u_to_v_;
+  }
+  /// Renaming permutation: current bank -> param bank.
+  const std::vector<unsigned>& permCurrentToParam() const noexcept {
+    return perm_v_to_u_;
+  }
+
+  /// Initial state of component i (latch init values in component order).
+  std::vector<bool> initialBits() const;
+
+  /// Cube of all current-bank variables (for quantification).
+  Bdd currentCube() const;
+  /// Cube of all input variables.
+  Bdd inputCube() const;
+
+  /// Total number of allocated BDD variables.
+  unsigned numVars() const noexcept { return num_vars_; }
+
+ private:
+  Manager* mgr_;
+  const circuit::Netlist* netlist_;
+  std::vector<unsigned> v_of_latch_;   // by latch position
+  std::vector<unsigned> x_of_input_;   // by input position
+  std::vector<unsigned> v_, u_, x_;    // banks in order
+  std::vector<std::size_t> comp_to_latch_;
+  std::vector<std::size_t> comp_of_latch_;
+  std::vector<unsigned> perm_u_to_v_, perm_v_to_u_;
+  unsigned num_vars_ = 0;
+};
+
+}  // namespace bfvr::sym

@@ -1,0 +1,190 @@
+#include "sym/transition.hpp"
+
+#include <algorithm>
+
+#include "sym/simulate.hpp"
+
+namespace bfvr::sym {
+
+namespace {
+
+std::vector<unsigned> supportOf(Manager& m, const Bdd& f) {
+  return m.support(f);
+}
+
+}  // namespace
+
+TransitionRelation::TransitionRelation(const StateSpace& s,
+                                       const TransitionOptions& opts)
+    : space_(&s) {
+  Manager& m = s.manager();
+  const std::vector<Bdd> delta = transitionFunctions(s);
+
+  // Per-latch conjuncts u_i XNOR delta_i.
+  std::vector<Bdd> parts(delta.size());
+  for (std::size_t c = 0; c < delta.size(); ++c) {
+    const unsigned u = s.paramVar(s.latchOfComponent(c));
+    parts[c] = m.xnorB(m.var(u), delta[c]);
+  }
+
+  // Greedy IWLS95-style ordering: repeatedly pick the conjunct that retires
+  // the most quantifiable (v/x) variables not used by any other remaining
+  // conjunct, normalized by its support size.
+  std::vector<std::vector<unsigned>> sup(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    sup[i] = supportOf(m, parts[i]);
+  }
+  std::vector<bool> is_quantifiable(s.numVars(), false);
+  for (unsigned v : s.currentVars()) is_quantifiable[v] = true;
+  for (unsigned x : s.inputVars()) is_quantifiable[x] = true;
+
+  std::vector<std::size_t> remaining(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) remaining[i] = i;
+  std::vector<std::size_t> sequence;
+  std::vector<unsigned> use_count(s.numVars(), 0);
+  for (const auto& su : sup) {
+    for (unsigned v : su) {
+      if (is_quantifiable[v]) ++use_count[v];
+    }
+  }
+  while (!remaining.empty()) {
+    double best_score = -1.0;
+    std::size_t best_pos = 0;
+    for (std::size_t p = 0; p < remaining.size(); ++p) {
+      const std::size_t i = remaining[p];
+      unsigned retires = 0;
+      for (unsigned v : sup[i]) {
+        if (is_quantifiable[v] && use_count[v] == 1) ++retires;
+      }
+      const double score =
+          (retires + 1.0) / (static_cast<double>(sup[i].size()) + 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best_pos = p;
+      }
+    }
+    const std::size_t i = remaining[best_pos];
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(best_pos));
+    sequence.push_back(i);
+    for (unsigned v : sup[i]) {
+      if (is_quantifiable[v] && use_count[v] > 0) --use_count[v];
+    }
+  }
+
+  // Conjoin along the sequence into clusters bounded by cluster_limit.
+  for (std::size_t k = 0; k < sequence.size();) {
+    Bdd cluster = parts[sequence[k]];
+    ++k;
+    while (k < sequence.size() && opts.cluster_limit != 0 &&
+           m.nodeCount(cluster) < opts.cluster_limit) {
+      cluster &= parts[sequence[k]];
+      ++k;
+    }
+    if (opts.cluster_limit == 0) {
+      while (k < sequence.size()) {
+        cluster &= parts[sequence[k]];
+        ++k;
+      }
+    }
+    clusters_.push_back(cluster);
+    m.maybeGc();
+  }
+
+  // Early-quantification cubes: variable v goes into the cube of the LAST
+  // cluster whose support mentions it (so quantification is sound).
+  std::vector<int> last_use(s.numVars(), -1);
+  for (std::size_t k = 0; k < clusters_.size(); ++k) {
+    for (unsigned v : m.support(clusters_[k])) {
+      if (is_quantifiable[v]) last_use[v] = static_cast<int>(k);
+    }
+  }
+  std::vector<std::vector<unsigned>> cube_vars(clusters_.size());
+  std::vector<unsigned> unused;  // quantifiable vars in no cluster: handled
+                                 // by quantifying within the 'from' BDD step
+  for (unsigned v = 0; v < s.numVars(); ++v) {
+    if (!is_quantifiable[v]) continue;
+    if (last_use[v] >= 0) {
+      cube_vars[static_cast<std::size_t>(last_use[v])].push_back(v);
+    } else {
+      unused.push_back(v);
+    }
+  }
+  cubes_.resize(clusters_.size());
+  for (std::size_t k = 0; k < clusters_.size(); ++k) {
+    cubes_[k] = m.cube(cube_vars[k]);
+  }
+  // Fold variables no cluster mentions into the first cube: they only ever
+  // appear in `from`.
+  if (!unused.empty() && !cubes_.empty()) {
+    cubes_[0] = m.andB(cubes_[0], m.cube(unused));
+  }
+}
+
+Bdd TransitionRelation::image(const Bdd& from) const {
+  Manager& m = space_->manager();
+  Bdd p = from;
+  for (std::size_t k = 0; k < clusters_.size(); ++k) {
+    p = m.andExists(p, clusters_[k], cubes_[k]);
+    m.maybeGc();
+  }
+  return m.permute(p, space_->permParamToCurrent());
+}
+
+Bdd TransitionRelation::preimage(const Bdd& to) const {
+  Manager& m = space_->manager();
+  // Rename the target onto the next-state bank, then fold the clusters
+  // with early quantification of the u/x variables (each retired at the
+  // last cluster whose support mentions it — computed lazily once).
+  if (cubes_bw_.empty()) {
+    std::vector<bool> quantifiable(space_->numVars(), false);
+    for (unsigned u : space_->paramVars()) quantifiable[u] = true;
+    for (unsigned x : space_->inputVars()) quantifiable[x] = true;
+    std::vector<int> last_use(space_->numVars(), -1);
+    for (std::size_t k = 0; k < clusters_.size(); ++k) {
+      for (unsigned v : m.support(clusters_[k])) {
+        if (quantifiable[v]) last_use[v] = static_cast<int>(k);
+      }
+    }
+    std::vector<std::vector<unsigned>> cube_vars(clusters_.size());
+    std::vector<unsigned> unused;
+    for (unsigned v = 0; v < space_->numVars(); ++v) {
+      if (!quantifiable[v]) continue;
+      if (last_use[v] >= 0) {
+        cube_vars[static_cast<std::size_t>(last_use[v])].push_back(v);
+      } else {
+        unused.push_back(v);
+      }
+    }
+    cubes_bw_.resize(clusters_.size());
+    for (std::size_t k = 0; k < clusters_.size(); ++k) {
+      cubes_bw_[k] = m.cube(cube_vars[k]);
+    }
+    if (!unused.empty() && !cubes_bw_.empty()) {
+      cubes_bw_[0] = m.andB(cubes_bw_[0], m.cube(unused));
+    }
+  }
+  Bdd p = m.permute(to, space_->permCurrentToParam());
+  for (std::size_t k = 0; k < clusters_.size(); ++k) {
+    p = m.andExists(p, clusters_[k], cubes_bw_[k]);
+    m.maybeGc();
+  }
+  return p;
+}
+
+std::size_t TransitionRelation::sharedSize() const {
+  return space_->manager().sharedNodeCount(clusters_);
+}
+
+Bdd initialChar(const StateSpace& s) {
+  Manager& m = s.manager();
+  const std::vector<bool> bits = s.initialBits();
+  Bdd chi = m.one();
+  for (std::size_t c = 0; c < bits.size(); ++c) {
+    const Bdd v = m.var(s.currentVars()[c]);
+    chi &= bits[c] ? v : ~v;
+  }
+  return chi;
+}
+
+}  // namespace bfvr::sym

@@ -1,0 +1,54 @@
+// Transition-relation image computation — the characteristic-function
+// baseline the paper compares against (VIS with the IWLS95 heuristics).
+//
+// The relation is kept as a list of per-latch conjuncts
+//   T_i(v, x, u) = u_i XNOR delta_i(v, x)
+// clustered up to a size threshold. Image computation folds
+//   Img(S)(u) = exists v,x . S(v) & T_1 & ... & T_k
+// over the clusters with *early quantification*: each v/x variable is
+// quantified at the last cluster whose support mentions it (Ranjan et al.,
+// IWLS95). Cluster order is chosen greedily to maximize variables retired
+// per cluster, normalized by the variables a cluster introduces.
+#pragma once
+
+#include "sym/space.hpp"
+
+namespace bfvr::sym {
+
+struct TransitionOptions {
+  /// Conjoin clusters until their BDD exceeds this many nodes (0 = build a
+  /// single monolithic relation).
+  std::size_t cluster_limit = 2500;
+};
+
+class TransitionRelation {
+ public:
+  TransitionRelation(const StateSpace& s, const TransitionOptions& opts = {});
+
+  /// chi of the image over *current* variables (u->v renaming applied):
+  /// one forward step from the states satisfying `from` (over v).
+  Bdd image(const Bdd& from) const;
+
+  /// chi of the predecessors (over v) of the states satisfying `to`
+  /// (over v): exists x,u . T(v,x,u) & to[v->u]. Used by the backward
+  /// fixpoints of the CTL checker.
+  Bdd preimage(const Bdd& to) const;
+
+  std::size_t numClusters() const noexcept { return clusters_.size(); }
+  /// Total shared node count of the cluster BDDs.
+  std::size_t sharedSize() const;
+
+ private:
+  const StateSpace* space_;
+  std::vector<Bdd> clusters_;
+  /// cubes_[k]: variables to quantify when conjoining cluster k (variables
+  /// not mentioned by clusters k+1..end).
+  std::vector<Bdd> cubes_;
+  /// Backward counterparts (u/x instead of v/x), built on first preimage.
+  mutable std::vector<Bdd> cubes_bw_;
+};
+
+/// Characteristic function of the single initial state (over v).
+Bdd initialChar(const StateSpace& s);
+
+}  // namespace bfvr::sym

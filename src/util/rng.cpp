@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace bfvr {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+constexpr std::uint64_t splitmix(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix(x);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection-free reduction is fine here; bias is negligible
+  // for bounds far below 2^64, and determinism is what we care about.
+  return next() % bound;
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + below(hi - lo + 1);
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) noexcept {
+  return below(den) < num;
+}
+
+double Rng::real() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<unsigned> Rng::permutation(unsigned n) noexcept {
+  std::vector<unsigned> p(n);
+  std::iota(p.begin(), p.end(), 0U);
+  shuffle(p);
+  return p;
+}
+
+}  // namespace bfvr

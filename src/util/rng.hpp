@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. A thin wrapper around a fixed xoshiro256** implementation so
+// results are reproducible across platforms and standard-library versions
+// (std::mt19937 streams are portable, but distributions are not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bfvr {
+
+/// Portable deterministic RNG (xoshiro256**). Same seed => same stream on
+/// every platform and compiler.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Bernoulli draw: true with probability num/den. Requires den > 0.
+  bool chance(std::uint64_t num, std::uint64_t den) noexcept;
+
+  /// Fair coin.
+  bool flip() noexcept { return (next() & 1U) != 0U; }
+
+  /// Uniform double in [0, 1).
+  double real() noexcept;
+
+  /// Fisher-Yates shuffle of an index-addressable container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    if (c.empty()) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Random permutation of {0, .., n-1}.
+  std::vector<unsigned> permutation(unsigned n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bfvr

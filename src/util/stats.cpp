@@ -1,0 +1,17 @@
+#include "util/stats.hpp"
+
+namespace bfvr {
+
+std::string to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kDone:
+      return "done";
+    case RunStatus::kTimeOut:
+      return "T.O.";
+    case RunStatus::kMemOut:
+      return "M.O.";
+  }
+  return "?";
+}
+
+}  // namespace bfvr

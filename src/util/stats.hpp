@@ -1,0 +1,41 @@
+// Wall-clock timing and run-outcome bookkeeping shared by the reachability
+// engines and the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace bfvr {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Outcome of a resource-budgeted run. Mirrors the paper's Table 2 notation:
+/// completed, T.O. (time budget exceeded) or M.O. (node budget exceeded).
+enum class RunStatus : std::uint8_t { kDone, kTimeOut, kMemOut };
+
+/// Human-readable tag used by the bench harness ("done" / "T.O." / "M.O.").
+std::string to_string(RunStatus s);
+
+/// Resource budget checked inside long-running loops.
+struct Budget {
+  double max_seconds = 0.0;       ///< 0 means unlimited.
+  std::size_t max_live_nodes = 0; ///< 0 means unlimited; checked vs BDD peak.
+};
+
+}  // namespace bfvr

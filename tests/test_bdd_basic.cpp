@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+
+namespace bfvr::bdd {
+namespace {
+
+TEST(BddBasic, ConstantsAreDistinctAndConst) {
+  Manager m(4);
+  EXPECT_TRUE(m.one().isTrue());
+  EXPECT_TRUE(m.zero().isFalse());
+  EXPECT_TRUE(m.one().isConst());
+  EXPECT_TRUE(m.zero().isConst());
+  EXPECT_NE(m.one(), m.zero());
+  EXPECT_EQ(~m.one(), m.zero());
+}
+
+TEST(BddBasic, NullHandle) {
+  Bdd b;
+  EXPECT_TRUE(b.isNull());
+  EXPECT_FALSE(b.isTrue());
+  EXPECT_FALSE(b.isFalse());
+  EXPECT_THROW((void)~b, std::logic_error);
+}
+
+TEST(BddBasic, VarProjection) {
+  Manager m(4);
+  const Bdd a = m.var(0);
+  EXPECT_FALSE(a.isConst());
+  EXPECT_EQ(a.topVar(), 0U);
+  EXPECT_TRUE(a.high().isTrue());
+  EXPECT_TRUE(a.low().isFalse());
+  EXPECT_EQ(m.nvar(0), ~a);
+}
+
+TEST(BddBasic, VarExtendsManager) {
+  Manager m(2);
+  EXPECT_EQ(m.numVars(), 2U);
+  (void)m.var(7);
+  EXPECT_EQ(m.numVars(), 8U);
+}
+
+TEST(BddBasic, HandleCopyAndMove) {
+  Manager m(4);
+  Bdd a = m.var(0);
+  Bdd b = a;            // copy
+  Bdd c = std::move(a);  // move
+  EXPECT_TRUE(a.isNull());
+  EXPECT_EQ(b, c);
+  b = b;  // self-assignment is harmless
+  EXPECT_EQ(b, c);
+}
+
+TEST(BddBasic, StructuralEqualityIsSemantic) {
+  Manager m(4);
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_EQ(a & b, b & a);
+  EXPECT_EQ(~(a & b), ~a | ~b);
+  EXPECT_EQ(a ^ b, (a & ~b) | (~a & b));
+  EXPECT_EQ(m.ite(a, b, ~b), m.xnorB(a, b));
+}
+
+TEST(BddBasic, ComplementEdgesMakeNegationFree) {
+  Manager m(4);
+  const Bdd f = (m.var(0) & m.var(1)) | m.var(2);
+  const std::size_t before = m.inUseNodes();
+  const Bdd g = ~f;
+  EXPECT_EQ(m.inUseNodes(), before);  // no new nodes for negation
+  EXPECT_EQ(~g, f);
+}
+
+TEST(BddBasic, TopVarOfConstantThrows) {
+  Manager m(2);
+  EXPECT_THROW((void)m.one().topVar(), std::logic_error);
+  EXPECT_THROW((void)m.zero().high(), std::logic_error);
+}
+
+TEST(BddBasic, Implies) {
+  Manager m(4);
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_TRUE((a & b).implies(a));
+  EXPECT_FALSE(a.implies(a & b));
+  EXPECT_TRUE(m.zero().implies(a));
+  EXPECT_TRUE(a.implies(m.one()));
+}
+
+TEST(BddBasic, MixedManagersRejected) {
+  Manager m1(2);
+  Manager m2(2);
+  const Bdd a = m1.var(0);
+  const Bdd b = m2.var(0);
+  EXPECT_THROW((void)(a & b), std::logic_error);
+  EXPECT_NE(a, b);  // different managers are never equal
+}
+
+TEST(BddBasic, CompoundAssignments) {
+  Manager m(4);
+  Bdd acc = m.one();
+  acc &= m.var(0);
+  acc |= m.var(1);
+  acc ^= m.var(2);
+  const Bdd expect = (m.var(0) | m.var(1)) ^ m.var(2);
+  EXPECT_EQ(acc, expect);
+}
+
+TEST(BddBasic, ManagerOutlivedHandlesBecomeNull) {
+  Bdd survivor;
+  {
+    Manager m(2);
+    survivor = m.var(0);
+    EXPECT_FALSE(survivor.isNull());
+  }
+  EXPECT_TRUE(survivor.isNull());
+}
+
+TEST(BddBasic, CubeBuildsPositiveConjunction) {
+  Manager m(6);
+  const unsigned vars[] = {4, 1, 3};
+  const Bdd c = m.cube(vars);
+  EXPECT_EQ(c, m.var(1) & m.var(3) & m.var(4));
+}
+
+TEST(BddBasic, EmptyCubeIsOne) {
+  Manager m(2);
+  EXPECT_TRUE(m.cube({}).isTrue());
+}
+
+}  // namespace
+}  // namespace bfvr::bdd

@@ -1,0 +1,124 @@
+// Shannon cofactors and the generalized cofactors `constrain` / `restrict`.
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bdd {
+namespace {
+
+using test::bddFromTruth;
+using test::randomTruth;
+using test::truthOf;
+
+const std::vector<unsigned> kVars{0, 1, 2, 3};
+
+class GenCofSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenCofSweep, ConstrainAgreesOnCareSet) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 13);
+  Manager m(4);
+  const Bdd f = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  Bdd c = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  if (c.isFalse()) c = m.var(0);
+  const Bdd k = m.constrain(f, c);
+  // Defining property of a generalized cofactor.
+  EXPECT_EQ(k & c, f & c);
+}
+
+TEST_P(GenCofSweep, RestrictAgreesOnCareSetAndShrinksSupport) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 29);
+  Manager m(4);
+  const Bdd f = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  Bdd c = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  if (c.isFalse()) c = m.var(1);
+  const Bdd r = m.restrict(f, c);
+  EXPECT_EQ(r & c, f & c);
+  // restrict never introduces variables outside f's support.
+  const auto sf = m.support(f);
+  for (unsigned v : m.support(r)) {
+    EXPECT_TRUE(std::find(sf.begin(), sf.end(), v) != sf.end())
+        << "restrict introduced v" << v;
+  }
+}
+
+TEST_P(GenCofSweep, CofactorMatchesTruthTable) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 3);
+  Manager m(4);
+  const std::uint64_t tt = randomTruth(rng, 4);
+  const Bdd f = bddFromTruth(m, kVars, tt);
+  for (unsigned j = 0; j < 4; ++j) {
+    for (bool val : {false, true}) {
+      std::uint64_t expect = 0;
+      for (unsigned a = 0; a < 16; ++a) {
+        const unsigned aa = val ? (a | (1U << j)) : (a & ~(1U << j));
+        if (((tt >> aa) & 1U) != 0) expect |= std::uint64_t{1} << a;
+      }
+      EXPECT_EQ(truthOf(m, m.cofactor(f, j, val), kVars), expect);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GenCofSweep, ::testing::Range(0, 30));
+
+TEST(BddCofactor, ConstrainIdentities) {
+  Manager m(4);
+  const Bdd f = (m.var(0) & m.var(1)) | m.var(2);
+  EXPECT_EQ(m.constrain(f, m.one()), f);
+  EXPECT_EQ(m.constrain(f, f), m.one());
+  EXPECT_EQ(m.constrain(~f, f), m.zero());
+  EXPECT_EQ(m.constrain(m.one(), f), m.one());
+  EXPECT_EQ(m.constrain(m.zero(), f), m.zero());
+  EXPECT_THROW((void)m.constrain(f, m.zero()), std::invalid_argument);
+  EXPECT_THROW((void)m.restrict(f, m.zero()), std::invalid_argument);
+}
+
+TEST(BddCofactor, ConstrainOnCubeIsCofactor) {
+  // Constraining with a positive cube equals ordinary cofactoring.
+  Manager m(4);
+  const Bdd f = (m.var(0) ^ m.var(1)) | (m.var(2) & m.var(3));
+  const Bdd cube = m.var(0) & m.var(2);
+  const Bdd expect = m.cofactor(m.cofactor(f, 0, true), 2, true);
+  EXPECT_EQ(m.constrain(f, cube), expect);
+  EXPECT_EQ(m.restrict(f, cube), expect);
+}
+
+TEST(BddCofactor, ConstrainPicksNearestUnderTheWeightedMetric) {
+  // The Coudert–Madre mapping sends an off-care point to the nearest care
+  // point, weighting earlier variables heavier — the same metric as the
+  // paper's canonical BFV (§2.1). For care = {v0=1}, f evaluated at v0=0
+  // must equal f at v0=1 with other bits kept.
+  Manager m(3);
+  const Bdd f = m.var(0) ^ m.var(1) ^ m.var(2);
+  const Bdd care = m.var(0);
+  const Bdd k = m.constrain(f, care);
+  for (unsigned a = 0; a < 8; ++a) {
+    std::vector<bool> x{(a & 1U) != 0, (a & 2U) != 0, (a & 4U) != 0};
+    std::vector<bool> nearest = x;
+    nearest[0] = true;  // nearest care point flips only v0
+    EXPECT_EQ(m.eval(k, x), m.eval(f, nearest));
+  }
+}
+
+TEST(BddCofactor, CofactorRemovesVariable) {
+  Manager m(4);
+  const Bdd f = (m.var(0) & m.var(1)) | (m.var(1) & m.var(2));
+  const Bdd g = m.cofactor(f, 1, true);
+  const auto sup = m.support(g);
+  EXPECT_TRUE(std::find(sup.begin(), sup.end(), 1U) == sup.end());
+  EXPECT_EQ(g, m.var(0) | m.var(2));
+}
+
+TEST(BddCofactor, HandleForwardersMatchManagerCalls) {
+  Manager m(4);
+  const Bdd f = m.var(0) | (m.var(1) & m.var(2));
+  const Bdd c = m.var(1);
+  EXPECT_EQ(f.constrain(c), m.constrain(f, c));
+  EXPECT_EQ(f.restrict(c), m.restrict(f, c));
+  EXPECT_EQ(f.cofactor(1, true), m.cofactor(f, 1, true));
+  const unsigned cv[] = {2};
+  EXPECT_EQ(f.exists(m.cube(cv)), m.exists(f, m.cube(cv)));
+  EXPECT_EQ(f.forall(m.cube(cv)), m.forall(f, m.cube(cv)));
+}
+
+}  // namespace
+}  // namespace bfvr::bdd

@@ -1,0 +1,120 @@
+// Composition, vector composition and variable renaming.
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bdd {
+namespace {
+
+using test::bddFromTruth;
+using test::randomTruth;
+using test::truthOf;
+
+const std::vector<unsigned> kVars{0, 1, 2, 3};
+
+class ComposeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComposeSweep, ComposeMatchesShannonExpansion) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 11);
+  Manager m(4);
+  const Bdd f = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  const Bdd g = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  for (unsigned j = 0; j < 4; ++j) {
+    // f[v_j <- g] == (g & f|v=1) | (~g & f|v=0)
+    const Bdd expect = (g & m.cofactor(f, j, true)) |
+                       (~g & m.cofactor(f, j, false));
+    EXPECT_EQ(m.compose(f, j, g), expect);
+  }
+}
+
+TEST_P(ComposeSweep, VectorComposeIsSimultaneous) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 7);
+  Manager m(6);
+  const Bdd f = bddFromTruth(m, {0, 1}, randomTruth(rng, 2));
+  // Substitute v0 <- v1, v1 <- v0 simultaneously: a swap, NOT a chain.
+  std::vector<Bdd> map(2);
+  map[0] = m.var(1);
+  map[1] = m.var(0);
+  const Bdd swapped = m.vectorCompose(f, map);
+  const unsigned perm[] = {1, 0};
+  EXPECT_EQ(swapped, m.permute(f, perm));
+}
+
+TEST(BddCompose, SimultaneousSwapDiffersFromChained) {
+  Manager m(4);
+  const Bdd f = m.var(0) & ~m.var(1);
+  std::vector<Bdd> map(2);
+  map[0] = m.var(1);
+  map[1] = m.var(0);
+  // Simultaneous swap: v1 & ~v0.
+  EXPECT_EQ(m.vectorCompose(f, map), m.var(1) & ~m.var(0));
+  // Chained substitution collapses to false: (v1 & ~v1) then [v1 <- v0].
+  const Bdd chained = m.compose(m.compose(f, 0, m.var(1)), 1, m.var(0));
+  EXPECT_TRUE(chained.isFalse());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComposeSweep, ::testing::Range(0, 30));
+
+TEST(BddCompose, ComposeWithConstantsIsCofactor) {
+  Manager m(4);
+  const Bdd f = (m.var(0) & m.var(1)) ^ m.var(2);
+  EXPECT_EQ(m.compose(f, 1, m.one()), m.cofactor(f, 1, true));
+  EXPECT_EQ(m.compose(f, 1, m.zero()), m.cofactor(f, 1, false));
+}
+
+TEST(BddCompose, ComposeAbsentVariableIsIdentity) {
+  Manager m(4);
+  const Bdd f = m.var(0) & m.var(1);
+  EXPECT_EQ(m.compose(f, 3, m.var(2)), f);
+}
+
+TEST(BddCompose, ComposeUpwardSubstitution) {
+  // Substituting a function of an EARLIER variable for a later one must
+  // still produce an ordered result.
+  Manager m(4);
+  const Bdd f = m.var(2) & m.var(3);
+  const Bdd g = m.var(0) | m.var(1);
+  const Bdd r = m.compose(f, 3, g);
+  EXPECT_EQ(r, m.var(2) & (m.var(0) | m.var(1)));
+}
+
+TEST(BddCompose, PermuteRenamesBanks) {
+  // Interleaved banks v={0,2,4}, u={1,3,5}: rename u->v.
+  Manager m(6);
+  const Bdd f = (m.var(1) & m.var(3)) | m.var(5);
+  std::vector<unsigned> perm{0, 0, 2, 2, 4, 4};
+  const Bdd r = m.permute(f, perm);
+  EXPECT_EQ(r, (m.var(0) & m.var(2)) | m.var(4));
+}
+
+TEST(BddCompose, PermuteIdentity) {
+  Manager m(4);
+  const Bdd f = m.var(0) ^ m.var(3);
+  const unsigned perm[] = {0, 1, 2, 3};
+  EXPECT_EQ(m.permute(f, perm), f);
+}
+
+TEST(BddCompose, PermuteRoundTrip) {
+  Manager m(6);
+  const Bdd f = (m.var(0) & m.var(2)) ^ m.var(4);
+  const unsigned up[] = {1, 0, 3, 2, 5, 4};
+  EXPECT_EQ(m.permute(m.permute(f, up), up), f);
+}
+
+TEST(BddCompose, VectorComposeNullEntriesAreIdentity) {
+  Manager m(4);
+  const Bdd f = m.var(0) & m.var(1) & m.var(2);
+  std::vector<Bdd> map(3);
+  map[1] = m.var(3);
+  EXPECT_EQ(m.vectorCompose(f, map), m.var(0) & m.var(3) & m.var(2));
+}
+
+TEST(BddCompose, VectorComposeOnConstants) {
+  Manager m(4);
+  std::vector<Bdd> map(2, m.var(3));
+  EXPECT_EQ(m.vectorCompose(m.one(), map), m.one());
+  EXPECT_EQ(m.vectorCompose(m.zero(), map), m.zero());
+}
+
+}  // namespace
+}  // namespace bfvr::bdd

@@ -1,0 +1,130 @@
+// Apply-family operations validated against truth tables, including an
+// exhaustive parameterized sweep over every pair of 2-variable functions.
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bdd {
+namespace {
+
+using test::bddFromTruth;
+using test::randomTruth;
+using test::truthOf;
+
+const std::vector<unsigned> kVars2{0, 1};
+const std::vector<unsigned> kVars4{0, 1, 2, 3};
+
+class TwoVarPairs : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoVarPairs, AndOrXorIteMatchTruthTables) {
+  const unsigned tf = static_cast<unsigned>(GetParam()) & 0xF;
+  const unsigned tg = (static_cast<unsigned>(GetParam()) >> 4) & 0xF;
+  Manager m(2);
+  const Bdd f = bddFromTruth(m, kVars2, tf);
+  const Bdd g = bddFromTruth(m, kVars2, tg);
+  EXPECT_EQ(truthOf(m, f & g, kVars2), tf & tg);
+  EXPECT_EQ(truthOf(m, f | g, kVars2), tf | tg);
+  EXPECT_EQ(truthOf(m, f ^ g, kVars2), (tf ^ tg) & 0xFU);
+  EXPECT_EQ(truthOf(m, ~f, kVars2), ~tf & 0xFU);
+  EXPECT_EQ(truthOf(m, m.xnorB(f, g), kVars2), ~(tf ^ tg) & 0xFU);
+  // ite(f, g, ~g)
+  const std::uint64_t ite_tt = (tf & tg) | (~tf & ~tg & 0xFU);
+  EXPECT_EQ(truthOf(m, m.ite(f, g, ~g), kVars2), ite_tt & 0xFU);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, TwoVarPairs, ::testing::Range(0, 256));
+
+class RandomFourVar : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFourVar, OpsMatchTruthTables) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 3);
+  Manager m(4);
+  const std::uint64_t tf = randomTruth(rng, 4);
+  const std::uint64_t tg = randomTruth(rng, 4);
+  const std::uint64_t th = randomTruth(rng, 4);
+  const std::uint64_t mask = 0xFFFFU;
+  const Bdd f = bddFromTruth(m, kVars4, tf);
+  const Bdd g = bddFromTruth(m, kVars4, tg);
+  const Bdd h = bddFromTruth(m, kVars4, th);
+  EXPECT_EQ(truthOf(m, f & g, kVars4), tf & tg);
+  EXPECT_EQ(truthOf(m, f | g, kVars4), tf | tg);
+  EXPECT_EQ(truthOf(m, f ^ g, kVars4), (tf ^ tg) & mask);
+  EXPECT_EQ(truthOf(m, m.ite(f, g, h), kVars4),
+            ((tf & tg) | (~tf & th)) & mask);
+  // Associativity / De Morgan spot properties on the same operands.
+  EXPECT_EQ((f & g) & h, f & (g & h));
+  EXPECT_EQ((f | g) | h, f | (g | h));
+  EXPECT_EQ(~(f & g & h), ~f | ~g | ~h);
+  EXPECT_EQ(f ^ g ^ h, h ^ g ^ f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFourVar, ::testing::Range(0, 40));
+
+TEST(BddOps, IteSpecialCases) {
+  Manager m(4);
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_EQ(m.ite(m.one(), a, b), a);
+  EXPECT_EQ(m.ite(m.zero(), a, b), b);
+  EXPECT_EQ(m.ite(a, m.one(), m.zero()), a);
+  EXPECT_EQ(m.ite(a, m.zero(), m.one()), ~a);
+  EXPECT_EQ(m.ite(a, b, b), b);
+  EXPECT_EQ(m.ite(a, a, b), a | b);
+  EXPECT_EQ(m.ite(a, ~a, b), ~a & b);
+  EXPECT_EQ(m.ite(a, b, a), a & b);
+  EXPECT_EQ(m.ite(a, b, ~a), ~a | b);
+}
+
+TEST(BddOps, XorIdentities) {
+  Manager m(4);
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_EQ(a ^ a, m.zero());
+  EXPECT_EQ(a ^ ~a, m.one());
+  EXPECT_EQ(a ^ m.zero(), a);
+  EXPECT_EQ(a ^ m.one(), ~a);
+  EXPECT_EQ(~a ^ ~b, a ^ b);
+  EXPECT_EQ(~a ^ b, ~(a ^ b));
+}
+
+TEST(BddOps, AbsorptionAndIdempotence) {
+  Manager m(4);
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_EQ(a & a, a);
+  EXPECT_EQ(a | a, a);
+  EXPECT_EQ(a & (a | b), a);
+  EXPECT_EQ(a | (a & b), a);
+  EXPECT_EQ(a & ~a, m.zero());
+  EXPECT_EQ(a | ~a, m.one());
+}
+
+TEST(BddOps, DeepChainBuilds) {
+  // A 64-variable conjunction chain: exercises the unique table growth.
+  Manager m(64);
+  Bdd acc = m.one();
+  for (unsigned i = 0; i < 64; ++i) acc &= m.var(i);
+  EXPECT_EQ(m.nodeCount(acc), 65U);  // 64 internal + terminal
+  EXPECT_FALSE(acc.isConst());
+  // Its negation shares all nodes.
+  EXPECT_EQ(m.nodeCount(~acc), 65U);
+}
+
+TEST(BddOps, CacheSurvivesRepeatedQueries) {
+  Manager m(8);
+  Rng rng(5);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  const Bdd f = bddFromTruth(m, vars, randomTruth(rng, 6));
+  const Bdd g = bddFromTruth(m, vars, randomTruth(rng, 6));
+  const Bdd r1 = f & g;
+  const auto lookups_before = m.stats().cache_lookups;
+  const auto hits_before = m.stats().cache_hits;
+  const Bdd r2 = f & g;
+  EXPECT_EQ(r1, r2);
+  // The repeat should be answered mostly from the cache.
+  EXPECT_GT(m.stats().cache_hits, hits_before);
+  EXPECT_GT(m.stats().cache_lookups, lookups_before);
+}
+
+}  // namespace
+}  // namespace bfvr::bdd

@@ -1,0 +1,124 @@
+// Quantification (exists / forall / andExists) against truth-table brute
+// force.
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bdd {
+namespace {
+
+using test::bddFromTruth;
+using test::randomTruth;
+using test::truthOf;
+
+const std::vector<unsigned> kVars{0, 1, 2, 3};
+
+// Brute-force exists over variable j of a 4-var truth table.
+std::uint64_t existsTruth(std::uint64_t tt, unsigned j) {
+  std::uint64_t out = 0;
+  for (unsigned a = 0; a < 16; ++a) {
+    const unsigned a0 = a & ~(1U << j);
+    const unsigned a1 = a | (1U << j);
+    if (((tt >> a0) & 1U) != 0 || ((tt >> a1) & 1U) != 0) {
+      out |= std::uint64_t{1} << a;
+    }
+  }
+  return out;
+}
+
+std::uint64_t forallTruth(std::uint64_t tt, unsigned j) {
+  return ~existsTruth(~tt & 0xFFFFU, j) & 0xFFFFU;
+}
+
+class QuantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantSweep, ExistsForallSingleVar) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  Manager m(4);
+  const std::uint64_t tt = randomTruth(rng, 4);
+  const Bdd f = bddFromTruth(m, kVars, tt);
+  for (unsigned j = 0; j < 4; ++j) {
+    const unsigned cv[] = {j};
+    const Bdd cube = m.cube(cv);
+    EXPECT_EQ(truthOf(m, m.exists(f, cube), kVars), existsTruth(tt, j));
+    EXPECT_EQ(truthOf(m, m.forall(f, cube), kVars), forallTruth(tt, j));
+  }
+}
+
+TEST_P(QuantSweep, ExistsMultiVarEqualsIterated) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  Manager m(4);
+  const Bdd f = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  const unsigned both[] = {1, 3};
+  const unsigned one[] = {1};
+  const unsigned three[] = {3};
+  EXPECT_EQ(m.exists(f, m.cube(both)),
+            m.exists(m.exists(f, m.cube(one)), m.cube(three)));
+  EXPECT_EQ(m.forall(f, m.cube(both)),
+            m.forall(m.forall(f, m.cube(three)), m.cube(one)));
+}
+
+TEST_P(QuantSweep, AndExistsEqualsComposition) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 5);
+  Manager m(4);
+  const Bdd f = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  const Bdd g = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  const unsigned cv[] = {0, 2};
+  const Bdd cube = m.cube(cv);
+  EXPECT_EQ(m.andExists(f, g, cube), m.exists(f & g, cube));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantSweep, ::testing::Range(0, 30));
+
+TEST(BddQuant, QuantifyingAbsentVariableIsIdentity) {
+  Manager m(4);
+  const Bdd f = m.var(0) & m.var(1);
+  const unsigned cv[] = {3};
+  EXPECT_EQ(m.exists(f, m.cube(cv)), f);
+  EXPECT_EQ(m.forall(f, m.cube(cv)), f);
+}
+
+TEST(BddQuant, QuantifyConstants) {
+  Manager m(4);
+  const unsigned cv[] = {0, 1};
+  const Bdd cube = m.cube(cv);
+  EXPECT_EQ(m.exists(m.one(), cube), m.one());
+  EXPECT_EQ(m.exists(m.zero(), cube), m.zero());
+  EXPECT_EQ(m.forall(m.one(), cube), m.one());
+  EXPECT_EQ(m.forall(m.zero(), cube), m.zero());
+}
+
+TEST(BddQuant, ExistsIsMonotone) {
+  Manager m(4);
+  const Bdd f = m.var(0) & m.var(1);
+  const unsigned cv[] = {1};
+  const Bdd cube = m.cube(cv);
+  EXPECT_TRUE(f.implies(m.exists(f, cube)));
+  EXPECT_TRUE(m.forall(f, cube).implies(f));
+}
+
+TEST(BddQuant, AndExistsEarlyTermination) {
+  // exists over everything of complementary functions is FALSE.
+  Manager m(4);
+  const Bdd f = m.var(0) ^ m.var(1);
+  const unsigned cv[] = {0, 1, 2, 3};
+  EXPECT_EQ(m.andExists(f, ~f, m.cube(cv)), m.zero());
+  EXPECT_EQ(m.andExists(f, f, m.cube(cv)), m.one());
+}
+
+TEST(BddQuant, RelationalProductComputesImage) {
+  // A 2-bit increment relation: u = v+1 mod 4. Image of {0} is {1}.
+  Manager m(4);
+  const Bdd v0 = m.var(0);
+  const Bdd v1 = m.var(1);
+  const Bdd u0 = m.var(2);
+  const Bdd u1 = m.var(3);
+  const Bdd rel = m.xnorB(u0, ~v0) & m.xnorB(u1, v1 ^ v0);
+  const Bdd from = ~v0 & ~v1;  // state 00
+  const unsigned cv[] = {0, 1};
+  const Bdd img = m.andExists(from, rel, m.cube(cv));
+  EXPECT_EQ(img, u0 & ~u1);  // state 01 (bit0 = 1)
+}
+
+}  // namespace
+}  // namespace bfvr::bdd

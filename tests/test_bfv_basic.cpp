@@ -1,0 +1,205 @@
+// Canonical Boolean functional vectors: construction, observers, and the
+// paper's Table 1 example.
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bfv {
+namespace {
+
+using test::Set;
+
+const std::vector<unsigned> kVars{0, 1, 2};
+
+TEST(BfvBasic, Table1Example) {
+  // The paper's running example: S = {000, 001, 010, 011, 100, 101}
+  // (first bit = component 0). Canonical vector: F = (v1, ~v1 & v2, v3).
+  Manager m(3);
+  const Set s{0b000, 0b100, 0b010, 0b110, 0b001, 0b101};
+  // Members above written as (bit2 bit1 bit0); component i is bit i:
+  // {000,001,010,011,100,101} with component 0 the FIRST bit.
+  Set members;
+  for (unsigned first = 0; first <= 1; ++first) {
+    for (unsigned second = 0; second <= 1; ++second) {
+      for (unsigned third = 0; third <= 1; ++third) {
+        if (first == 1 && second == 1) continue;  // excludes 110, 111
+        members.insert(first | (second << 1) | (third << 2));
+      }
+    }
+  }
+  const Bfv f = test::bfvOf(m, kVars, members);
+  ASSERT_EQ(f.width(), 3U);
+  // f1 = v1
+  EXPECT_EQ(f.comps()[0], m.var(0));
+  // f2 = ~v1 & v2
+  EXPECT_EQ(f.comps()[1], ~m.var(0) & m.var(1));
+  // f3 = v3
+  EXPECT_EQ(f.comps()[2], m.var(2));
+  // chi = ~(v1 & v2)
+  EXPECT_EQ(f.toChar(), ~(m.var(0) & m.var(1)));
+  EXPECT_DOUBLE_EQ(f.countStates(), 6.0);
+}
+
+TEST(BfvBasic, UniverseAndEmpty) {
+  Manager m(3);
+  const Bfv u = Bfv::universe(m, kVars);
+  EXPECT_DOUBLE_EQ(u.countStates(), 8.0);
+  EXPECT_TRUE(u.toChar().isTrue());
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(u.comps()[i], m.var(kVars[i]));
+
+  const Bfv e = Bfv::emptySet(m, kVars);
+  EXPECT_TRUE(e.isEmpty());
+  EXPECT_DOUBLE_EQ(e.countStates(), 0.0);
+  EXPECT_TRUE(e.toChar().isFalse());
+  EXPECT_FALSE(e.contains({false, false, false}));
+}
+
+TEST(BfvBasic, PointIsSingleton) {
+  Manager m(3);
+  const Bfv p = Bfv::point(m, kVars, {true, false, true});
+  EXPECT_DOUBLE_EQ(p.countStates(), 1.0);
+  EXPECT_TRUE(p.contains({true, false, true}));
+  EXPECT_FALSE(p.contains({true, true, true}));
+  EXPECT_TRUE(p.checkCanonical());
+  // Every choice selects the single member.
+  EXPECT_EQ(p.select({false, true, false}),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(BfvBasic, CubeSetSemantics) {
+  Manager m(3);
+  const signed char vals[] = {1, -1, 0};  // 1?0
+  const Bfv c = Bfv::cubeSet(m, kVars, vals);
+  EXPECT_DOUBLE_EQ(c.countStates(), 2.0);
+  EXPECT_TRUE(c.contains({true, false, false}));
+  EXPECT_TRUE(c.contains({true, true, false}));
+  EXPECT_FALSE(c.contains({false, true, false}));
+  EXPECT_TRUE(c.checkCanonical());
+}
+
+TEST(BfvBasic, CanonicalUniqueness) {
+  Manager m(3);
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    Set s = test::randomSet(rng, 3, 1, 2);
+    if (s.empty()) s.insert(5);
+    std::vector<std::uint64_t> fwd(s.begin(), s.end());
+    std::vector<std::uint64_t> rev(s.rbegin(), s.rend());
+    const Bfv a = Bfv::fromMembers(m, kVars, fwd);
+    const Bfv b = Bfv::fromMembers(m, kVars, rev);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(BfvBasic, NearestMemberSelection) {
+  // The canonical vector maps every choice to the nearest member under the
+  // weighted metric (§2.1).
+  Manager m(4);
+  const std::vector<unsigned> vars{0, 1, 2, 3};
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    Set s = test::randomSet(rng, 4, 1, 3);
+    if (s.empty()) s.insert(9);
+    const Bfv f = test::bfvOf(m, vars, s);
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      std::vector<bool> choices(4);
+      for (unsigned i = 0; i < 4; ++i) choices[i] = ((v >> i) & 1U) != 0;
+      const std::vector<bool> sel = f.select(choices);
+      std::uint64_t got = 0;
+      for (unsigned i = 0; i < 4; ++i) {
+        if (sel[i]) got |= std::uint64_t{1} << i;
+      }
+      EXPECT_EQ(got, test::nearestMember(s, v, 4));
+    }
+  }
+}
+
+TEST(BfvBasic, MembersMapToThemselves) {
+  Manager m(3);
+  const Set s{1, 2, 5, 6};
+  const Bfv f = test::bfvOf(m, kVars, s);
+  for (std::uint64_t x : s) {
+    std::vector<bool> bits(3);
+    for (unsigned i = 0; i < 3; ++i) bits[i] = ((x >> i) & 1U) != 0;
+    EXPECT_TRUE(f.contains(bits));
+    EXPECT_EQ(f.select(bits), bits);
+  }
+}
+
+TEST(BfvBasic, ConditionsPartition) {
+  Manager m(3);
+  const Set s{0, 1, 3, 4};
+  const Bfv f = test::bfvOf(m, kVars, s);
+  for (unsigned i = 0; i < 3; ++i) {
+    const ComponentConditions c = f.conditions(i);
+    // Mutually exclusive and complete.
+    EXPECT_TRUE((c.forced1 & c.forced0).isFalse());
+    EXPECT_TRUE((c.forced1 & c.choice).isFalse());
+    EXPECT_TRUE((c.forced0 & c.choice).isFalse());
+    EXPECT_TRUE((c.forced1 | c.forced0 | c.choice).isTrue());
+  }
+}
+
+TEST(BfvBasic, EnumerateAscendingWeightedOrder) {
+  Manager m(3);
+  const Set s{0b011, 0b000, 0b101};
+  const Bfv f = test::bfvOf(m, kVars, s);
+  const auto members = f.enumerate(10);
+  ASSERT_EQ(members.size(), 3U);
+  // Component 0 is the most significant digit of the paper's order.
+  auto rank = [](const std::vector<bool>& bits) {
+    std::uint64_t r = 0;
+    for (bool b : bits) r = (r << 1) | (b ? 1U : 0U);
+    return r;
+  };
+  EXPECT_LT(rank(members[0]), rank(members[1]));
+  EXPECT_LT(rank(members[1]), rank(members[2]));
+  EXPECT_EQ(test::setOf(f), s);
+}
+
+TEST(BfvBasic, EnumerateHonorsLimit) {
+  Manager m(3);
+  const Bfv u = Bfv::universe(m, kVars);
+  EXPECT_EQ(u.enumerate(3).size(), 3U);
+  EXPECT_EQ(u.enumerate(0).size(), 0U);
+}
+
+TEST(BfvBasic, FromComponentsValidates) {
+  Manager m(3);
+  // Component 1 illegally depends on v3 (outside its prefix).
+  std::vector<Bdd> comps{m.var(0), m.var(2), m.var(2)};
+  EXPECT_THROW((void)Bfv::fromComponents(m, kVars, comps),
+               std::invalid_argument);
+  // Negative unateness in own choice variable is rejected.
+  std::vector<Bdd> comps2{~m.var(0), m.var(1), m.var(2)};
+  EXPECT_THROW((void)Bfv::fromComponents(m, kVars, comps2),
+               std::invalid_argument);
+  // A valid vector passes.
+  std::vector<Bdd> comps3{m.var(0), m.var(0) | m.var(1), m.var(2)};
+  EXPECT_NO_THROW((void)Bfv::fromComponents(m, kVars, comps3));
+}
+
+TEST(BfvBasic, ChoiceVarsMustIncrease) {
+  Manager m(4);
+  EXPECT_THROW((void)Bfv::universe(m, {2, 1, 3}), std::invalid_argument);
+}
+
+TEST(BfvBasic, OperandCompatibilityEnforced) {
+  Manager m(6);
+  const Bfv a = Bfv::universe(m, {0, 1, 2});
+  const Bfv b = Bfv::universe(m, {3, 4, 5});
+  EXPECT_THROW((void)setUnion(a, b), std::invalid_argument);
+  EXPECT_THROW((void)setIntersect(a, b), std::invalid_argument);
+  EXPECT_THROW((void)setUnion(Bfv(), a), std::logic_error);
+}
+
+TEST(BfvBasic, SharedSizeReflectsSharing) {
+  Manager m(6);
+  // Twin structure: later components equal earlier ones.
+  std::vector<Bdd> comps{m.var(0), m.var(2), m.var(0), m.var(2)};
+  const Bfv f = Bfv::fromComponents(m, {0, 2, 4, 5}, comps);
+  EXPECT_LE(f.sharedSize(), 3U);  // two projections + terminal
+}
+
+}  // namespace
+}  // namespace bfvr::bfv

@@ -1,0 +1,160 @@
+// §2.4 set intersection: elimination conditions, the normalization pass,
+// and the forced-value regression the naive recurrence misses.
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bfv {
+namespace {
+
+using test::Set;
+
+TEST(BfvIntersect, ExhaustiveWidth2) {
+  const std::vector<unsigned> vars{0, 1};
+  for (unsigned am = 0; am < 16; ++am) {
+    for (unsigned bm = 0; bm < 16; ++bm) {
+      Manager m(2);
+      Set a;
+      Set b;
+      for (unsigned x = 0; x < 4; ++x) {
+        if (((am >> x) & 1U) != 0) a.insert(x);
+        if (((bm >> x) & 1U) != 0) b.insert(x);
+      }
+      const Bfv fi = setIntersect(test::bfvOf(m, vars, a),
+                                  test::bfvOf(m, vars, b));
+      const Set want = test::setIntersectOf(a, b);
+      if (want.empty()) {
+        ASSERT_TRUE(fi.isEmpty()) << "a=" << am << " b=" << bm;
+      } else {
+        ASSERT_EQ(test::setOf(fi), want) << "a=" << am << " b=" << bm;
+        ASSERT_TRUE(fi.checkCanonical());
+        ASSERT_EQ(fi, test::bfvOf(m, vars, want));
+      }
+    }
+  }
+}
+
+class IntersectSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(IntersectSweep, MatchesBruteForce) {
+  const unsigned n = std::get<0>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(std::get<1>(GetParam())) * 389 + n);
+  std::vector<unsigned> vars(n);
+  for (unsigned i = 0; i < n; ++i) vars[i] = i;
+  Manager m(n);
+  // Denser sets so intersections are often non-empty.
+  const Set a = test::randomSet(rng, n, 2, 3);
+  const Set b = test::randomSet(rng, n, 2, 3);
+  const Bfv fa = test::bfvOf(m, vars, a);
+  const Bfv fb = test::bfvOf(m, vars, b);
+  const Bfv fi = setIntersect(fa, fb);
+  const Set want = test::setIntersectOf(a, b);
+  if (want.empty()) {
+    EXPECT_TRUE(fi.isEmpty());
+  } else {
+    std::string why;
+    EXPECT_TRUE(fi.checkCanonical(&why)) << why;
+    EXPECT_EQ(test::setOf(fi), want);
+    EXPECT_EQ(fi, setIntersect(fb, fa));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IntersectSweep,
+                         ::testing::Combine(::testing::Values(3U, 4U, 5U),
+                                            ::testing::Range(0, 12)));
+
+TEST(BfvIntersect, ForcedBitDoomRegression) {
+  // Regression for the elimination recurrence: A = {00}, B = {10, 01}.
+  // Bit 0 is forced (to 0 by A, free in B); every completion conflicts at
+  // bit 1, but only through forced choices — the naive
+  // "conflict | forall_v e" recurrence misses it and returns {10}.
+  Manager m(2);
+  const std::vector<unsigned> vars{0, 1};
+  const Bfv fa = test::bfvOf(m, vars, Set{0});
+  const Bfv fb = test::bfvOf(m, vars, Set{1, 2});
+  EXPECT_TRUE(setIntersect(fa, fb).isEmpty());
+}
+
+TEST(BfvIntersect, FreeChoiceRestrictedByOtherOperand) {
+  // §2.4's motivating situation: one operand leaves a bit free, the other
+  // couples it to a later component; the normalization pass must propagate
+  // the restricted choice.
+  Manager m(3);
+  const std::vector<unsigned> vars{0, 1, 2};
+  // A = {000, 010} (bit2 free, bit3 = 0); B = {000, 010, 011}.
+  const Bfv fa = test::bfvOf(m, vars, Set{0, 2});
+  const Bfv fb = test::bfvOf(m, vars, Set{0, 2, 6});
+  const Bfv fi = setIntersect(fa, fb);
+  EXPECT_EQ(test::setOf(fi), (Set{0, 2}));
+  EXPECT_EQ(fi, fa);
+}
+
+TEST(BfvIntersect, EmptyAbsorbs) {
+  Manager m(3);
+  const std::vector<unsigned> vars{0, 1, 2};
+  const Bfv e = Bfv::emptySet(m, vars);
+  const Bfv s = test::bfvOf(m, vars, Set{1, 4});
+  EXPECT_TRUE(setIntersect(e, s).isEmpty());
+  EXPECT_TRUE(setIntersect(s, e).isEmpty());
+}
+
+TEST(BfvIntersect, UniverseIsIdentity) {
+  Manager m(3);
+  const std::vector<unsigned> vars{0, 1, 2};
+  const Bfv u = Bfv::universe(m, vars);
+  const Bfv s = test::bfvOf(m, vars, Set{1, 4, 7});
+  EXPECT_EQ(setIntersect(u, s), s);
+  EXPECT_EQ(setIntersect(s, u), s);
+}
+
+TEST(BfvIntersect, DisjointSetsAreEmpty) {
+  Manager m(3);
+  const std::vector<unsigned> vars{0, 1, 2};
+  const Bfv a = test::bfvOf(m, vars, Set{0, 1, 2});
+  const Bfv b = test::bfvOf(m, vars, Set{5, 6, 7});
+  EXPECT_TRUE(setIntersect(a, b).isEmpty());
+}
+
+TEST(BfvIntersect, IdempotentAndAbsorbsUnion) {
+  Manager m(4);
+  const std::vector<unsigned> vars{0, 1, 2, 3};
+  Rng rng(17);
+  const Set a = test::randomSet(rng, 4, 1, 2);
+  const Set b = test::randomSet(rng, 4, 1, 2);
+  const Bfv fa = test::bfvOf(m, vars, a);
+  const Bfv fb = test::bfvOf(m, vars, b);
+  EXPECT_EQ(setIntersect(fa, fa), fa);
+  // A ∩ (A ∪ B) == A.
+  EXPECT_EQ(setIntersect(fa, setUnion(fa, fb)), fa);
+}
+
+TEST(BfvIntersect, QuadraticOperationBound) {
+  // §2.4: intersection needs O(n^2) BDD operations. Check super-linear but
+  // bounded growth of recursive apply steps with the vector width.
+  std::vector<std::uint64_t> steps;
+  for (unsigned n : {4U, 8U, 16U}) {
+    Manager m(n);
+    std::vector<unsigned> vars(n);
+    for (unsigned i = 0; i < n; ++i) vars[i] = i;
+    // Two staggered cube sets with a nontrivial intersection.
+    std::vector<signed char> va(n, -1);
+    std::vector<signed char> vb(n, -1);
+    for (unsigned i = 0; i < n; i += 2) va[i] = 1;
+    for (unsigned i = 1; i < n; i += 2) vb[i] = 0;
+    const Bfv fa = Bfv::cubeSet(m, vars, va);
+    const Bfv fb = Bfv::cubeSet(m, vars, vb);
+    m.resetStats();
+    const Bfv fi = setIntersect(fa, fb);
+    steps.push_back(m.stats().top_ops);
+    EXPECT_FALSE(fi.isEmpty());
+  }
+  // Doubling n should grow ops by more than 2x (super-linear) but at most
+  // ~4x-ish (quadratic); allow slack for constants.
+  EXPECT_GT(steps[1], steps[0]);
+  EXPECT_GT(steps[2], steps[1]);
+  EXPECT_LE(steps[2], steps[1] * 8);
+}
+
+}  // namespace
+}  // namespace bfvr::bfv

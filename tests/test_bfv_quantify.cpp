@@ -1,0 +1,127 @@
+// §2.5: cofactors and quantification on canonical vectors (range
+// semantics — see bfv.hpp for why exists over an own choice variable is the
+// identity on the set).
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bfv {
+namespace {
+
+using test::Set;
+
+/// Brute-force range of a cofactor: members selected with v_c fixed.
+Set cofactorRange(const Bfv& f, unsigned c, bool value) {
+  const unsigned n = f.width();
+  Set r;
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} << n); ++v) {
+    if ((((v >> c) & 1U) != 0) != value) continue;
+    std::vector<bool> choices(n);
+    for (unsigned i = 0; i < n; ++i) choices[i] = ((v >> i) & 1U) != 0;
+    const auto sel = f.select(choices);
+    std::uint64_t x = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      if (sel[i]) x |= std::uint64_t{1} << i;
+    }
+    r.insert(x);
+  }
+  return r;
+}
+
+class QuantifySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantifySweep, CofactorRangesMatchBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 2);
+  const unsigned n = 4;
+  const std::vector<unsigned> vars{0, 1, 2, 3};
+  Manager m(n);
+  Set s = test::randomSet(rng, n, 1, 3);
+  if (s.empty()) s.insert(7);
+  const Bfv f = test::bfvOf(m, vars, s);
+  for (unsigned c = 0; c < n; ++c) {
+    for (bool val : {false, true}) {
+      const Bfv cf = f.cofactor(c, val);
+      EXPECT_TRUE(cf.checkCanonical());
+      EXPECT_EQ(test::setOf(cf), cofactorRange(f, c, val));
+    }
+  }
+}
+
+TEST_P(QuantifySweep, ExistsIsIdentityOnCanonicalVectors) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 19);
+  const unsigned n = 4;
+  const std::vector<unsigned> vars{0, 1, 2, 3};
+  Manager m(n);
+  Set s = test::randomSet(rng, n, 1, 3);
+  if (s.empty()) s.insert(3);
+  const Bfv f = test::bfvOf(m, vars, s);
+  for (unsigned c = 0; c < n; ++c) {
+    // Every member is selected with v_c = 0 or 1, so the union of cofactor
+    // ranges is the set itself — and canonicity makes it the same vector.
+    EXPECT_EQ(f.existsChoice(c), f);
+  }
+}
+
+TEST_P(QuantifySweep, ForallIsCofactorRangeIntersection) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 41);
+  const unsigned n = 4;
+  const std::vector<unsigned> vars{0, 1, 2, 3};
+  Manager m(n);
+  Set s = test::randomSet(rng, n, 1, 3);
+  if (s.empty()) s.insert(11);
+  const Bfv f = test::bfvOf(m, vars, s);
+  for (unsigned c = 0; c < n; ++c) {
+    const Set want = test::setIntersectOf(cofactorRange(f, c, false),
+                                          cofactorRange(f, c, true));
+    const Bfv g = f.forallChoice(c);
+    if (want.empty()) {
+      EXPECT_TRUE(g.isEmpty());
+    } else {
+      EXPECT_EQ(test::setOf(g), want);
+      EXPECT_TRUE(g.checkCanonical());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantifySweep, ::testing::Range(0, 15));
+
+TEST(BfvQuantify, ForallKeepsForcedMembers) {
+  Manager m(2);
+  const std::vector<unsigned> vars{0, 1};
+  // {00, 01}: bit 0 forced to 0, bit 1 free.
+  const Bfv f = test::bfvOf(m, vars, Set{0, 2});
+  // Quantifying the forced component keeps everything...
+  EXPECT_EQ(f.forallChoice(0), f);
+  // ... quantifying the free component keeps nothing (every member is
+  // selected only under its own bit value).
+  EXPECT_TRUE(f.forallChoice(1).isEmpty());
+}
+
+TEST(BfvQuantify, SingletonIsFixedpointOfAllQuantifiers) {
+  Manager m(3);
+  const std::vector<unsigned> vars{0, 1, 2};
+  const Bfv p = Bfv::point(m, vars, {true, false, true});
+  for (unsigned c = 0; c < 3; ++c) {
+    EXPECT_EQ(p.cofactor(c, false), p);
+    EXPECT_EQ(p.cofactor(c, true), p);
+    EXPECT_EQ(p.existsChoice(c), p);
+    EXPECT_EQ(p.forallChoice(c), p);
+  }
+}
+
+TEST(BfvQuantify, EmptyPropagates) {
+  Manager m(3);
+  const Bfv e = Bfv::emptySet(m, {0, 1, 2});
+  EXPECT_TRUE(e.cofactor(1, true).isEmpty());
+  EXPECT_TRUE(e.existsChoice(1).isEmpty());
+  EXPECT_TRUE(e.forallChoice(1).isEmpty());
+}
+
+TEST(BfvQuantify, BadComponentIndexThrows) {
+  Manager m(2);
+  const Bfv u = Bfv::universe(m, {0, 1});
+  EXPECT_THROW((void)u.cofactor(2, true), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bfvr::bfv

@@ -1,0 +1,126 @@
+// §2.6 re-parameterization: canonicalizing raw simulated vectors.
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bfv {
+namespace {
+
+using test::Set;
+
+const std::vector<unsigned> kChoice{0, 1, 2, 3};
+const std::vector<unsigned> kParams{4, 5, 6, 7};
+
+/// Random raw vector over the parameter variables plus its brute-force
+/// range.
+struct RawVector {
+  std::vector<Bdd> outputs;
+  Set range;
+};
+
+RawVector randomRaw(Manager& m, Rng& rng, unsigned n, unsigned np) {
+  RawVector rv;
+  std::vector<std::uint64_t> tts(n);
+  std::vector<unsigned> pvars(kParams.begin(), kParams.begin() + np);
+  for (unsigned i = 0; i < n; ++i) {
+    tts[i] = test::randomTruth(rng, np);
+    rv.outputs.push_back(test::bddFromTruth(m, pvars, tts[i]));
+  }
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << np); ++a) {
+    std::uint64_t x = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      if (((tts[i] >> a) & 1U) != 0) x |= std::uint64_t{1} << i;
+    }
+    rv.range.insert(x);
+  }
+  return rv;
+}
+
+class ReparamSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReparamSweep, RangeIsPreservedAndCanonical) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  Manager m(8);
+  const RawVector rv = randomRaw(m, rng, 4, 4);
+  for (const QuantSchedule sched :
+       {QuantSchedule::kStaticOrder, QuantSchedule::kSupportCost}) {
+    ReparamOptions opts;
+    opts.schedule = sched;
+    const Bfv f = reparameterize(m, rv.outputs, kChoice, kParams, opts);
+    std::string why;
+    ASSERT_TRUE(f.checkCanonical(&why)) << why;
+    EXPECT_EQ(test::setOf(f), rv.range);
+  }
+}
+
+TEST_P(ReparamSweep, SchedulesAgreeOnTheCanonicalResult) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 5);
+  Manager m(8);
+  const RawVector rv = randomRaw(m, rng, 4, 3);
+  ReparamOptions a;
+  a.schedule = QuantSchedule::kStaticOrder;
+  ReparamOptions b;
+  b.schedule = QuantSchedule::kSupportCost;
+  const std::vector<unsigned> params(kParams.begin(), kParams.begin() + 3);
+  EXPECT_EQ(reparameterize(m, rv.outputs, kChoice, params, a),
+            reparameterize(m, rv.outputs, kChoice, params, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReparamSweep, ::testing::Range(0, 20));
+
+TEST(BfvReparam, ConstantVectorBecomesPoint) {
+  Manager m(8);
+  std::vector<Bdd> outs{m.one(), m.zero(), m.one(), m.zero()};
+  const Bfv f = reparameterize(m, outs, kChoice, kParams);
+  EXPECT_EQ(f, Bfv::point(m, kChoice, {true, false, true, false}));
+}
+
+TEST(BfvReparam, NoParametersIsAlreadyDone) {
+  // A vector that is constant per parameter slice and uses no parameters
+  // must come back unchanged (it is a singleton's canonical form).
+  Manager m(8);
+  std::vector<Bdd> outs{m.zero(), m.zero(), m.zero(), m.zero()};
+  const Bfv f = reparameterize(m, outs, kChoice, {});
+  EXPECT_DOUBLE_EQ(f.countStates(), 1.0);
+}
+
+TEST(BfvReparam, IdentityVectorGivesUniverse) {
+  Manager m(8);
+  std::vector<Bdd> outs;
+  for (unsigned p : kParams) outs.push_back(m.var(p));
+  const Bfv f = reparameterize(m, outs, kChoice, kParams);
+  EXPECT_EQ(f, Bfv::universe(m, kChoice));
+}
+
+TEST(BfvReparam, SharedParameterCouplesComponents) {
+  // (p, p, ~p): range {110, 001} — strong coupling across components.
+  Manager m(8);
+  const Bdd p = m.var(4);
+  std::vector<Bdd> outs{p, p, ~p};
+  const std::vector<unsigned> choice{0, 1, 2};
+  const std::vector<unsigned> params{4};
+  const Bfv f = reparameterize(m, outs, choice, params);
+  EXPECT_EQ(test::setOf(f), (Set{0b011, 0b100}));
+}
+
+TEST(BfvReparam, ArityMismatchThrows) {
+  Manager m(8);
+  std::vector<Bdd> outs{m.one()};
+  EXPECT_THROW((void)reparameterize(m, outs, kChoice, kParams),
+               std::invalid_argument);
+}
+
+TEST(BfvReparam, ManyParametersFewValues) {
+  // 6 parameters collapsing to a 2-member range exercises the support
+  // optimization (most components ignore most parameters).
+  Manager m(16);
+  const std::vector<unsigned> choice{0, 1, 2, 3};
+  std::vector<unsigned> params{8, 9, 10, 11, 12, 13};
+  const Bdd p = m.var(8);
+  std::vector<Bdd> outs{p, m.zero(), p, m.one()};
+  const Bfv f = reparameterize(m, outs, choice, params);
+  EXPECT_EQ(test::setOf(f), (Set{0b1000, 0b1101}));
+}
+
+}  // namespace
+}  // namespace bfvr::bfv

@@ -1,0 +1,87 @@
+// Concrete simulation and the explicit-state reachability oracle.
+#include <gtest/gtest.h>
+
+#include "circuit/concrete_sim.hpp"
+#include "circuit/generators.hpp"
+
+namespace bfvr::circuit {
+namespace {
+
+TEST(ConcreteSim, CounterCountsUp) {
+  const Netlist n = makeCounter(4, 16);
+  const ConcreteSim sim(n);
+  std::vector<bool> s = sim.initialState();
+  for (unsigned expect = 1; expect < 20; ++expect) {
+    s = sim.step(s, {true});
+    unsigned got = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      if (s[i]) got |= 1U << i;
+    }
+    EXPECT_EQ(got, expect % 16);
+  }
+}
+
+TEST(ConcreteSim, CounterHoldsWhenDisabled) {
+  const Netlist n = makeCounter(4, 11);
+  const ConcreteSim sim(n);
+  std::vector<bool> s = sim.step(sim.initialState(), {true});
+  EXPECT_EQ(sim.step(s, {false}), s);
+}
+
+TEST(ConcreteSim, ModuloWraps) {
+  const Netlist n = makeCounter(4, 11);
+  const ConcreteSim sim(n);
+  std::vector<bool> s = sim.initialState();
+  for (int i = 0; i < 10; ++i) s = sim.step(s, {true});
+  // At 10; next enabled step wraps to 0.
+  s = sim.step(s, {true});
+  for (bool b : s) EXPECT_FALSE(b);
+}
+
+TEST(ConcreteSim, InitialStateHonorsLatchInit) {
+  const Netlist n = makeLfsr(4);  // seeded with 0001
+  const ConcreteSim sim(n);
+  const auto s = sim.initialState();
+  EXPECT_TRUE(s[0]);
+  EXPECT_FALSE(s[1]);
+}
+
+TEST(ConcreteSim, WidthValidation) {
+  const Netlist n = makeCounter(3, 8);
+  const ConcreteSim sim(n);
+  EXPECT_THROW((void)sim.step({true}, {true}), std::invalid_argument);
+  EXPECT_THROW((void)sim.step({true, false, true}, {}),
+               std::invalid_argument);
+}
+
+TEST(ExplicitReach, CounterReachesExactlyModuloStates) {
+  const auto r = explicitReach(makeCounter(5, 19));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 19U);
+  // States are exactly 0..18.
+  for (unsigned i = 0; i < 19; ++i) EXPECT_EQ((*r)[i], i);
+}
+
+TEST(ExplicitReach, LimitAborts) {
+  const auto r = explicitReach(makeCounter(6, 64), /*limit=*/10);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(ExplicitReach, TooWideRejected) {
+  Netlist n("wide");
+  std::vector<SignalId> qs;
+  for (unsigned i = 0; i < 30; ++i) {
+    qs.push_back(n.addLatch("q" + std::to_string(i), false));
+  }
+  for (unsigned i = 0; i < 30; ++i) n.setLatchData(qs[i], qs[i]);
+  EXPECT_THROW((void)explicitReach(n), std::invalid_argument);
+}
+
+TEST(ExplicitReach, InitialStateAlwaysIncluded) {
+  const auto r = explicitReach(makeLfsr(3));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(std::find(r->begin(), r->end(), 1U) != r->end());
+}
+
+}  // namespace
+}  // namespace bfvr::circuit

@@ -1,0 +1,234 @@
+// CTL model checking against an explicit-state oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/concrete_sim.hpp"
+#include "circuit/generators.hpp"
+#include "reach/ctl.hpp"
+#include "util/rng.hpp"
+
+namespace bfvr::reach {
+namespace {
+
+using circuit::Netlist;
+using circuit::OrderKind;
+
+/// Explicit transition graph over ALL 2^nl states (not just reachable
+/// ones: CTL semantics quantifies over the whole graph).
+struct ExplicitModel {
+  std::size_t nl;
+  std::vector<std::vector<std::uint32_t>> succ;  // successors per state
+
+  explicit ExplicitModel(const Netlist& n)
+      : nl(n.latches().size()), succ(std::size_t{1} << nl) {
+    const circuit::ConcreteSim sim(n);
+    const std::size_t ni = n.inputs().size();
+    for (std::uint32_t st = 0; st < succ.size(); ++st) {
+      std::set<std::uint32_t> outs;
+      std::vector<bool> sv(nl);
+      for (std::size_t i = 0; i < nl; ++i) sv[i] = ((st >> i) & 1U) != 0;
+      for (std::uint64_t iv = 0; iv < (std::uint64_t{1} << ni); ++iv) {
+        std::vector<bool> in(ni);
+        for (std::size_t i = 0; i < ni; ++i) in[i] = ((iv >> i) & 1U) != 0;
+        const auto nx = sim.step(sv, in);
+        std::uint32_t t = 0;
+        for (std::size_t i = 0; i < nl; ++i) {
+          if (nx[i]) t |= 1U << i;
+        }
+        outs.insert(t);
+      }
+      succ[st].assign(outs.begin(), outs.end());
+    }
+  }
+
+  using StateSet = std::vector<bool>;  // indexed by state
+
+  StateSet ex(const StateSet& p) const {
+    StateSet r(succ.size(), false);
+    for (std::size_t st = 0; st < succ.size(); ++st) {
+      for (std::uint32_t t : succ[st]) {
+        if (p[t]) {
+          r[st] = true;
+          break;
+        }
+      }
+    }
+    return r;
+  }
+
+  StateSet eu(const StateSet& p, const StateSet& q) const {
+    StateSet z = q;
+    for (;;) {
+      const StateSet pre = ex(z);
+      bool changed = false;
+      for (std::size_t st = 0; st < z.size(); ++st) {
+        if (!z[st] && p[st] && pre[st]) {
+          z[st] = true;
+          changed = true;
+        }
+      }
+      if (!changed) return z;
+    }
+  }
+
+  StateSet eg(const StateSet& p) const {
+    StateSet z = p;
+    for (;;) {
+      const StateSet pre = ex(z);
+      bool changed = false;
+      for (std::size_t st = 0; st < z.size(); ++st) {
+        if (z[st] && !(p[st] && pre[st])) {
+          z[st] = false;
+          changed = true;
+        }
+      }
+      if (!changed) return z;
+    }
+  }
+};
+
+/// chi of an explicit state set over the space's current variables.
+bdd::Bdd charOf(sym::StateSpace& s, const ExplicitModel::StateSet& set) {
+  bdd::Manager& m = s.manager();
+  bdd::Bdd chi = m.zero();
+  for (std::size_t st = 0; st < set.size(); ++st) {
+    if (!set[st]) continue;
+    bdd::Bdd cube = m.one();
+    for (std::size_t p = 0; p < s.numLatches(); ++p) {
+      const bdd::Bdd v = m.var(s.currentVar(p));
+      cube &= ((st >> p) & 1U) != 0 ? v : ~v;
+    }
+    chi |= cube;
+  }
+  return chi;
+}
+
+struct Fixture {
+  Netlist n;
+  ExplicitModel model;
+  bdd::Manager m;
+  sym::StateSpace space;
+  sym::TransitionRelation tr;
+
+  explicit Fixture(Netlist nl)
+      : n(std::move(nl)),
+        model(n),
+        m(0),
+        space(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 0})),
+        tr(space) {}
+
+  /// Random state predicate: explicit set + matching Ctl atom.
+  std::pair<ExplicitModel::StateSet, Ctl> randomAtom(Rng& rng) {
+    ExplicitModel::StateSet set(model.succ.size());
+    for (std::size_t st = 0; st < set.size(); ++st) set[st] = rng.flip();
+    return {set, Ctl::atom(charOf(space, set))};
+  }
+
+  void expectEqual(const ExplicitModel::StateSet& expect, const Ctl& f) {
+    EXPECT_EQ(evalCtl(space, tr, f), charOf(space, expect));
+  }
+};
+
+class CtlSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CtlSweep, OperatorsMatchExplicitSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 607 + 3);
+  Fixture fx(GetParam() % 2 == 0
+                 ? circuit::makeRandomSeq(5, 2, 25,
+                                          static_cast<std::uint64_t>(
+                                              GetParam()))
+                 : circuit::makeCounter(4, 11));
+  const auto [ps, p] = fx.randomAtom(rng);
+  const auto [qs, q] = fx.randomAtom(rng);
+  // EX / EU / EG against the explicit fixpoints.
+  fx.expectEqual(fx.model.ex(ps), Ctl::EX(p));
+  fx.expectEqual(fx.model.eu(ps, qs), Ctl::EU(p, q));
+  fx.expectEqual(fx.model.eg(ps), Ctl::EG(p));
+  // EF p == EU(true, p).
+  const ExplicitModel::StateSet all(fx.model.succ.size(), true);
+  fx.expectEqual(fx.model.eu(all, ps), Ctl::EF(p));
+  // Duals.
+  auto complement = [](ExplicitModel::StateSet s) {
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] = !s[i];
+    return s;
+  };
+  fx.expectEqual(complement(fx.model.ex(complement(ps))), Ctl::AX(p));
+  fx.expectEqual(complement(fx.model.eg(complement(ps))), Ctl::AF(p));
+  fx.expectEqual(complement(fx.model.eu(all, complement(ps))), Ctl::AG(p));
+  // Boolean structure.
+  ExplicitModel::StateSet inter(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) inter[i] = ps[i] && qs[i];
+  fx.expectEqual(inter, p && q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtlSweep, ::testing::Range(0, 10));
+
+TEST(Ctl, CounterProperties) {
+  Fixture fx(circuit::makeCounter(4, 11));
+  bdd::Manager& m = fx.m;
+  auto value_is = [&](unsigned v) {
+    bdd::Bdd cube = m.one();
+    for (unsigned p = 0; p < 4; ++p) {
+      const bdd::Bdd var = m.var(fx.space.currentVar(p));
+      cube &= ((v >> p) & 1U) != 0 ? var : ~var;
+    }
+    return Ctl::atom(cube);
+  };
+  // From the initial state, 10 is eventually reachable along some path.
+  EXPECT_TRUE(holdsInInit(fx.space, fx.tr, Ctl::EF(value_is(10))));
+  // ... but not along all paths (the enable can stay low forever).
+  EXPECT_FALSE(holdsInInit(fx.space, fx.tr, Ctl::AF(value_is(10))));
+  // 12 is outside the modulus: never reachable.
+  EXPECT_FALSE(holdsInInit(fx.space, fx.tr, Ctl::EF(value_is(12))));
+  EXPECT_TRUE(holdsInInit(fx.space, fx.tr, Ctl::AG(!value_is(12))));
+  // The counter can stall at 0 forever.
+  EXPECT_TRUE(holdsInInit(fx.space, fx.tr, Ctl::EG(value_is(0))));
+  // E[ (cnt==0) U (cnt==1) ]: step once with enable.
+  EXPECT_TRUE(holdsInInit(fx.space, fx.tr, Ctl::EU(value_is(0), value_is(1))));
+  // AX(0 or 1): from 0, every input leads to 0 or 1.
+  EXPECT_TRUE(
+      holdsInInit(fx.space, fx.tr, Ctl::AX(value_is(0) || value_is(1))));
+  EXPECT_FALSE(holdsInInit(fx.space, fx.tr, Ctl::AX(value_is(1))));
+}
+
+TEST(Ctl, ArbiterLiveness) {
+  // In the round-robin arbiter, from every reachable pointer position the
+  // pointer can eventually return: EF over one-hot states is total.
+  Fixture fx(circuit::makeArbiter(3));
+  bdd::Manager& m = fx.m;
+  bdd::Bdd ptr0 = m.one();
+  for (unsigned j = 0; j < 3; ++j) {
+    const bdd::Bdd v = m.var(fx.space.currentVar(j));
+    ptr0 &= j == 0 ? v : ~v;
+  }
+  // AG EF (pointer back at client 0) restricted to the reachable set:
+  // check init |= EF ptr0 and init |= AG(one-hot -> EF ptr0).
+  EXPECT_TRUE(holdsInInit(fx.space, fx.tr, Ctl::EF(Ctl::atom(ptr0))));
+  bdd::Bdd one_hot = m.zero();
+  for (unsigned i = 0; i < 3; ++i) {
+    bdd::Bdd cube = m.one();
+    for (unsigned j = 0; j < 3; ++j) {
+      const bdd::Bdd v = m.var(fx.space.currentVar(j));
+      cube &= i == j ? v : ~v;
+    }
+    one_hot |= cube;
+  }
+  const Ctl prop =
+      Ctl::AG(!Ctl::atom(one_hot) || Ctl::EF(Ctl::atom(ptr0)));
+  EXPECT_TRUE(holdsInInit(fx.space, fx.tr, prop));
+}
+
+TEST(Ctl, PreimageMatchesExplicitPredecessors) {
+  Fixture fx(circuit::makeJohnson(4));
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    ExplicitModel::StateSet target(fx.model.succ.size());
+    for (std::size_t i = 0; i < target.size(); ++i) target[i] = rng.flip();
+    const bdd::Bdd pre = fx.tr.preimage(charOf(fx.space, target));
+    EXPECT_EQ(pre, charOf(fx.space, fx.model.ex(target)));
+  }
+}
+
+}  // namespace
+}  // namespace bfvr::reach

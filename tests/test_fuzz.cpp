@@ -1,0 +1,133 @@
+// Randomized cross-cutting sweeps: wider BFV algebra, netlist round-trip
+// fuzzing, and algebraic laws chained across many operations.
+#include <gtest/gtest.h>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/concrete_sim.hpp"
+#include "circuit/generators.hpp"
+#include "reach/engine.hpp"
+#include "support/brute.hpp"
+
+namespace bfvr {
+namespace {
+
+using bfv::Bfv;
+using test::Set;
+
+class WideBfvSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WideBfvSweep, Width6AlgebraMatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6007 + 17);
+  const unsigned n = 6;
+  std::vector<unsigned> vars(n);
+  for (unsigned i = 0; i < n; ++i) vars[i] = i;
+  bdd::Manager m(n);
+  const Set a = test::randomSet(rng, n, 1, 4);
+  const Set b = test::randomSet(rng, n, 1, 4);
+  const Set c = test::randomSet(rng, n, 1, 4);
+  const Bfv fa = test::bfvOf(m, vars, a);
+  const Bfv fb = test::bfvOf(m, vars, b);
+  const Bfv fc = test::bfvOf(m, vars, c);
+  // Union / intersection against brute force.
+  EXPECT_EQ(test::setOf(setUnion(fa, fb)), test::setUnionOf(a, b));
+  const Set i_ab = test::setIntersectOf(a, b);
+  const Bfv fi = setIntersect(fa, fb);
+  EXPECT_EQ(fi.isEmpty() ? Set{} : test::setOf(fi), i_ab);
+  // Distributivity: A & (B | C) == (A & B) | (A & C).
+  const Bfv lhs = setIntersect(fa, setUnion(fb, fc));
+  const Bfv rhs = setUnion(setIntersect(fa, fb), setIntersect(fa, fc));
+  EXPECT_EQ(lhs, rhs);
+  // De-Morgan-free absorption: A | (A & B) == A.
+  EXPECT_EQ(setUnion(fa, setIntersect(fa, fb)), fa);
+  // chi round trip at width 6.
+  if (!a.empty()) {
+    EXPECT_EQ(bfv::fromChar(m, fa.toChar(), vars), fa);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideBfvSweep, ::testing::Range(0, 20));
+
+class NetlistFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetlistFuzz, BenchRoundTripPreservesSimulation) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 31 + 5);
+  const circuit::Netlist n = circuit::makeRandomSeq(
+      3 + static_cast<unsigned>(rng.below(8)),
+      1 + static_cast<unsigned>(rng.below(5)),
+      15 + static_cast<unsigned>(rng.below(60)), seed);
+  const circuit::Netlist back =
+      circuit::parseBenchString(circuit::toBench(n), "rt");
+  ASSERT_EQ(back.latches().size(), n.latches().size());
+  ASSERT_EQ(back.inputs().size(), n.inputs().size());
+  const circuit::ConcreteSim s1(n);
+  const circuit::ConcreteSim s2(back);
+  // Initial values are not part of .bench (ISCAS89 DFFs reset to 0), so
+  // compare step functions from random states instead of from init.
+  const std::size_t nl = n.latches().size();
+  const std::size_t ni = n.inputs().size();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> st(nl);
+    std::vector<bool> in(ni);
+    for (std::size_t i = 0; i < nl; ++i) st[i] = rng.flip();
+    for (std::size_t i = 0; i < ni; ++i) in[i] = rng.flip();
+    EXPECT_EQ(s1.step(st, in), s2.step(st, in));
+    EXPECT_EQ(s1.outputs(st, in), s2.outputs(st, in));
+  }
+}
+
+TEST_P(NetlistFuzz, SymbolicAndExplicitReachAgree) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const circuit::Netlist n = circuit::makeRandomSeq(7, 3, 35, seed + 1000);
+  const auto oracle = circuit::explicitReach(n);
+  ASSERT_TRUE(oracle.has_value());
+  bdd::Manager m(0);
+  sym::StateSpace s(
+      m, n, circuit::makeOrder(n, {circuit::OrderKind::kRandom, seed}));
+  reach::ReachOptions opts;
+  opts.max_iterations = 4000;
+  const reach::ReachResult r = reach::reachBfv(s, opts);
+  ASSERT_EQ(r.status, RunStatus::kDone);
+  EXPECT_DOUBLE_EQ(r.states, static_cast<double>(oracle->size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetlistFuzz, ::testing::Range(0, 15));
+
+TEST(ChainedOps, LongRandomOperationChainsStayCanonical) {
+  // 200 random set operations; the pool is tracked against brute force.
+  const unsigned n = 5;
+  std::vector<unsigned> vars(n);
+  for (unsigned i = 0; i < n; ++i) vars[i] = i;
+  bdd::Manager m(n);
+  Rng rng(99);
+  std::vector<Bfv> pool;
+  std::vector<Set> model;
+  for (int i = 0; i < 6; ++i) {
+    Set s = test::randomSet(rng, n, 1, 3);
+    model.push_back(s);
+    pool.push_back(test::bfvOf(m, vars, s));
+  }
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t i = rng.below(pool.size());
+    const std::size_t j = rng.below(pool.size());
+    if (rng.flip()) {
+      pool[i] = setUnion(pool[i], pool[j]);
+      model[i] = test::setUnionOf(model[i], model[j]);
+    } else {
+      pool[i] = setIntersect(pool[i], pool[j]);
+      model[i] = test::setIntersectOf(model[i], model[j]);
+    }
+    if (step % 41 == 0) m.gc();
+    if (step % 23 == 0) {
+      ASSERT_EQ(pool[i].isEmpty() ? Set{} : test::setOf(pool[i]), model[i])
+          << "step " << step;
+      ASSERT_TRUE(pool[i].checkCanonical());
+    }
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool[i].isEmpty() ? Set{} : test::setOf(pool[i]), model[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bfvr

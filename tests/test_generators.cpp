@@ -1,0 +1,178 @@
+// Generator circuits: structure and reachable-state oracles.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/concrete_sim.hpp"
+#include "circuit/generators.hpp"
+
+namespace bfvr::circuit {
+namespace {
+
+std::size_t reachCount(const Netlist& n) {
+  const auto r = explicitReach(n);
+  EXPECT_TRUE(r.has_value());
+  return r->size();
+}
+
+class CounterSweep
+    : public ::testing::TestWithParam<std::pair<unsigned, std::uint64_t>> {};
+
+TEST_P(CounterSweep, ReachableStatesEqualModulo) {
+  const auto [bits, mod] = GetParam();
+  const Netlist n = makeCounter(bits, mod);
+  EXPECT_EQ(n.latches().size(), bits);
+  EXPECT_EQ(n.inputs().size(), 1U);
+  EXPECT_EQ(reachCount(n), mod);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CounterSweep,
+    ::testing::Values(std::pair<unsigned, std::uint64_t>{3, 5},
+                      std::pair<unsigned, std::uint64_t>{4, 16},
+                      std::pair<unsigned, std::uint64_t>{4, 11},
+                      std::pair<unsigned, std::uint64_t>{5, 2},
+                      std::pair<unsigned, std::uint64_t>{6, 64},
+                      std::pair<unsigned, std::uint64_t>{6, 37}));
+
+class JohnsonSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(JohnsonSweep, ReachableStatesAreTwoN) {
+  const unsigned bits = GetParam();
+  EXPECT_EQ(reachCount(makeJohnson(bits)), 2U * bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JohnsonSweep,
+                         ::testing::Values(2U, 3U, 5U, 8U, 12U));
+
+class LfsrSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrSweep, PrimitivePolynomialGivesFullPeriod) {
+  const unsigned bits = GetParam();
+  EXPECT_EQ(reachCount(makeLfsr(bits)), (std::size_t{1} << bits) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LfsrSweep,
+                         ::testing::Values(3U, 4U, 5U, 6U, 7U, 8U, 9U, 10U));
+
+TEST(Generators, LfsrUnsupportedWidthThrows) {
+  EXPECT_THROW((void)makeLfsr(13), std::invalid_argument);
+}
+
+class TwinShiftSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TwinShiftSweep, ReachableIsDiagonal) {
+  const unsigned bits = GetParam();
+  const Netlist n = makeTwinShift(bits);
+  EXPECT_EQ(n.latches().size(), 2U * bits);
+  const auto r = explicitReach(n);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), std::size_t{1} << bits);
+  // Every reachable state has the two banks equal (a_i == b_i).
+  for (std::uint64_t s : *r) {
+    const std::uint64_t a = s & ((std::uint64_t{1} << bits) - 1);
+    const std::uint64_t b = s >> bits;
+    EXPECT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwinShiftSweep,
+                         ::testing::Values(1U, 2U, 4U, 6U, 8U));
+
+class ArbiterSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ArbiterSweep, PointerStaysOneHot) {
+  const unsigned clients = GetParam();
+  const Netlist n = makeArbiter(clients);
+  const auto r = explicitReach(n);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), clients);
+  for (std::uint64_t s : *r) {
+    EXPECT_EQ(std::popcount(s), 1) << "state " << s << " is not one-hot";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArbiterSweep, ::testing::Values(2U, 3U, 4U, 5U));
+
+TEST(Generators, ArbiterGrantsExactlyOneRequester) {
+  const Netlist n = makeArbiter(4);
+  const ConcreteSim sim(n);
+  std::vector<bool> state{true, false, false, false};  // pointer at 0
+  for (unsigned req = 1; req < 16; ++req) {
+    std::vector<bool> in(4);
+    for (unsigned i = 0; i < 4; ++i) in[i] = ((req >> i) & 1U) != 0;
+    const auto out = sim.outputs(state, in);
+    int grants = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      if (out[i]) {
+        ++grants;
+        EXPECT_TRUE(in[i]) << "granted a non-requesting client";
+      }
+    }
+    EXPECT_EQ(grants, 1) << "req mask " << req;
+  }
+  // No requests: no grants, pointer holds.
+  const auto out = sim.outputs(state, {false, false, false, false});
+  for (bool g : out) EXPECT_FALSE(g);
+  EXPECT_EQ(sim.step(state, {false, false, false, false}), state);
+}
+
+class FifoSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FifoSweep, ReachableMatchesOccupancyInvariant) {
+  const unsigned k = GetParam();
+  const Netlist n = makeFifoCtrl(k);
+  const auto r = explicitReach(n);
+  ASSERT_TRUE(r.has_value());
+  // count == wr - rd (mod 2^k), count <= 2^k; when wr == rd the count is
+  // 0 or 2^k: (2^k)^2 + 2^k states.
+  const std::size_t ptr_states = std::size_t{1} << k;
+  EXPECT_EQ(r->size(), ptr_states * ptr_states + ptr_states);
+  for (std::uint64_t s : *r) {
+    const std::uint64_t wr = s & (ptr_states - 1);
+    const std::uint64_t rd = (s >> k) & (ptr_states - 1);
+    const std::uint64_t cnt = s >> (2 * k);
+    EXPECT_LE(cnt, ptr_states);
+    EXPECT_EQ(cnt & (ptr_states - 1), (wr - rd) & (ptr_states - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FifoSweep, ::testing::Values(1U, 2U, 3U));
+
+TEST(Generators, RandomSeqIsDeterministicInSeed) {
+  const Netlist a = makeRandomSeq(5, 3, 25, 42);
+  const Netlist b = makeRandomSeq(5, 3, 25, 42);
+  const Netlist c = makeRandomSeq(5, 3, 25, 43);
+  EXPECT_EQ(toBench(a), toBench(b));
+  EXPECT_NE(toBench(a), toBench(c));
+}
+
+TEST(Generators, RandomSeqHasRequestedShape) {
+  const Netlist n = makeRandomSeq(7, 4, 40, 1);
+  EXPECT_EQ(n.latches().size(), 7U);
+  EXPECT_EQ(n.inputs().size(), 4U);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Generators, ConcatenateMultipliesStateSpaces) {
+  const Netlist a = makeCounter(3, 5);
+  const Netlist b = makeJohnson(3);
+  const Netlist c = concatenate(a, b, "prod");
+  EXPECT_EQ(c.latches().size(), 6U);
+  EXPECT_EQ(c.inputs().size(), 2U);
+  EXPECT_EQ(reachCount(c), 5U * 6U);
+}
+
+TEST(Generators, ParameterValidation) {
+  EXPECT_THROW((void)makeCounter(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)makeCounter(3, 9), std::invalid_argument);
+  EXPECT_THROW((void)makeJohnson(1), std::invalid_argument);
+  EXPECT_THROW((void)makeTwinShift(0), std::invalid_argument);
+  EXPECT_THROW((void)makeArbiter(1), std::invalid_argument);
+  EXPECT_THROW((void)makeFifoCtrl(0), std::invalid_argument);
+  EXPECT_THROW((void)makeRandomSeq(0, 1, 5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfvr::circuit

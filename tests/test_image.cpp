@@ -1,0 +1,99 @@
+// Recursive range splitting (the Fig. 1 BFV -> chi conversion).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "circuit/generators.hpp"
+#include "circuit/orders.hpp"
+#include "support/brute.hpp"
+#include "sym/image.hpp"
+#include "sym/simulate.hpp"
+#include "sym/transition.hpp"
+
+namespace bfvr::sym {
+namespace {
+
+using circuit::OrderKind;
+
+TEST(RangeChar, MatchesTransitionRelationImage) {
+  // The range of delta(v, x) constrained to a care set equals the TR image
+  // of that care set.
+  bfvr::Rng rng(3);
+  const circuit::Netlist circuits[] = {
+      circuit::makeCounter(4, 9), circuit::makeJohnson(4),
+      circuit::makeTwinShift(3), circuit::makeRandomSeq(5, 2, 20, 5)};
+  for (const auto& n : circuits) {
+    bdd::Manager m(0);
+    StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 0}));
+    const TransitionRelation tr(s);
+    const std::vector<Bdd> delta = transitionFunctions(s);
+    for (int trial = 0; trial < 4; ++trial) {
+      // Random care set over the current bank.
+      Bdd care = m.zero();
+      for (int k = 0; k < 3; ++k) {
+        Bdd cube = m.one();
+        for (std::size_t p = 0; p < s.numLatches(); ++p) {
+          const Bdd v = m.var(s.currentVar(p));
+          cube &= rng.flip() ? v : ~v;
+        }
+        care |= cube;
+      }
+      const Bdd img_u = rangeChar(s, delta, care);
+      const Bdd img = m.permute(img_u, s.permParamToCurrent());
+      EXPECT_EQ(img, tr.image(care)) << n.name();
+    }
+  }
+}
+
+TEST(RangeChar, EmptyCareGivesEmptyImage) {
+  const auto n = circuit::makeCounter(3, 8);
+  bdd::Manager m(0);
+  StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kNatural, 0}));
+  const std::vector<Bdd> delta = transitionFunctions(s);
+  EXPECT_TRUE(rangeChar(s, delta, m.zero()).isFalse());
+}
+
+TEST(RangeChar, ConstantVectorGivesSingleton) {
+  const auto n = circuit::makeCounter(3, 8);
+  bdd::Manager m(0);
+  StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kNatural, 0}));
+  std::vector<Bdd> consts{m.one(), m.zero(), m.one()};
+  const Bdd chi = rangeChar(s, consts, m.one());
+  EXPECT_DOUBLE_EQ(m.satCount(chi, m.numVars()) /
+                       std::pow(2.0, m.numVars() - 3),
+                   1.0);
+  std::vector<bool> assignment(m.numVars(), false);
+  assignment[s.paramVars()[0]] = true;
+  assignment[s.paramVars()[2]] = true;
+  EXPECT_TRUE(m.eval(chi, assignment));
+}
+
+TEST(RangeChar, IdentityVectorGivesUniverse) {
+  const auto n = circuit::makeJohnson(3);
+  bdd::Manager m(0);
+  StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kNatural, 0}));
+  std::vector<Bdd> ident;
+  for (unsigned v : s.currentVars()) ident.push_back(m.var(v));
+  const Bdd chi = rangeChar(s, ident, m.one());
+  // Range of the identity over all states is everything (over u).
+  Bdd expect = m.one();
+  EXPECT_EQ(chi, expect);
+}
+
+TEST(RangeChar, AgreesWithReparameterizedBfv) {
+  // The two halves of the paper's comparison compute the same set: the
+  // recursive-splitting chi must equal the canonical BFV's chi.
+  const auto n = circuit::makeFifoCtrl(2);
+  bdd::Manager m(0);
+  StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 0}));
+  const std::vector<Bdd> delta = transitionFunctions(s);
+  std::vector<unsigned> params = s.currentVars();
+  params.insert(params.end(), s.inputVars().begin(), s.inputVars().end());
+  const bfv::Bfv f =
+      bfv::reparameterize(m, delta, s.paramVars(), params);
+  EXPECT_EQ(rangeChar(s, delta, m.one()), f.toChar());
+}
+
+}  // namespace
+}  // namespace bfvr::sym

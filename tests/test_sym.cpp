@@ -1,0 +1,151 @@
+// State space layout and symbolic simulation vs concrete simulation.
+#include <gtest/gtest.h>
+
+#include "circuit/concrete_sim.hpp"
+#include "circuit/generators.hpp"
+#include "sym/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace bfvr::sym {
+namespace {
+
+using circuit::Netlist;
+using circuit::ObjRef;
+using circuit::OrderKind;
+using circuit::OrderSpec;
+
+TEST(StateSpace, InterleavedBanksAndComponentOrder) {
+  const Netlist n = circuit::makeCounter(3, 8);
+  bdd::Manager m(0);
+  const StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kNatural, 0}));
+  EXPECT_EQ(s.numLatches(), 3U);
+  // natural order: input en, then latches q0..q2.
+  EXPECT_EQ(s.inputVar(0), 0U);
+  EXPECT_EQ(s.currentVar(0), 1U);
+  EXPECT_EQ(s.paramVar(0), 2U);
+  EXPECT_EQ(s.currentVar(1), 3U);
+  // Choice variables strictly increase in component order.
+  const auto& v = s.currentVars();
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_LT(v[i - 1], v[i]);
+  // Param bank sits right above the current bank.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(s.paramVars()[i], v[i] + 1);
+  }
+  // Component <-> latch maps are inverse bijections.
+  for (std::size_t c = 0; c < s.numLatches(); ++c) {
+    EXPECT_EQ(s.componentOfLatch(s.latchOfComponent(c)), c);
+  }
+}
+
+TEST(StateSpace, PermutationsAreMutualInverses) {
+  const Netlist n = circuit::makeJohnson(4);
+  bdd::Manager m(0);
+  const StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 0}));
+  const auto& uv = s.permParamToCurrent();
+  const auto& vu = s.permCurrentToParam();
+  for (unsigned c = 0; c < s.numLatches(); ++c) {
+    const unsigned latch = static_cast<unsigned>(s.latchOfComponent(c));
+    EXPECT_EQ(uv[s.paramVar(latch)], s.currentVar(latch));
+    EXPECT_EQ(vu[s.currentVar(latch)], s.paramVar(latch));
+  }
+}
+
+TEST(StateSpace, InitialBitsFollowComponentOrder) {
+  const Netlist n = circuit::makeLfsr(4);  // init 0001 in latch order
+  bdd::Manager m(0);
+  const auto order = circuit::makeOrder(n, {OrderKind::kReverse, 0});
+  const StateSpace s(m, n, order);
+  const auto bits = s.initialBits();
+  for (std::size_t c = 0; c < s.numLatches(); ++c) {
+    EXPECT_EQ(bits[c], n.latchInit(s.latchOfComponent(c)));
+  }
+}
+
+TEST(StateSpace, RejectsIncompleteOrder) {
+  const Netlist n = circuit::makeCounter(3, 8);
+  bdd::Manager m(0);
+  std::vector<ObjRef> partial{{true, 0}};
+  EXPECT_THROW((void)StateSpace(m, n, partial), std::invalid_argument);
+}
+
+class SimAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimAgreement, SymbolicMatchesConcreteOnRandomVectors) {
+  bfvr::Rng rng(static_cast<std::uint64_t>(GetParam()) * 5 + 7);
+  const Netlist circuits[] = {
+      circuit::makeCounter(4, 11), circuit::makeJohnson(4),
+      circuit::makeTwinShift(3), circuit::makeArbiter(3),
+      circuit::makeFifoCtrl(2),
+      circuit::makeRandomSeq(5, 3, 30, static_cast<std::uint64_t>(GetParam()))};
+  for (const Netlist& n : circuits) {
+    bdd::Manager m(0);
+    const StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 3}));
+    const std::vector<bdd::Bdd> delta = transitionFunctions(s);
+    const circuit::ConcreteSim csim(n);
+    const std::size_t nl = n.latches().size();
+    const std::size_t ni = n.inputs().size();
+    for (int trial = 0; trial < 12; ++trial) {
+      std::vector<bool> state(nl);
+      std::vector<bool> inputs(ni);
+      for (std::size_t i = 0; i < nl; ++i) state[i] = rng.flip();
+      for (std::size_t i = 0; i < ni; ++i) inputs[i] = rng.flip();
+      const std::vector<bool> next = csim.step(state, inputs);
+      std::vector<bool> assignment(m.numVars(), false);
+      for (std::size_t p = 0; p < nl; ++p) {
+        assignment[s.currentVar(p)] = state[p];
+      }
+      for (std::size_t i = 0; i < ni; ++i) {
+        assignment[s.inputVar(i)] = inputs[i];
+      }
+      for (std::size_t c = 0; c < nl; ++c) {
+        EXPECT_EQ(m.eval(delta[c], assignment),
+                  next[s.latchOfComponent(c)])
+            << n.name() << " component " << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimAgreement, ::testing::Range(0, 8));
+
+TEST(Simulate, LatchValueInjection) {
+  // Driving latch outputs with explicit functions: a counter whose state
+  // is pinned to a constant must produce that state's successor.
+  const Netlist n = circuit::makeCounter(3, 8);
+  bdd::Manager m(0);
+  const StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kNatural, 0}));
+  // Pin state to 0b011 (in component order).
+  std::vector<bdd::Bdd> pinned(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t latch = s.latchOfComponent(c);
+    pinned[c] = (latch == 0 || latch == 1) ? m.one() : m.zero();
+  }
+  const SimResult r = simulate(s, pinned);
+  // With en=1, next = 4 = 0b100.
+  std::vector<bool> assignment(m.numVars(), false);
+  assignment[s.inputVar(0)] = true;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t latch = s.latchOfComponent(c);
+    EXPECT_EQ(m.eval(r.next_state[c], assignment), latch == 2);
+  }
+}
+
+TEST(Simulate, OutputsAreProduced) {
+  const Netlist n = circuit::makeArbiter(3);
+  bdd::Manager m(0);
+  const StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 0}));
+  const SimResult r = simulate(s, {});
+  EXPECT_EQ(r.outputs.size(), n.outputs().size());
+  for (const bdd::Bdd& o : r.outputs) EXPECT_FALSE(o.isNull());
+}
+
+TEST(Simulate, WrongWidthRejected) {
+  const Netlist n = circuit::makeCounter(3, 8);
+  bdd::Manager m(0);
+  const StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kNatural, 0}));
+  std::vector<bdd::Bdd> two(2, m.one());
+  EXPECT_THROW((void)simulate(s, two), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfvr::sym

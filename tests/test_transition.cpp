@@ -1,0 +1,146 @@
+// Transition relations, clustering and image computation vs brute force.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "circuit/concrete_sim.hpp"
+#include "circuit/generators.hpp"
+#include "sym/transition.hpp"
+#include "util/rng.hpp"
+
+namespace bfvr::sym {
+namespace {
+
+using circuit::Netlist;
+using circuit::OrderKind;
+
+/// Brute-force one-step image of `from` (latch-order bit masks).
+std::set<std::uint64_t> bruteImage(const Netlist& n,
+                                   const std::set<std::uint64_t>& from) {
+  const circuit::ConcreteSim sim(n);
+  const std::size_t nl = n.latches().size();
+  const std::size_t ni = n.inputs().size();
+  std::set<std::uint64_t> img;
+  for (std::uint64_t s : from) {
+    std::vector<bool> sv(nl);
+    for (std::size_t i = 0; i < nl; ++i) sv[i] = ((s >> i) & 1U) != 0;
+    for (std::uint64_t iv = 0; iv < (std::uint64_t{1} << ni); ++iv) {
+      std::vector<bool> in(ni);
+      for (std::size_t i = 0; i < ni; ++i) in[i] = ((iv >> i) & 1U) != 0;
+      const auto nx = sim.step(sv, in);
+      std::uint64_t t = 0;
+      for (std::size_t i = 0; i < nl; ++i) {
+        if (nx[i]) t |= std::uint64_t{1} << i;
+      }
+      img.insert(t);
+    }
+  }
+  return img;
+}
+
+/// chi over the current bank encoding the given latch-order state masks.
+Bdd charOf(const StateSpace& s, const std::set<std::uint64_t>& states) {
+  Manager& m = s.manager();
+  Bdd chi = m.zero();
+  for (std::uint64_t st : states) {
+    Bdd cube = m.one();
+    for (std::size_t p = 0; p < s.numLatches(); ++p) {
+      const Bdd v = m.var(s.currentVar(p));
+      cube &= ((st >> p) & 1U) != 0 ? v : ~v;
+    }
+    chi |= cube;
+  }
+  return chi;
+}
+
+std::set<std::uint64_t> statesOf(const StateSpace& s, const Bdd& chi) {
+  Manager& m = s.manager();
+  std::set<std::uint64_t> out;
+  const std::size_t nl = s.numLatches();
+  std::vector<bool> assignment(m.numVars(), false);
+  for (std::uint64_t st = 0; st < (std::uint64_t{1} << nl); ++st) {
+    for (std::size_t p = 0; p < nl; ++p) {
+      assignment[s.currentVar(p)] = ((st >> p) & 1U) != 0;
+    }
+    if (m.eval(chi, assignment)) out.insert(st);
+  }
+  return out;
+}
+
+class ImageSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ImageSweep, PartitionedImageMatchesBruteForce) {
+  const std::size_t cluster_limit = GetParam();
+  bfvr::Rng rng(cluster_limit * 3 + 11);
+  const Netlist circuits[] = {circuit::makeCounter(4, 11),
+                              circuit::makeJohnson(4),
+                              circuit::makeArbiter(3),
+                              circuit::makeRandomSeq(5, 2, 25, 8)};
+  for (const Netlist& n : circuits) {
+    bdd::Manager m(0);
+    StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 0}));
+    TransitionOptions topts;
+    topts.cluster_limit = cluster_limit;
+    const TransitionRelation tr(s, topts);
+    for (int trial = 0; trial < 5; ++trial) {
+      std::set<std::uint64_t> from;
+      const std::size_t nl = n.latches().size();
+      for (int k = 0; k < 3; ++k) {
+        from.insert(rng.next() & ((std::uint64_t{1} << nl) - 1));
+      }
+      const Bdd img = tr.image(charOf(s, from));
+      EXPECT_EQ(statesOf(s, img), bruteImage(n, from)) << n.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterLimits, ImageSweep,
+                         ::testing::Values(0U, 1U, 100U, 100000U));
+
+TEST(Transition, MonolithicAndPartitionedAgree) {
+  const Netlist n = circuit::makeFifoCtrl(2);
+  bdd::Manager m(0);
+  StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 0}));
+  TransitionOptions mono;
+  mono.cluster_limit = 0;
+  TransitionOptions part;
+  part.cluster_limit = 50;
+  const TransitionRelation t1(s, mono);
+  const TransitionRelation t2(s, part);
+  EXPECT_EQ(t1.numClusters(), 1U);
+  EXPECT_GT(t2.numClusters(), 1U);
+  const Bdd from = initialChar(s);
+  EXPECT_EQ(t1.image(from), t2.image(from));
+  // And from a richer set.
+  const Bdd all = m.one();
+  EXPECT_EQ(t1.image(all), t2.image(all));
+}
+
+TEST(Transition, InitialCharIsTheSingleInitialState) {
+  const Netlist n = circuit::makeLfsr(4);
+  bdd::Manager m(0);
+  StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kNatural, 0}));
+  const Bdd chi = initialChar(s);
+  EXPECT_DOUBLE_EQ(m.satCount(chi, s.numLatches()), 1.0);
+  EXPECT_EQ(statesOf(s, chi), (std::set<std::uint64_t>{1}));
+}
+
+TEST(Transition, ImageOfEmptyIsEmpty) {
+  const Netlist n = circuit::makeCounter(3, 8);
+  bdd::Manager m(0);
+  StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kNatural, 0}));
+  const TransitionRelation tr(s);
+  EXPECT_TRUE(tr.image(m.zero()).isFalse());
+}
+
+TEST(Transition, SharedSizeIsPositive) {
+  const Netlist n = circuit::makeJohnson(3);
+  bdd::Manager m(0);
+  StateSpace s(m, n, circuit::makeOrder(n, {OrderKind::kTopo, 0}));
+  const TransitionRelation tr(s);
+  EXPECT_GT(tr.sharedSize(), 1U);
+}
+
+}  // namespace
+}  // namespace bfvr::sym

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace bfvr {
+namespace {
+
+TEST(Rng, DeterministicStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17U);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.range(3, 5);
+    EXPECT_GE(v, 3U);
+    EXPECT_LE(v, 5U);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(r.chance(1, 1));
+    EXPECT_FALSE(r.chance(0, 5));
+  }
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng r(13);
+  auto p = r.permutation(20);
+  std::sort(p.begin(), p.end());
+  for (unsigned i = 0; i < 20; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng r(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(RunStatus, Names) {
+  EXPECT_EQ(to_string(RunStatus::kDone), "done");
+  EXPECT_EQ(to_string(RunStatus::kTimeOut), "T.O.");
+  EXPECT_EQ(to_string(RunStatus::kMemOut), "M.O.");
+}
+
+}  // namespace
+}  // namespace bfvr
