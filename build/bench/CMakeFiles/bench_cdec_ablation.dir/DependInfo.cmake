@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cdec_ablation.cpp" "bench/CMakeFiles/bench_cdec_ablation.dir/bench_cdec_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_cdec_ablation.dir/bench_cdec_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bfvr_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_cdec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_bfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

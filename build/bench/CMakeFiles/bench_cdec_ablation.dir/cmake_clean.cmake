@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdec_ablation.dir/bench_cdec_ablation.cpp.o"
+  "CMakeFiles/bench_cdec_ablation.dir/bench_cdec_ablation.cpp.o.d"
+  "bench_cdec_ablation"
+  "bench_cdec_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdec_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantsched.dir/bench_quantsched.cpp.o"
+  "CMakeFiles/bench_quantsched.dir/bench_quantsched.cpp.o.d"
+  "bench_quantsched"
+  "bench_quantsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

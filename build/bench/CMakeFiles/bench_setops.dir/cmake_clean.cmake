@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_setops.dir/bench_setops.cpp.o"
+  "CMakeFiles/bench_setops.dir/bench_setops.cpp.o.d"
+  "bench_setops"
+  "bench_setops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

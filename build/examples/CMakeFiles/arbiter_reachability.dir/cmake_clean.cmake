@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_reachability.dir/arbiter_reachability.cpp.o"
+  "CMakeFiles/arbiter_reachability.dir/arbiter_reachability.cpp.o.d"
+  "arbiter_reachability"
+  "arbiter_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_check.dir/invariant_check.cpp.o"
+  "CMakeFiles/invariant_check.dir/invariant_check.cpp.o.d"
+  "invariant_check"
+  "invariant_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_robustness.dir/ordering_robustness.cpp.o"
+  "CMakeFiles/ordering_robustness.dir/ordering_robustness.cpp.o.d"
+  "ordering_robustness"
+  "ordering_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/cofactor.cpp" "src/CMakeFiles/bfvr_bdd.dir/bdd/cofactor.cpp.o" "gcc" "src/CMakeFiles/bfvr_bdd.dir/bdd/cofactor.cpp.o.d"
+  "/root/repo/src/bdd/compose.cpp" "src/CMakeFiles/bfvr_bdd.dir/bdd/compose.cpp.o" "gcc" "src/CMakeFiles/bfvr_bdd.dir/bdd/compose.cpp.o.d"
+  "/root/repo/src/bdd/count.cpp" "src/CMakeFiles/bfvr_bdd.dir/bdd/count.cpp.o" "gcc" "src/CMakeFiles/bfvr_bdd.dir/bdd/count.cpp.o.d"
+  "/root/repo/src/bdd/dot.cpp" "src/CMakeFiles/bfvr_bdd.dir/bdd/dot.cpp.o" "gcc" "src/CMakeFiles/bfvr_bdd.dir/bdd/dot.cpp.o.d"
+  "/root/repo/src/bdd/manager.cpp" "src/CMakeFiles/bfvr_bdd.dir/bdd/manager.cpp.o" "gcc" "src/CMakeFiles/bfvr_bdd.dir/bdd/manager.cpp.o.d"
+  "/root/repo/src/bdd/ops.cpp" "src/CMakeFiles/bfvr_bdd.dir/bdd/ops.cpp.o" "gcc" "src/CMakeFiles/bfvr_bdd.dir/bdd/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bfvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfvr_bdd.dir/bdd/cofactor.cpp.o"
+  "CMakeFiles/bfvr_bdd.dir/bdd/cofactor.cpp.o.d"
+  "CMakeFiles/bfvr_bdd.dir/bdd/compose.cpp.o"
+  "CMakeFiles/bfvr_bdd.dir/bdd/compose.cpp.o.d"
+  "CMakeFiles/bfvr_bdd.dir/bdd/count.cpp.o"
+  "CMakeFiles/bfvr_bdd.dir/bdd/count.cpp.o.d"
+  "CMakeFiles/bfvr_bdd.dir/bdd/dot.cpp.o"
+  "CMakeFiles/bfvr_bdd.dir/bdd/dot.cpp.o.d"
+  "CMakeFiles/bfvr_bdd.dir/bdd/manager.cpp.o"
+  "CMakeFiles/bfvr_bdd.dir/bdd/manager.cpp.o.d"
+  "CMakeFiles/bfvr_bdd.dir/bdd/ops.cpp.o"
+  "CMakeFiles/bfvr_bdd.dir/bdd/ops.cpp.o.d"
+  "libbfvr_bdd.a"
+  "libbfvr_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfvr_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfv/bfv.cpp" "src/CMakeFiles/bfvr_bfv.dir/bfv/bfv.cpp.o" "gcc" "src/CMakeFiles/bfvr_bfv.dir/bfv/bfv.cpp.o.d"
+  "/root/repo/src/bfv/convert.cpp" "src/CMakeFiles/bfvr_bfv.dir/bfv/convert.cpp.o" "gcc" "src/CMakeFiles/bfvr_bfv.dir/bfv/convert.cpp.o.d"
+  "/root/repo/src/bfv/intersect.cpp" "src/CMakeFiles/bfvr_bfv.dir/bfv/intersect.cpp.o" "gcc" "src/CMakeFiles/bfvr_bfv.dir/bfv/intersect.cpp.o.d"
+  "/root/repo/src/bfv/quantify.cpp" "src/CMakeFiles/bfvr_bfv.dir/bfv/quantify.cpp.o" "gcc" "src/CMakeFiles/bfvr_bfv.dir/bfv/quantify.cpp.o.d"
+  "/root/repo/src/bfv/reparam.cpp" "src/CMakeFiles/bfvr_bfv.dir/bfv/reparam.cpp.o" "gcc" "src/CMakeFiles/bfvr_bfv.dir/bfv/reparam.cpp.o.d"
+  "/root/repo/src/bfv/union.cpp" "src/CMakeFiles/bfvr_bfv.dir/bfv/union.cpp.o" "gcc" "src/CMakeFiles/bfvr_bfv.dir/bfv/union.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bfvr_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

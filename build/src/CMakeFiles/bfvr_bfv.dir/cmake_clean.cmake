@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfvr_bfv.dir/bfv/bfv.cpp.o"
+  "CMakeFiles/bfvr_bfv.dir/bfv/bfv.cpp.o.d"
+  "CMakeFiles/bfvr_bfv.dir/bfv/convert.cpp.o"
+  "CMakeFiles/bfvr_bfv.dir/bfv/convert.cpp.o.d"
+  "CMakeFiles/bfvr_bfv.dir/bfv/intersect.cpp.o"
+  "CMakeFiles/bfvr_bfv.dir/bfv/intersect.cpp.o.d"
+  "CMakeFiles/bfvr_bfv.dir/bfv/quantify.cpp.o"
+  "CMakeFiles/bfvr_bfv.dir/bfv/quantify.cpp.o.d"
+  "CMakeFiles/bfvr_bfv.dir/bfv/reparam.cpp.o"
+  "CMakeFiles/bfvr_bfv.dir/bfv/reparam.cpp.o.d"
+  "CMakeFiles/bfvr_bfv.dir/bfv/union.cpp.o"
+  "CMakeFiles/bfvr_bfv.dir/bfv/union.cpp.o.d"
+  "libbfvr_bfv.a"
+  "libbfvr_bfv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfvr_bfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfvr_cdec.dir/cdec/cdec.cpp.o"
+  "CMakeFiles/bfvr_cdec.dir/cdec/cdec.cpp.o.d"
+  "libbfvr_cdec.a"
+  "libbfvr_cdec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfvr_cdec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbfvr_cdec.a"
+)

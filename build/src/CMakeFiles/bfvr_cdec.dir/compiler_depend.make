@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bfvr_cdec.
+# This may be replaced when dependencies are built.

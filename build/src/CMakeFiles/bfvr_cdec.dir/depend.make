@@ -1,0 +1,2 @@
+# Empty dependencies file for bfvr_cdec.
+# This may be replaced when dependencies are built.

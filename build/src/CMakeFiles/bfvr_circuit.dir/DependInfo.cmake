@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/bench_io.cpp" "src/CMakeFiles/bfvr_circuit.dir/circuit/bench_io.cpp.o" "gcc" "src/CMakeFiles/bfvr_circuit.dir/circuit/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/concrete_sim.cpp" "src/CMakeFiles/bfvr_circuit.dir/circuit/concrete_sim.cpp.o" "gcc" "src/CMakeFiles/bfvr_circuit.dir/circuit/concrete_sim.cpp.o.d"
+  "/root/repo/src/circuit/generators.cpp" "src/CMakeFiles/bfvr_circuit.dir/circuit/generators.cpp.o" "gcc" "src/CMakeFiles/bfvr_circuit.dir/circuit/generators.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/bfvr_circuit.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/bfvr_circuit.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/orders.cpp" "src/CMakeFiles/bfvr_circuit.dir/circuit/orders.cpp.o" "gcc" "src/CMakeFiles/bfvr_circuit.dir/circuit/orders.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bfvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfvr_circuit.dir/circuit/bench_io.cpp.o"
+  "CMakeFiles/bfvr_circuit.dir/circuit/bench_io.cpp.o.d"
+  "CMakeFiles/bfvr_circuit.dir/circuit/concrete_sim.cpp.o"
+  "CMakeFiles/bfvr_circuit.dir/circuit/concrete_sim.cpp.o.d"
+  "CMakeFiles/bfvr_circuit.dir/circuit/generators.cpp.o"
+  "CMakeFiles/bfvr_circuit.dir/circuit/generators.cpp.o.d"
+  "CMakeFiles/bfvr_circuit.dir/circuit/netlist.cpp.o"
+  "CMakeFiles/bfvr_circuit.dir/circuit/netlist.cpp.o.d"
+  "CMakeFiles/bfvr_circuit.dir/circuit/orders.cpp.o"
+  "CMakeFiles/bfvr_circuit.dir/circuit/orders.cpp.o.d"
+  "libbfvr_circuit.a"
+  "libbfvr_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfvr_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reach/bfv_reach.cpp" "src/CMakeFiles/bfvr_reach.dir/reach/bfv_reach.cpp.o" "gcc" "src/CMakeFiles/bfvr_reach.dir/reach/bfv_reach.cpp.o.d"
+  "/root/repo/src/reach/cbm_reach.cpp" "src/CMakeFiles/bfvr_reach.dir/reach/cbm_reach.cpp.o" "gcc" "src/CMakeFiles/bfvr_reach.dir/reach/cbm_reach.cpp.o.d"
+  "/root/repo/src/reach/ctl.cpp" "src/CMakeFiles/bfvr_reach.dir/reach/ctl.cpp.o" "gcc" "src/CMakeFiles/bfvr_reach.dir/reach/ctl.cpp.o.d"
+  "/root/repo/src/reach/engine.cpp" "src/CMakeFiles/bfvr_reach.dir/reach/engine.cpp.o" "gcc" "src/CMakeFiles/bfvr_reach.dir/reach/engine.cpp.o.d"
+  "/root/repo/src/reach/hybrid_reach.cpp" "src/CMakeFiles/bfvr_reach.dir/reach/hybrid_reach.cpp.o" "gcc" "src/CMakeFiles/bfvr_reach.dir/reach/hybrid_reach.cpp.o.d"
+  "/root/repo/src/reach/invariant.cpp" "src/CMakeFiles/bfvr_reach.dir/reach/invariant.cpp.o" "gcc" "src/CMakeFiles/bfvr_reach.dir/reach/invariant.cpp.o.d"
+  "/root/repo/src/reach/tr_reach.cpp" "src/CMakeFiles/bfvr_reach.dir/reach/tr_reach.cpp.o" "gcc" "src/CMakeFiles/bfvr_reach.dir/reach/tr_reach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bfvr_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_bfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_cdec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

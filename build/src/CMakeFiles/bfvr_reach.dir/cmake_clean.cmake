@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfvr_reach.dir/reach/bfv_reach.cpp.o"
+  "CMakeFiles/bfvr_reach.dir/reach/bfv_reach.cpp.o.d"
+  "CMakeFiles/bfvr_reach.dir/reach/cbm_reach.cpp.o"
+  "CMakeFiles/bfvr_reach.dir/reach/cbm_reach.cpp.o.d"
+  "CMakeFiles/bfvr_reach.dir/reach/ctl.cpp.o"
+  "CMakeFiles/bfvr_reach.dir/reach/ctl.cpp.o.d"
+  "CMakeFiles/bfvr_reach.dir/reach/engine.cpp.o"
+  "CMakeFiles/bfvr_reach.dir/reach/engine.cpp.o.d"
+  "CMakeFiles/bfvr_reach.dir/reach/hybrid_reach.cpp.o"
+  "CMakeFiles/bfvr_reach.dir/reach/hybrid_reach.cpp.o.d"
+  "CMakeFiles/bfvr_reach.dir/reach/invariant.cpp.o"
+  "CMakeFiles/bfvr_reach.dir/reach/invariant.cpp.o.d"
+  "CMakeFiles/bfvr_reach.dir/reach/tr_reach.cpp.o"
+  "CMakeFiles/bfvr_reach.dir/reach/tr_reach.cpp.o.d"
+  "libbfvr_reach.a"
+  "libbfvr_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfvr_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

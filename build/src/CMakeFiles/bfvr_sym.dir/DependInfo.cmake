@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/image.cpp" "src/CMakeFiles/bfvr_sym.dir/sym/image.cpp.o" "gcc" "src/CMakeFiles/bfvr_sym.dir/sym/image.cpp.o.d"
+  "/root/repo/src/sym/ordersearch.cpp" "src/CMakeFiles/bfvr_sym.dir/sym/ordersearch.cpp.o" "gcc" "src/CMakeFiles/bfvr_sym.dir/sym/ordersearch.cpp.o.d"
+  "/root/repo/src/sym/simulate.cpp" "src/CMakeFiles/bfvr_sym.dir/sym/simulate.cpp.o" "gcc" "src/CMakeFiles/bfvr_sym.dir/sym/simulate.cpp.o.d"
+  "/root/repo/src/sym/space.cpp" "src/CMakeFiles/bfvr_sym.dir/sym/space.cpp.o" "gcc" "src/CMakeFiles/bfvr_sym.dir/sym/space.cpp.o.d"
+  "/root/repo/src/sym/transition.cpp" "src/CMakeFiles/bfvr_sym.dir/sym/transition.cpp.o" "gcc" "src/CMakeFiles/bfvr_sym.dir/sym/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bfvr_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfvr_sym.dir/sym/image.cpp.o"
+  "CMakeFiles/bfvr_sym.dir/sym/image.cpp.o.d"
+  "CMakeFiles/bfvr_sym.dir/sym/ordersearch.cpp.o"
+  "CMakeFiles/bfvr_sym.dir/sym/ordersearch.cpp.o.d"
+  "CMakeFiles/bfvr_sym.dir/sym/simulate.cpp.o"
+  "CMakeFiles/bfvr_sym.dir/sym/simulate.cpp.o.d"
+  "CMakeFiles/bfvr_sym.dir/sym/space.cpp.o"
+  "CMakeFiles/bfvr_sym.dir/sym/space.cpp.o.d"
+  "CMakeFiles/bfvr_sym.dir/sym/transition.cpp.o"
+  "CMakeFiles/bfvr_sym.dir/sym/transition.cpp.o.d"
+  "libbfvr_sym.a"
+  "libbfvr_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfvr_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

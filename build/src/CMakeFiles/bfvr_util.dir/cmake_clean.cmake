@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfvr_util.dir/util/rng.cpp.o"
+  "CMakeFiles/bfvr_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/bfvr_util.dir/util/stats.cpp.o"
+  "CMakeFiles/bfvr_util.dir/util/stats.cpp.o.d"
+  "libbfvr_util.a"
+  "libbfvr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfvr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/brute.cpp" "tests/CMakeFiles/bfvr_tests.dir/support/brute.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/support/brute.cpp.o.d"
+  "/root/repo/tests/test_bdd_basic.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_basic.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_basic.cpp.o.d"
+  "/root/repo/tests/test_bdd_cofactor.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_cofactor.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_cofactor.cpp.o.d"
+  "/root/repo/tests/test_bdd_compose.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_compose.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_compose.cpp.o.d"
+  "/root/repo/tests/test_bdd_count.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_count.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_count.cpp.o.d"
+  "/root/repo/tests/test_bdd_gc.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_gc.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_gc.cpp.o.d"
+  "/root/repo/tests/test_bdd_ops.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_ops.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_ops.cpp.o.d"
+  "/root/repo/tests/test_bdd_quant.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_quant.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bdd_quant.cpp.o.d"
+  "/root/repo/tests/test_bench_io.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bench_io.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bench_io.cpp.o.d"
+  "/root/repo/tests/test_bfv_basic.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_basic.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_basic.cpp.o.d"
+  "/root/repo/tests/test_bfv_convert.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_convert.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_convert.cpp.o.d"
+  "/root/repo/tests/test_bfv_interleaved.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_interleaved.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_interleaved.cpp.o.d"
+  "/root/repo/tests/test_bfv_intersect.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_intersect.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_intersect.cpp.o.d"
+  "/root/repo/tests/test_bfv_quantify.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_quantify.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_quantify.cpp.o.d"
+  "/root/repo/tests/test_bfv_reparam.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_reparam.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_reparam.cpp.o.d"
+  "/root/repo/tests/test_bfv_union.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_union.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_bfv_union.cpp.o.d"
+  "/root/repo/tests/test_cdec.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_cdec.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_cdec.cpp.o.d"
+  "/root/repo/tests/test_concrete_sim.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_concrete_sim.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_concrete_sim.cpp.o.d"
+  "/root/repo/tests/test_ctl.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_ctl.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_ctl.cpp.o.d"
+  "/root/repo/tests/test_data_files.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_data_files.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_data_files.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_image.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_image.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_image.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_invariant.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_invariant.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_invariant.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_orders.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_orders.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_orders.cpp.o.d"
+  "/root/repo/tests/test_reach.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_reach.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_reach.cpp.o.d"
+  "/root/repo/tests/test_sym.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_sym.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_sym.cpp.o.d"
+  "/root/repo/tests/test_transition.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_transition.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_transition.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/bfvr_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/bfvr_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bfvr_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_cdec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_bfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bfvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
