@@ -4,11 +4,13 @@
 #include <cstdio>
 
 #include "bfv/bfv.hpp"
+#include "json.hpp"
 
 using namespace bfvr;
 using bfv::Bfv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonLog log = bench::jsonLogFromArgs(argc, argv, "table1");
   bdd::Manager m(3);
   const std::vector<unsigned> vars{0, 1, 2};
   // Members as component masks (bit i = component i, component 0 is the
@@ -45,5 +47,12 @@ int main() {
               chi == ~(m.var(0) & m.var(1)) ? "yes" : "NO");
   std::printf("chi BDD nodes: %zu, BFV shared nodes: %zu, |S| = %.0f\n",
               m.nodeCount(chi), f.sharedSize(), f.countStates());
-  return 0;
+  bench::JsonObject o;
+  o.add("table", "table1")
+      .add("set", "{000,001,010,011,100,101}")
+      .add("chi_nodes", static_cast<std::uint64_t>(m.nodeCount(chi)))
+      .add("bfv_shared_nodes", static_cast<std::uint64_t>(f.sharedSize()))
+      .add("states", f.countStates());
+  log.push(o);
+  return log.write() ? 0 : 1;
 }

@@ -14,13 +14,18 @@
 //   rnd_*          - random sequential logic (generic rows)
 #include <cstring>
 
+#include "json.hpp"
 #include "support.hpp"
 
 using namespace bfvr;
 using namespace bfvr::bench;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  JsonLog log = jsonLogFromArgs(argc, argv, "table2");
 
   struct Row {
     circuit::Netlist n;
@@ -57,6 +62,10 @@ int main(int argc, char** argv) {
       bf.engine = RunSpec::Engine::kBfv;
       const reach::ReachResult a = runOnce(row.n, order, tr);
       const reach::ReachResult b = runOnce(row.n, order, bf);
+      log.push(runObject(row.n.name(), order.label(), engineName(tr.engine),
+                         a));
+      log.push(runObject(row.n.name(), order.label(), engineName(bf.engine),
+                         b));
       const reach::ReachResult& done =
           a.status == RunStatus::kDone ? a : b;
       char states[32];
@@ -80,5 +89,5 @@ int main(int argc, char** argv) {
       "rows (lfsr12, cnt10) where BFV re-parameterizes on every of\n"
       "thousands of iterations — the s3271/s4863 vs s1512/s3330 split of\n"
       "Table 2.\n");
-  return 0;
+  return log.write() ? 0 : 1;
 }

@@ -21,6 +21,9 @@ struct RunSpec {
   enum class Engine { kTr, kTrMono, kCbm, kBfv, kCdec };
   Engine engine = Engine::kBfv;
   reach::ReachOptions opts;
+  /// Manager configuration of the run's fresh BDD universe — how the
+  /// ordering benches turn on Config::auto_reorder per run.
+  bdd::Manager::Config mgr;
 };
 
 inline const char* engineName(RunSpec::Engine e) {
@@ -42,7 +45,7 @@ inline const char* engineName(RunSpec::Engine e) {
 inline reach::ReachResult runOnce(const circuit::Netlist& n,
                                   const circuit::OrderSpec& order,
                                   RunSpec spec) {
-  bdd::Manager m(0);
+  bdd::Manager m(0, spec.mgr);
   sym::StateSpace s(m, n, circuit::makeOrder(n, order));
   switch (spec.engine) {
     case RunSpec::Engine::kTr:

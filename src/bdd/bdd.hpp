@@ -14,9 +14,14 @@
 //  * Canonical form: the `high` (then) edge of every node is regular
 //    (never complemented); complements are pushed to `low` and to the
 //    incoming edge. This makes negation O(1).
-//  * Variable index == level: the variable order is the index order. Order
-//    sweeps (the paper uses several fixed orders per circuit) are realized
-//    by mapping problem signals to indices differently (see sym/space.hpp).
+//  * Variable vs level: a node stores its *variable* (stable identity); the
+//    position in the order is its *level*, looked up through a level <->
+//    variable indirection that dynamic reordering permutes (see
+//    bdd/reorder.hpp). Static order sweeps (the paper uses several fixed
+//    orders per circuit) are realized by mapping problem signals to indices
+//    differently (see sym/space.hpp); sifting can then re-permute at runtime.
+//  * The unique table is split per variable (CUDD-style subtables) so the
+//    adjacent-level swap touches only the nodes of the level being moved.
 //  * Not thread-safe; one Manager per thread.
 #pragma once
 
@@ -26,6 +31,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "bdd/reorder.hpp"
 
 namespace bfvr::bdd {
 
@@ -58,6 +65,9 @@ struct OpStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t nodes_created = 0;
   std::uint64_t gc_runs = 0;
+  std::uint64_t reorder_runs = 0;         ///< completed reorder() invocations
+  std::uint64_t reorder_swaps = 0;        ///< adjacent-level swaps performed
+  std::uint64_t reorder_nodes_saved = 0;  ///< nodes reclaimed by reordering
 };
 
 /// RAII handle to a BDD function. Copyable and movable; registers itself
@@ -77,7 +87,9 @@ class Bdd {
   bool isFalse() const noexcept { return !isNull() && e_ == kFalseEdge; }
   bool isConst() const noexcept { return !isNull() && (e_ >> 1) == 0; }
 
-  /// Top (smallest-index) variable. Requires a non-constant function.
+  /// Variable tested at the top (outermost) level of the function. This is
+  /// a variable *index*; which variable sits on top can change when the
+  /// manager reorders. Requires a non-constant function.
   unsigned topVar() const;
   /// Cofactors with respect to the top variable. Require non-constant.
   Bdd high() const;
@@ -110,8 +122,15 @@ class Bdd {
   double satCount(unsigned num_vars) const;
 
   Manager* manager() const noexcept { return mgr_; }
-  /// Raw edge value; stable only between garbage collections of other
-  /// handles. Used for hashing/interning by higher layers.
+  /// Raw edge value, used for hashing/interning by higher layers. Two
+  /// stability rules:
+  ///  * Function-stability: a live edge keeps denoting the same function
+  ///    across garbage collection AND across dynamic reordering (reorders
+  ///    rewrite nodes in place), so memo tables keyed by raw() stay correct
+  ///    as long as their entries are protected by handles.
+  ///  * Structural instability: reordering changes what topVar()/high()/
+  ///    low() observe for the same raw edge. Never cache structural facts
+  ///    derived from raw() across a possible reorder point (maybeGc()).
   Edge raw() const noexcept { return e_; }
 
  private:
@@ -138,6 +157,17 @@ class Manager {
     /// Initial GC threshold (in-use nodes); grows geometrically when GC
     /// reclaims too little.
     std::size_t gc_threshold = 1U << 16;
+    /// Automatic dynamic reordering: when true, maybeGc() (the engines'
+    /// documented safe point) runs `reorder_method` whenever the in-use
+    /// node count crosses a threshold that starts at `reorder_threshold`
+    /// and grows geometrically (by `reorder_growth`) after each run.
+    bool auto_reorder = false;
+    ReorderMethod reorder_method = ReorderMethod::kSift;
+    std::size_t reorder_threshold = 1U << 13;
+    double reorder_growth = 2.0;
+    /// Sifting abandons a direction when the in-use node count exceeds
+    /// this factor of the size at sift start.
+    double reorder_max_growth = 1.2;
   };
 
   explicit Manager(unsigned num_vars);
@@ -189,8 +219,34 @@ class Manager {
   /// on the support of f.
   Bdd permute(const Bdd& f, std::span<const unsigned> perm);
 
+  // ---- dynamic variable reordering (reorder.cpp) ---------------------------
+  /// Reorder now with the configured (or given) method. Safe at the same
+  /// points as gc(): between operations, never during one. Live handles
+  /// keep their functions and their raw edge values; only levels (and hence
+  /// topVar() results and node counts) change.
+  void reorder() { reorder(cfg_.reorder_method); }
+  void reorder(ReorderMethod method);
+  /// Swap the variables at `level` and `level + 1` — one reordering step,
+  /// exposed for tests and custom reordering loops.
+  void swapLevels(unsigned level);
+  /// Install a complete order: order[l] = variable to place at level l.
+  /// Must be a permutation of 0 .. numVars()-1. Realized by adjacent swaps,
+  /// so the same safety rules as reorder() apply.
+  void setVarOrder(std::span<const unsigned> order);
+  /// Current level of a variable / variable at a level.
+  unsigned levelOfVar(unsigned var) const { return var2level_.at(var); }
+  unsigned varAtLevel(unsigned level) const { return level2var_.at(level); }
+  /// Variables from the top level to the bottom — the current order.
+  std::vector<unsigned> currentOrder() const;
+  /// Tie variables (currently at adjacent levels) into a group that every
+  /// reordering method moves as one block.
+  void bindVarGroup(std::span<const unsigned> vars);
+  void clearVarGroups();
+  /// In-use node count that will trigger the next automatic reorder.
+  std::size_t nextAutoReorderAt() const noexcept { return next_reorder_at_; }
+
   // ---- inspection ----------------------------------------------------------
-  /// Sorted list of variables f depends on.
+  /// Variables f depends on, sorted by variable index (not by level).
   std::vector<unsigned> support(const Bdd& f);
   /// Positive cube of the support variables.
   Bdd supportCube(const Bdd& f);
@@ -212,9 +268,11 @@ class Manager {
   // ---- resources -----------------------------------------------------------
   /// Force a mark-and-sweep collection now.
   void gc();
-  /// Run GC if the in-use count crossed the adaptive threshold. Safe to call
-  /// between operations only (never during one — handles protect operands,
-  /// but intermediate recursion results are unprotected by design).
+  /// Run GC if the in-use count crossed the adaptive threshold; with
+  /// Config::auto_reorder this is also the trigger point for automatic
+  /// dynamic reordering. Safe to call between operations only (never during
+  /// one — handles protect operands, but intermediate recursion results are
+  /// unprotected by design).
   void maybeGc();
   /// Nodes currently allocated and not on the free list (live + garbage).
   std::size_t inUseNodes() const noexcept { return in_use_; }
@@ -235,11 +293,20 @@ class Manager {
   friend class Bdd;
 
   struct Node {
-    std::uint32_t var;   // level; kTermVar for the terminal, kFreeVar if free
+    std::uint32_t var;   // variable index (NOT level); kTermVar for the
+                         // terminal, kFreeVar if on the free list
     Edge high;           // regular by canonical-form invariant
     Edge low;            // may be complemented
-    std::uint32_t next;  // unique-table chain / free list link
+    std::uint32_t next;  // unique-subtable chain / free list link
     std::uint32_t mark;  // GC mark epoch
+  };
+
+  /// Per-variable unique table: holds exactly the nodes labelled with one
+  /// variable, so the adjacent-level swap can enumerate a level in O(level
+  /// size) instead of scanning the node store.
+  struct SubTable {
+    std::vector<std::uint32_t> buckets;  // power-of-two, kNil-terminated
+    std::size_t count = 0;               // nodes currently in this subtable
   };
 
   struct CacheEntry {
@@ -270,7 +337,14 @@ class Manager {
   static bool isCompl(Edge e) noexcept { return (e & 1U) != 0; }
   static Edge regular(Edge e) noexcept { return e & ~1U; }
   static std::uint32_t index(Edge e) noexcept { return e >> 1; }
-  std::uint32_t level(Edge e) const noexcept { return nodes_[index(e)].var; }
+  /// Variable labelling the top node (kTermVar for constants).
+  std::uint32_t varOf(Edge e) const noexcept { return nodes_[index(e)].var; }
+  /// Current level of the top node. The sentinels kTermVar/kFreeVar map to
+  /// themselves, so constants still compare below every real level.
+  std::uint32_t level(Edge e) const noexcept {
+    const std::uint32_t v = nodes_[index(e)].var;
+    return v < var2level_.size() ? var2level_[v] : v;
+  }
   bool isConstEdge(Edge e) const noexcept { return index(e) == 0; }
   // Cofactors at the node's own level, with complement pushed through.
   Edge highOf(Edge e) const noexcept {
@@ -285,9 +359,27 @@ class Manager {
   // -- node store ------------------------------------------------------------
   Edge mkNode(std::uint32_t var, Edge high, Edge low);
   std::uint32_t allocNode();
-  void uniqueInsert(std::uint32_t idx);
-  void growTable();
-  std::size_t tableSlot(std::uint32_t var, Edge high, Edge low) const noexcept;
+  void ensureVar(unsigned idx);
+  void growSubTable(std::uint32_t var);
+  std::size_t subSlot(const SubTable& st, Edge high, Edge low) const noexcept;
+
+  // -- dynamic reordering (reorder.cpp) ---------------------------------------
+  // Reordering runs with exact per-node reference counts (built on entry,
+  // discarded on exit) so dead nodes are reclaimed swap-by-swap and in_use_
+  // is the exact live size sifting optimizes.
+  void reorderPrologue();
+  void reorderDone();
+  void buildRefs();
+  void edgeRef(Edge e) noexcept { ++refs_[index(e)]; }
+  void edgeDeref(Edge e);
+  void unlinkFromSubtable(std::uint32_t i);
+  Edge swapMkNode(std::uint32_t var, Edge high, Edge low);
+  void swapRaw(unsigned level);
+  std::vector<std::uint32_t> blockSizes() const;
+  void swapBlockWithNext(std::vector<std::uint32_t>& sizes, unsigned i);
+  void siftPass();
+  void siftBlock(std::uint32_t top_var);
+  void windowPass(unsigned window);
 
   // -- computed cache ---------------------------------------------------------
   bool cacheLookup(std::uint32_t op, Edge a, Edge b, Edge c, Edge& out);
@@ -312,7 +404,16 @@ class Manager {
   unsigned num_vars_;
   Config cfg_;
   std::vector<Node> nodes_;
-  std::vector<std::uint32_t> table_;  // unique-table buckets
+  std::vector<SubTable> subtables_;        // unique table, one per variable
+  std::vector<std::uint32_t> var2level_;   // variable -> level
+  std::vector<std::uint32_t> level2var_;   // level -> variable
+  std::vector<std::uint32_t> group_of_var_;  // reorder group id or kNil
+  std::uint32_t next_group_ = 0;
+  bool reordering_ = false;
+  std::size_t next_reorder_at_ = 0;        // auto-reorder trigger
+  std::vector<std::uint32_t> refs_;        // refcounts, valid while reordering_
+  std::vector<std::uint32_t> rewrite_list_;
+  std::vector<std::uint32_t> deref_stack_;
   std::uint32_t free_list_ = kNil;
   std::size_t in_use_ = 0;
   std::size_t peak_nodes_ = 0;

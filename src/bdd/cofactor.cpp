@@ -10,6 +10,7 @@ namespace bfvr::bdd {
 
 Bdd Manager::cofactor(const Bdd& f, unsigned var, bool value) {
   ++stats_.top_ops;
+  ensureVar(var);
   // f|v=c is composition of the constant c for v.
   const Edge g = value ? kTrueEdge : kFalseEdge;
   return make(composeRec(requireSameManager(f), var, g));
@@ -39,7 +40,7 @@ Edge Manager::constrainRec(Edge f, Edge c) {
   } else if (ch == kFalseEdge) {
     r = constrainRec(fl, cl);
   } else {
-    r = mkNode(top, constrainRec(fh, ch), constrainRec(fl, cl));
+    r = mkNode(level2var_[top], constrainRec(fh, ch), constrainRec(fl, cl));
   }
   cacheStore(kOpConstrain, f, c, 0, r);
   return r;
@@ -87,10 +88,10 @@ Edge Manager::restrictRec(Edge f, Edge c) {
     } else if (ch == kFalseEdge) {
       r = restrictRec(fl, cl);
     } else {
-      r = mkNode(lf, restrictRec(fh, ch), restrictRec(fl, cl));
+      r = mkNode(level2var_[lf], restrictRec(fh, ch), restrictRec(fl, cl));
     }
   } else {
-    r = mkNode(lf, restrictRec(fh, c), restrictRec(fl, c));
+    r = mkNode(level2var_[lf], restrictRec(fh, c), restrictRec(fl, c));
   }
   cacheStore(kOpRestrict, f, c, 0, r);
   return r;

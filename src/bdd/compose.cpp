@@ -9,12 +9,13 @@
 namespace bfvr::bdd {
 
 Edge Manager::composeRec(Edge f, std::uint32_t var, Edge g) {
-  if (isConstEdge(f) || level(f) > var) return f;  // f independent of var
+  // f is independent of var when its top level is below var's level.
+  if (isConstEdge(f) || level(f) > var2level_[var]) return f;
   const std::uint32_t op = kOpComposeBase + var;
   Edge out;
   if (cacheLookup(op, f, g, 0, out)) return out;
   ++stats_.recursive_steps;
-  const std::uint32_t top = level(f);
+  const std::uint32_t top = varOf(f);
   Edge r;
   if (top == var) {
     r = iteRec(g, highOf(f), lowOf(f));
@@ -36,6 +37,7 @@ Edge Manager::composeRec(Edge f, std::uint32_t var, Edge g) {
 
 Bdd Manager::compose(const Bdd& f, unsigned var, const Bdd& g) {
   ++stats_.top_ops;
+  ensureVar(var);
   return make(composeRec(requireSameManager(f), var, requireSameManager(g)));
 }
 

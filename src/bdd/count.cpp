@@ -99,7 +99,9 @@ std::size_t Manager::sharedNodeCount(std::span<const Bdd> fs) {
 bool Manager::eval(const Bdd& f, const std::vector<bool>& values) {
   Edge e = requireSameManager(f);
   while (!isConstEdge(e)) {
-    const std::uint32_t v = level(e);
+    // Assignments are indexed by variable, not by level, so reordering does
+    // not change what eval() computes.
+    const std::uint32_t v = varOf(e);
     if (v >= values.size()) {
       throw std::out_of_range("eval: assignment shorter than support");
     }
@@ -115,7 +117,7 @@ std::vector<signed char> Manager::pickCube(const Bdd& f) {
   }
   std::vector<signed char> cube(num_vars_, -1);
   while (!isConstEdge(e)) {
-    const std::uint32_t v = level(e);
+    const std::uint32_t v = varOf(e);
     const Edge h = highOf(e);
     if (h != kFalseEdge) {
       cube[v] = 1;

@@ -61,7 +61,7 @@ void Bdd::unlink() noexcept {
 
 unsigned Bdd::topVar() const {
   if (isNull() || isConst()) throw std::logic_error("topVar of constant BDD");
-  return mgr_->level(e_);
+  return mgr_->varOf(e_);
 }
 
 Bdd Bdd::high() const {
@@ -137,16 +137,17 @@ std::uint64_t hash3(std::uint64_t a, std::uint64_t b,
 Manager::Manager(unsigned num_vars) : Manager(num_vars, Config{}) {}
 
 Manager::Manager(unsigned num_vars, Config cfg)
-    : num_vars_(num_vars), cfg_(cfg) {
+    : num_vars_(0), cfg_(cfg) {
   nodes_.reserve(1U << 12);
   // Node 0: the terminal (TRUE when referenced by a regular edge).
   nodes_.push_back(Node{kTermVar, kTrueEdge, kTrueEdge, kNil, 0});
   in_use_ = 1;
   peak_nodes_ = 1;
-  table_.assign(1U << 12, kNil);
   gc_threshold_ = cfg_.gc_threshold;
+  next_reorder_at_ = cfg_.reorder_threshold;
   cache_.assign(std::size_t{1} << cfg_.cache_bits, CacheEntry{});
   cache_mask_ = static_cast<std::uint32_t>(cache_.size() - 1);
+  if (num_vars > 0) ensureVar(num_vars - 1);
 }
 
 Manager::~Manager() {
@@ -160,14 +161,28 @@ Manager::~Manager() {
 }
 
 Bdd Manager::var(unsigned idx) {
-  if (idx >= num_vars_) num_vars_ = idx + 1;
+  ensureVar(idx);
   return make(mkNode(idx, kTrueEdge, kFalseEdge));
 }
 
-std::size_t Manager::tableSlot(std::uint32_t var, Edge high,
-                               Edge low) const noexcept {
-  return static_cast<std::size_t>(hash3(var, high, low) &
-                                  (table_.size() - 1));
+void Manager::ensureVar(unsigned idx) {
+  if (idx < num_vars_) return;
+  for (unsigned v = num_vars_; v <= idx; ++v) {
+    // New variables enter at the bottom of the current order, so with no
+    // reordering the order is still the index order.
+    var2level_.push_back(static_cast<std::uint32_t>(level2var_.size()));
+    level2var_.push_back(v);
+    group_of_var_.push_back(kNil);
+    subtables_.emplace_back();
+    subtables_.back().buckets.assign(4, kNil);
+  }
+  num_vars_ = idx + 1;
+}
+
+std::size_t Manager::subSlot(const SubTable& st, Edge high,
+                             Edge low) const noexcept {
+  return static_cast<std::size_t>(hash3(high, low, kMul2) &
+                                  (st.buckets.size() - 1));
 }
 
 Edge Manager::mkNode(std::uint32_t var, Edge high, Edge low) {
@@ -177,12 +192,13 @@ Edge Manager::mkNode(std::uint32_t var, Edge high, Edge low) {
     return negate(mkNode(var, negate(high), negate(low)));
   }
   assert(var < num_vars_);
-  assert(isConstEdge(high) || level(high) > var);
-  assert(isConstEdge(low) || level(low) > var);
-  const std::size_t slot = tableSlot(var, high, low);
-  for (std::uint32_t i = table_[slot]; i != kNil; i = nodes_[i].next) {
+  assert(isConstEdge(high) || level(high) > var2level_[var]);
+  assert(isConstEdge(low) || level(low) > var2level_[var]);
+  SubTable& st = subtables_[var];
+  const std::size_t slot = subSlot(st, high, low);
+  for (std::uint32_t i = st.buckets[slot]; i != kNil; i = nodes_[i].next) {
     const Node& n = nodes_[i];
-    if (n.var == var && n.high == high && n.low == low) {
+    if (n.high == high && n.low == low) {
       return i << 1;
     }
   }
@@ -192,11 +208,11 @@ Edge Manager::mkNode(std::uint32_t var, Edge high, Edge low) {
   n.high = high;
   n.low = low;
   n.mark = 0;
-  // Insert into the (possibly regrown) table.
-  const std::size_t s2 = tableSlot(var, high, low);
-  n.next = table_[s2];
-  table_[s2] = idx;
+  n.next = st.buckets[slot];
+  st.buckets[slot] = idx;
+  ++st.count;
   ++stats_.nodes_created;
+  if (st.count > st.buckets.size()) growSubTable(var);
   return idx << 1;
 }
 
@@ -208,27 +224,29 @@ std::uint32_t Manager::allocNode() {
     if (in_use_ > peak_nodes_) peak_nodes_ = in_use_;
     return idx;
   }
-  if (cfg_.max_nodes != 0 && nodes_.size() >= cfg_.max_nodes) {
+  // The budget is not enforced while reordering: swaps allocate transient
+  // nodes precisely to shrink the table, and sifting's max-growth abort
+  // bounds the overshoot.
+  if (!reordering_ && cfg_.max_nodes != 0 && nodes_.size() >= cfg_.max_nodes) {
     throw NodeBudgetExceeded(cfg_.max_nodes);
   }
-  if (in_use_ + 1 > table_.size()) growTable();
   nodes_.push_back(Node{});
   ++in_use_;
   if (in_use_ > peak_nodes_) peak_nodes_ = in_use_;
   return static_cast<std::uint32_t>(nodes_.size() - 1);
 }
 
-void Manager::growTable() {
-  std::vector<std::uint32_t> old = std::move(table_);
-  table_.assign(old.size() * 2, kNil);
-  // Re-chain every node currently in the table.
+void Manager::growSubTable(std::uint32_t var) {
+  SubTable& st = subtables_[var];
+  std::vector<std::uint32_t> old = std::move(st.buckets);
+  st.buckets.assign(old.size() * 2, kNil);
   for (std::uint32_t head : old) {
     for (std::uint32_t i = head; i != kNil;) {
       const std::uint32_t next = nodes_[i].next;
       const Node& n = nodes_[i];
-      const std::size_t slot = tableSlot(n.var, n.high, n.low);
-      nodes_[i].next = table_[slot];
-      table_[slot] = i;
+      const std::size_t slot = subSlot(st, n.high, n.low);
+      nodes_[i].next = st.buckets[slot];
+      st.buckets[slot] = i;
       i = next;
     }
   }
@@ -289,8 +307,12 @@ void Manager::gc() {
   for (const Bdd* h = handles_; h != nullptr; h = h->next_) {
     markFrom(h->e_);
   }
-  // Sweep: rebuild the unique table with live nodes only; free the rest.
-  std::fill(table_.begin(), table_.end(), kNil);
+  // Sweep: rebuild the per-variable subtables with live nodes only; free
+  // the rest.
+  for (SubTable& st : subtables_) {
+    std::fill(st.buckets.begin(), st.buckets.end(), kNil);
+    st.count = 0;
+  }
   free_list_ = kNil;
   std::size_t live = 1;
   for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
@@ -301,9 +323,11 @@ void Manager::gc() {
       continue;
     }
     if (n.mark == mark_epoch_) {
-      const std::size_t slot = tableSlot(n.var, n.high, n.low);
-      n.next = table_[slot];
-      table_[slot] = i;
+      SubTable& st = subtables_[n.var];
+      const std::size_t slot = subSlot(st, n.high, n.low);
+      n.next = st.buckets[slot];
+      st.buckets[slot] = i;
+      ++st.count;
       ++live;
     } else {
       n.var = kFreeVar;
@@ -321,6 +345,10 @@ void Manager::gc() {
 }
 
 void Manager::maybeGc() {
+  if (cfg_.auto_reorder && !reordering_ && in_use_ >= next_reorder_at_) {
+    reorder(cfg_.reorder_method);
+    return;
+  }
   if (in_use_ >= gc_threshold_) gc();
 }
 

@@ -31,7 +31,7 @@ Edge Manager::andRec(Edge f, Edge g) {
   const Edge gl = lg == top ? lowOf(g) : g;
   const Edge rh = andRec(fh, gh);
   const Edge rl = andRec(fl, gl);
-  const Edge r = mkNode(top, rh, rl);
+  const Edge r = mkNode(level2var_[top], rh, rl);
   cacheStore(kOpAnd, f, g, 0, r);
   return r;
 }
@@ -70,7 +70,7 @@ Edge Manager::xorRec(Edge f, Edge g) {
   const Edge gl = lg == top ? lowOf(g) : g;
   const Edge rh = xorRec(fh, gh);
   const Edge rl = xorRec(fl, gl);
-  const Edge r = mkNode(top, rh, rl);
+  const Edge r = mkNode(level2var_[top], rh, rl);
   cacheStore(kOpXor, f, g, 0, r);
   return r ^ parity;
 }
@@ -126,7 +126,7 @@ Edge Manager::iteRec(Edge f, Edge g, Edge h) {
   const Edge hl = lh == top ? lowOf(h) : h;
   const Edge rh = iteRec(fh, gh, hh);
   const Edge rl = iteRec(fl, gl, hl);
-  const Edge r = mkNode(top, rh, rl);
+  const Edge r = mkNode(level2var_[top], rh, rl);
   cacheStore(kOpIte, f, g, h, r);
   return r ^ parity;
 }
@@ -159,7 +159,7 @@ Edge Manager::existsRec(Edge f, Edge cube) {
       r = negate(andRec(negate(rh), negate(rl)));  // rh | rl
     }
   } else {
-    r = mkNode(top, existsRec(fh, cube), existsRec(fl, cube));
+    r = mkNode(level2var_[top], existsRec(fh, cube), existsRec(fl, cube));
   }
   cacheStore(kOpExists, f, cube, 0, r);
   return r;
@@ -198,7 +198,8 @@ Edge Manager::andExistsRec(Edge f, Edge g, Edge cube) {
       r = negate(andRec(negate(rh), negate(rl)));  // rh | rl
     }
   } else {
-    r = mkNode(top, andExistsRec(fh, gh, cube), andExistsRec(fl, gl, cube));
+    r = mkNode(level2var_[top], andExistsRec(fh, gh, cube),
+               andExistsRec(fl, gl, cube));
   }
   cacheStore(kOpAndExists, f, g, cube, r);
   return r;
@@ -249,11 +250,14 @@ Bdd Manager::andExists(const Bdd& f, const Bdd& g, const Bdd& cube) {
 
 Bdd Manager::cube(std::span<const unsigned> vars) {
   Bdd c = one();
-  // Build bottom-up (largest index first) so each mkNode is O(1).
   std::vector<unsigned> sorted(vars.begin(), vars.end());
-  std::sort(sorted.begin(), sorted.end());
+  for (unsigned v : sorted) ensureVar(v);
+  // Build bottom-up (deepest level first) so each mkNode is O(1); under a
+  // reordered manager the level order differs from the index order.
+  std::sort(sorted.begin(), sorted.end(), [this](unsigned a, unsigned b) {
+    return var2level_[a] < var2level_[b];
+  });
   for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
-    if (*it >= num_vars_) num_vars_ = *it + 1;
     c = make(mkNode(*it, c.raw(), kFalseEdge));
   }
   return c;

@@ -33,6 +33,7 @@ void runBfvBackend(sym::StateSpace& s, const ReachOptions& opts,
                    ReachResult& r, internal::RunGuard& guard) {
   Manager& m = s.manager();
   const std::vector<unsigned> params = simulationParams(s);
+  internal::applyReorderPolicy(s, opts);
   Bfv reached = Bfv::point(m, s.currentVars(), s.initialBits());
   Bfv from = reached;
   for (;;) {
@@ -58,6 +59,7 @@ void runBfvBackend(sym::StateSpace& s, const ReachOptions& opts,
     } else {
       from = reached;
     }
+    internal::maybeStepReorder(m, opts, r.iterations);
     m.maybeGc();
     guard.sample();
     if (opts.max_iterations != 0 && r.iterations >= opts.max_iterations) {
@@ -77,6 +79,7 @@ void runCdecBackend(sym::StateSpace& s, const ReachOptions& opts,
   using cdec::Cdec;
   Manager& m = s.manager();
   const std::vector<unsigned> params = simulationParams(s);
+  internal::applyReorderPolicy(s, opts);
   Cdec reached = Cdec::fromBfv(Bfv::point(m, s.currentVars(), s.initialBits()));
   Cdec from = reached;
   for (;;) {
@@ -107,6 +110,7 @@ void runCdecBackend(sym::StateSpace& s, const ReachOptions& opts,
     } else {
       from = reached;
     }
+    internal::maybeStepReorder(m, opts, r.iterations);
     m.maybeGc();
     guard.sample();
     if (opts.max_iterations != 0 && r.iterations >= opts.max_iterations) {

@@ -13,6 +13,7 @@ ReachResult reachCbm(sym::StateSpace& s, const ReachOptions& opts) {
   Manager& m = s.manager();
   return internal::runGuarded(
       m, opts.budget, [&](ReachResult& r, internal::RunGuard& guard) {
+        internal::applyReorderPolicy(s, opts);
         Bdd reached = sym::initialChar(s);
         Bdd from = reached;
         for (;;) {
@@ -38,6 +39,7 @@ ReachResult reachCbm(sym::StateSpace& s, const ReachOptions& opts) {
           } else {
             from = reached;
           }
+          internal::maybeStepReorder(m, opts, r.iterations);
           m.maybeGc();
           guard.sample();
           if (opts.max_iterations != 0 &&

@@ -34,6 +34,18 @@ using bfv::Bfv;
 /// operations).
 enum class SetBackend : std::uint8_t { kBfv, kCdec };
 
+/// Dynamic-reordering policy for a reachability run. Works alongside the
+/// manager's own Config::auto_reorder trigger: `every = k` additionally
+/// sifts after every k-th frontier iteration (0 = never).
+struct ReorderPolicy {
+  unsigned every = 0;
+  bdd::ReorderMethod method = bdd::ReorderMethod::kSift;
+  /// Bind each latch's interleaved (current, param) index pair as a reorder
+  /// group, so any reordering — stepwise or automatic — keeps the banks
+  /// interleaved and the u -> v renaming order-preserving.
+  bool group_state_pairs = true;
+};
+
 struct ReachOptions {
   Budget budget;
   /// Selection heuristic (Fig. 1/2 "Selection Heuristic" box): simulate
@@ -48,6 +60,8 @@ struct ReachOptions {
   sym::TransitionOptions transition;
   /// Cap on iterations (0 = until fixpoint); a safety net for tests.
   unsigned max_iterations = 0;
+  /// Dynamic variable reordering between frontier steps.
+  ReorderPolicy reorder;
 };
 
 struct ReachResult {

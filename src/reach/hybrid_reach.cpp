@@ -17,6 +17,7 @@ ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts) {
   Manager& m = s.manager();
   return internal::runGuarded(
       m, opts.budget, [&](ReachResult& r, internal::RunGuard& guard) {
+        internal::applyReorderPolicy(s, opts);
         const sym::TransitionRelation tr(s, opts.transition);
         const std::vector<Bdd> delta = sym::transitionFunctions(s);
         const std::size_t tr_size = tr.sharedSize();
@@ -51,6 +52,7 @@ ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts) {
           } else {
             from = reached;
           }
+          internal::maybeStepReorder(m, opts, r.iterations);
           m.maybeGc();
           guard.sample();
           if (opts.max_iterations != 0 &&

@@ -36,6 +36,29 @@ class RunGuard {
   std::size_t peak_ = 0;
 };
 
+/// Apply the run's reorder policy before the iteration loop: bind each
+/// latch's (v, u) pair into a reorder group. Pairs that are not at adjacent
+/// levels (the manager was reordered before this run) are left unbound.
+inline void applyReorderPolicy(sym::StateSpace& s, const ReachOptions& opts) {
+  if (!opts.reorder.group_state_pairs) return;
+  Manager& m = s.manager();
+  for (unsigned i = 0; i < s.numLatches(); ++i) {
+    const unsigned pair[2] = {s.currentVar(i), s.paramVar(i)};
+    if (m.levelOfVar(pair[1]) == m.levelOfVar(pair[0]) + 1) {
+      m.bindVarGroup(pair);
+    }
+  }
+}
+
+/// Per-iteration reorder hook (called from the engines' safe point, next to
+/// maybeGc()).
+inline void maybeStepReorder(Manager& m, const ReachOptions& opts,
+                             unsigned iteration) {
+  if (opts.reorder.every != 0 && iteration % opts.reorder.every == 0) {
+    m.reorder(opts.reorder.method);
+  }
+}
+
 /// Runs `body` (the iteration loop) and folds budget violations into the
 /// result's status; records time/peak/op metrics.
 template <typename Body>
@@ -60,6 +83,10 @@ ReachResult runGuarded(Manager& m, const Budget& budget, Body&& body) {
   r.ops.cache_hits = after.cache_hits - before.cache_hits;
   r.ops.nodes_created = after.nodes_created - before.nodes_created;
   r.ops.gc_runs = after.gc_runs - before.gc_runs;
+  r.ops.reorder_runs = after.reorder_runs - before.reorder_runs;
+  r.ops.reorder_swaps = after.reorder_swaps - before.reorder_swaps;
+  r.ops.reorder_nodes_saved =
+      after.reorder_nodes_saved - before.reorder_nodes_saved;
   return r;
 }
 

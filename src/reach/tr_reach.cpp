@@ -10,6 +10,7 @@ ReachResult reachTr(sym::StateSpace& s, const ReachOptions& opts) {
   Manager& m = s.manager();
   return internal::runGuarded(
       m, opts.budget, [&](ReachResult& r, internal::RunGuard& guard) {
+        internal::applyReorderPolicy(s, opts);
         const sym::TransitionRelation tr(s, opts.transition);
         guard.sample();
 
@@ -31,6 +32,7 @@ ReachResult reachTr(sym::StateSpace& s, const ReachOptions& opts) {
           } else {
             from = reached;
           }
+          internal::maybeStepReorder(m, opts, r.iterations);
           m.maybeGc();
           guard.sample();
           if (opts.max_iterations != 0 &&

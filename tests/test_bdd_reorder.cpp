@@ -1,0 +1,332 @@
+// Dynamic variable reordering: adjacent swaps, sifting, window passes,
+// automatic triggering, and interaction with GC, budgets, and the level map.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bdd {
+namespace {
+
+using test::bddFromTruth;
+using test::randomTruth;
+using test::truthOf;
+
+/// (x0 & x3) | (x1 & x4) | (x2 & x5): the classic family whose size is
+/// exponential under the natural order and linear under the interleaved
+/// order — sifting has something real to find.
+Bdd badlyOrderedAndOr(Manager& m, unsigned pairs, unsigned stride) {
+  Bdd f = m.zero();
+  for (unsigned i = 0; i < pairs; ++i) {
+    f |= m.var(i) & m.var(i + stride);
+  }
+  return f;
+}
+
+TEST(BddReorder, SwapPreservesEveryLiveFunction) {
+  Manager m(6);
+  Rng rng(11);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  std::vector<Bdd> pool;
+  std::vector<std::uint64_t> truths;
+  for (int i = 0; i < 10; ++i) {
+    truths.push_back(randomTruth(rng, 6));
+    pool.push_back(bddFromTruth(m, vars, truths.back()));
+  }
+  for (unsigned l = 0; l + 1 < 6; ++l) {
+    m.swapLevels(l);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      ASSERT_EQ(truthOf(m, pool[i], vars), truths[i]) << "after swap " << l;
+    }
+  }
+  // Order is now 1,2,3,4,5,0 (variable 0 bubbled to the bottom).
+  EXPECT_EQ(m.varAtLevel(5), 0U);
+  EXPECT_EQ(m.levelOfVar(0), 5U);
+}
+
+TEST(BddReorder, SwapTwiceIsIdentity) {
+  Manager m(4);
+  Bdd f = (m.var(0) ^ m.var(1)) | (m.var(2) & m.var(3));
+  m.gc();  // swapLevels GCs in its prologue; start from a collected state
+  const std::vector<unsigned> before = m.currentOrder();
+  const std::size_t nodes_before = m.inUseNodes();
+  const Edge raw_before = f.raw();
+  m.swapLevels(1);
+  m.swapLevels(1);
+  EXPECT_EQ(m.currentOrder(), before);
+  EXPECT_EQ(m.inUseNodes(), nodes_before);
+  EXPECT_EQ(f.raw(), raw_before);
+}
+
+TEST(BddReorder, RawEdgesStableAcrossReorder) {
+  Manager m(6);
+  Rng rng(5);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  const std::uint64_t tt = randomTruth(rng, 6);
+  Bdd f = bddFromTruth(m, vars, tt);
+  const Edge raw = f.raw();
+  std::vector<unsigned> order{5, 3, 1, 0, 2, 4};
+  m.setVarOrder(order);
+  // In-place rewriting: the handle's raw edge still denotes the same
+  // function, so memo tables keyed on raw() stay correct.
+  EXPECT_EQ(f.raw(), raw);
+  EXPECT_EQ(truthOf(m, f, vars), tt);
+  EXPECT_EQ(m.currentOrder(), order);
+}
+
+TEST(BddReorder, SiftReducesBadlyOrderedFunction) {
+  Manager m(12);
+  Bdd f = badlyOrderedAndOr(m, 6, 6);
+  const std::size_t before = f.nodeCount();
+  m.reorder(ReorderMethod::kSift);
+  EXPECT_LT(f.nodeCount(), before);
+  // 12 variables exceed the 64-bit truth tables of tests/support/brute, so
+  // check semantics by evaluating every assignment of the 4096-point space.
+  for (std::uint32_t a = 0; a < (1U << 12); ++a) {
+    std::vector<bool> values(12);
+    bool expect = false;
+    for (unsigned i = 0; i < 12; ++i) values[i] = ((a >> i) & 1U) != 0;
+    for (unsigned i = 0; i < 6; ++i) expect |= values[i] && values[i + 6];
+    ASSERT_EQ(m.eval(f, values), expect) << "assignment " << a;
+  }
+  EXPECT_EQ(m.stats().reorder_runs, 1U);
+  EXPECT_GT(m.stats().reorder_swaps, 0U);
+  EXPECT_GT(m.stats().reorder_nodes_saved, 0U);
+}
+
+TEST(BddReorder, SiftIsNoOpOnOptimalOrder) {
+  Manager m(8);
+  // Interleaved pairs: already the optimal order for this function.
+  Bdd f = (m.var(0) & m.var(1)) | (m.var(2) & m.var(3)) |
+          (m.var(4) & m.var(5)) | (m.var(6) & m.var(7));
+  m.gc();
+  const std::size_t before = m.inUseNodes();
+  m.reorder(ReorderMethod::kSift);
+  EXPECT_EQ(m.inUseNodes(), before);
+}
+
+TEST(BddReorder, SiftConvergeAndWindowsPreserveSemantics) {
+  for (const ReorderMethod method :
+       {ReorderMethod::kSiftConverge, ReorderMethod::kWindow2,
+        ReorderMethod::kWindow3}) {
+    Manager m(10);
+    Rng rng(23);
+    const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<Bdd> pool;
+    std::vector<std::uint64_t> truths;
+    for (int i = 0; i < 6; ++i) {
+      truths.push_back(randomTruth(rng, 6));
+      std::vector<unsigned> sub(vars.begin() + (i % 4),
+                                vars.begin() + (i % 4) + 6);
+      pool.push_back(bddFromTruth(m, sub, truths.back()));
+    }
+    m.gc();
+    const std::size_t before = m.inUseNodes();
+    m.reorder(method);
+    EXPECT_LE(m.inUseNodes(), before) << to_string(method);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      std::vector<unsigned> sub(vars.begin() + (i % 4),
+                                vars.begin() + (i % 4) + 6);
+      ASSERT_EQ(truthOf(m, pool[i], sub), truths[i]) << to_string(method);
+    }
+  }
+}
+
+TEST(BddReorder, AutoReorderFiresUnderNodePressure) {
+  Manager::Config cfg;
+  cfg.auto_reorder = true;
+  cfg.reorder_threshold = 128;
+  Manager m(16, cfg);
+  Bdd f = badlyOrderedAndOr(m, 8, 8);
+  ASSERT_GE(m.inUseNodes(), m.nextAutoReorderAt());
+  m.maybeGc();  // the engines' safe point
+  EXPECT_EQ(m.stats().reorder_runs, 1U);
+  EXPECT_GE(m.nextAutoReorderAt(), 128U);  // rescheduled
+  // The badly ordered conjunction collapses to the linear-size form.
+  EXPECT_LT(f.nodeCount(), 50U);
+}
+
+TEST(BddReorder, AutoReorderDisabledByDefault) {
+  Manager m(16);
+  Bdd f = badlyOrderedAndOr(m, 8, 8);
+  (void)f;
+  m.maybeGc();
+  EXPECT_EQ(m.stats().reorder_runs, 0U);
+}
+
+TEST(BddReorder, ReorderWorksUnderNodeBudget) {
+  Manager::Config cfg;
+  cfg.max_nodes = 600;
+  Manager m(16, cfg);
+  Bdd f = badlyOrderedAndOr(m, 6, 8);
+  // Reordering may transiently allocate past the budget without throwing.
+  m.reorder(ReorderMethod::kSift);
+  EXPECT_LT(f.nodeCount(), 50U);
+  // The budget is enforced again after the reorder completes: piling up
+  // live functions must still hit the ceiling.
+  Rng rng(1);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  std::vector<Bdd> keep;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 200; ++i) {
+          keep.push_back(bddFromTruth(m, vars, randomTruth(rng, 6)));
+        }
+      },
+      NodeBudgetExceeded);
+}
+
+TEST(BddReorder, GcAfterReorderKeepsFunctions) {
+  Manager m(12);
+  Rng rng(7);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  const std::uint64_t tt = randomTruth(rng, 6);
+  Bdd f = bddFromTruth(m, vars, tt);
+  { Bdd dead = badlyOrderedAndOr(m, 6, 6); (void)dead; }
+  m.reorder(ReorderMethod::kSift);
+  m.gc();
+  EXPECT_EQ(truthOf(m, f, vars), tt);
+  m.reorder(ReorderMethod::kSift);
+  EXPECT_EQ(truthOf(m, f, vars), tt);
+}
+
+TEST(BddReorder, SupportCubeEvalPickCubeUseVariableIndices) {
+  Manager m(6);
+  Bdd f = (m.var(1) & m.var(4)) | m.var(2);
+  std::vector<unsigned> rev{5, 4, 3, 2, 1, 0};
+  m.setVarOrder(rev);
+  // support() reports variable indices, sorted by index, not by level.
+  EXPECT_EQ(m.support(f), (std::vector<unsigned>{1, 2, 4}));
+  // eval() indexes the assignment by variable.
+  EXPECT_TRUE(m.eval(f, {false, true, false, false, true, false}));
+  EXPECT_TRUE(m.eval(f, {false, false, true, false, false, false}));
+  EXPECT_FALSE(m.eval(f, {true, false, false, true, false, true}));
+  // pickCube() yields a var-indexed cube consistent with eval().
+  const std::vector<signed char> cube = m.pickCube(f);
+  std::vector<bool> values(6, false);
+  for (unsigned i = 0; i < 6; ++i) values[i] = cube[i] == 1;
+  EXPECT_TRUE(m.eval(f, values));
+  // cube() builds the same conjunction regardless of the current order.
+  Bdd c = m.cube(std::vector<unsigned>{1, 2, 4});
+  EXPECT_EQ(c, m.var(1) & m.var(2) & m.var(4));
+}
+
+TEST(BddReorder, PermuteAndComposeRespectLevelMap) {
+  Manager m(6);
+  std::vector<unsigned> rev{5, 4, 3, 2, 1, 0};
+  m.setVarOrder(rev);
+  Bdd f = (m.var(0) & m.var(1)) ^ m.var(2);
+  // Rename 0->3, 1->4, 2->5 under the reversed order.
+  const std::vector<unsigned> perm{3, 4, 5, 3, 4, 5};
+  Bdd g = m.permute(f, perm);
+  EXPECT_EQ(g, (m.var(3) & m.var(4)) ^ m.var(5));
+  // compose with a function above/below in level order.
+  Bdd h = m.compose(f, 2, m.var(5));
+  EXPECT_EQ(h, (m.var(0) & m.var(1)) ^ m.var(5));
+}
+
+TEST(BddReorder, QuantifyAndCofactorAfterReorder) {
+  Manager m(6);
+  Rng rng(42);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  const std::uint64_t tt = randomTruth(rng, 6);
+  Bdd f = bddFromTruth(m, vars, tt);
+  m.setVarOrder(std::vector<unsigned>{2, 0, 5, 1, 4, 3});
+  // exists x1 f == f|x1=0 | f|x1=1, computed post-reorder.
+  Bdd q = m.exists(f, m.var(1));
+  Bdd expect = m.cofactor(f, 1, false) | m.cofactor(f, 1, true);
+  EXPECT_EQ(q, expect);
+}
+
+TEST(BddReorder, SetVarOrderValidates) {
+  Manager m(4);
+  EXPECT_THROW(m.setVarOrder(std::vector<unsigned>{0, 1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(m.setVarOrder(std::vector<unsigned>{0, 1, 2, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(m.setVarOrder(std::vector<unsigned>{0, 1, 2, 7}),
+               std::invalid_argument);
+  EXPECT_THROW(m.swapLevels(3), std::out_of_range);
+}
+
+TEST(BddReorder, GroupsMoveAsBlocks) {
+  Manager m(8);
+  // Bind (0,1) and (6,7); give sifting a reason to move things.
+  Bdd f = badlyOrderedAndOr(m, 4, 4);
+  const std::vector<unsigned> g1{0, 1};
+  const std::vector<unsigned> g2{6, 7};
+  m.bindVarGroup(g1);
+  m.bindVarGroup(g2);
+  m.reorder(ReorderMethod::kSiftConverge);
+  // Group members stay at adjacent levels, in their original internal order.
+  EXPECT_EQ(m.levelOfVar(1), m.levelOfVar(0) + 1);
+  EXPECT_EQ(m.levelOfVar(7), m.levelOfVar(6) + 1);
+  EXPECT_EQ(f, (m.var(0) & m.var(4)) | (m.var(1) & m.var(5)) |
+                   (m.var(2) & m.var(6)) | (m.var(3) & m.var(7)));
+  // Binding a non-adjacent set is rejected.
+  m.clearVarGroups();
+  std::vector<unsigned> lv{m.varAtLevel(0), m.varAtLevel(2)};
+  EXPECT_THROW(m.bindVarGroup(lv), std::invalid_argument);
+}
+
+TEST(BddReorder, BfvCanonicalFormSurvivesReorder) {
+  Manager m(8);
+  Rng rng(9);
+  const std::vector<unsigned> vars{0, 1, 2, 3};
+  const test::Set s = test::randomSet(rng, 4, 1, 3);
+  if (s.empty()) GTEST_SKIP();
+  bfv::Bfv f = test::bfvOf(m, vars, s);
+  ASSERT_TRUE(f.checkCanonical());
+  m.reorder(ReorderMethod::kSift);
+  std::string why;
+  EXPECT_TRUE(f.checkCanonical(&why)) << why;
+  EXPECT_EQ(test::setOf(f), s);
+  m.setVarOrder(std::vector<unsigned>{7, 6, 5, 4, 3, 2, 1, 0});
+  EXPECT_TRUE(f.checkCanonical(&why)) << why;
+  EXPECT_EQ(test::setOf(f), s);
+}
+
+TEST(BddReorder, StressRandomOpsInterleavedWithReorders) {
+  Manager m(10);
+  Rng rng(123);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  std::vector<Bdd> pool;
+  std::vector<std::uint64_t> truths;
+  for (int i = 0; i < 6; ++i) {
+    truths.push_back(randomTruth(rng, 6));
+    pool.push_back(bddFromTruth(m, vars, truths.back()));
+  }
+  const ReorderMethod methods[] = {
+      ReorderMethod::kSift, ReorderMethod::kWindow2, ReorderMethod::kWindow3};
+  for (int step = 0; step < 120; ++step) {
+    const std::size_t i = rng.below(pool.size());
+    const std::size_t j = rng.below(pool.size());
+    switch (rng.below(3)) {
+      case 0:
+        pool[i] = pool[i] & pool[j];
+        truths[i] = truths[i] & truths[j];
+        break;
+      case 1:
+        pool[i] = pool[i] | pool[j];
+        truths[i] = truths[i] | truths[j];
+        break;
+      default:
+        pool[i] = pool[i] ^ pool[j];
+        truths[i] = truths[i] ^ truths[j];
+        break;
+    }
+    if (step % 17 == 0) m.reorder(methods[(step / 17) % 3]);
+    if (step % 29 == 0) m.gc();
+    if (step % 13 == 0) {
+      ASSERT_EQ(truthOf(m, pool[i], vars), truths[i]) << "step " << step;
+    }
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(truthOf(m, pool[i], vars), truths[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bfvr::bdd
