@@ -4,12 +4,15 @@
 // the paper's flow (Fig. 2) never leaves the functional-vector world. The
 // monolithic and IWLS95-partitioned transition-relation engines complete
 // the comparison.
+#include "json.hpp"
 #include "support.hpp"
 
 using namespace bfvr;
 using namespace bfvr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonLog log = jsonLogFromArgs(argc, argv, "flows");
+  JsonLog trace = traceLogFromArgs(argc, argv, "flows");
   const circuit::Netlist circuits[] = {
       circuit::makeJohnson(16), circuit::makeTwinShift(12),
       circuit::makeFifoCtrl(3), circuit::makeLfsr(10),
@@ -28,8 +31,11 @@ int main() {
       spec.engine = e;
       spec.opts.budget.max_seconds = 30.0;
       spec.opts.budget.max_live_nodes = 1000000;
-      const reach::ReachResult r =
-          runOnce(n, {circuit::OrderKind::kTopo, 0}, spec);
+      spec.opts.trace = trace.enabled();
+      const circuit::OrderSpec order{circuit::OrderKind::kTopo, 0};
+      const reach::ReachResult r = runOnce(n, order, spec);
+      log.push(runObject(n.name(), order.label(), engineName(e), r));
+      pushTrace(trace, n.name(), order.label(), engineName(e), r);
       char states[32];
       if (r.status == RunStatus::kDone) {
         std::snprintf(states, sizeof states, "%.0f", r.states);
@@ -49,5 +55,5 @@ int main() {
       "and BFV-Fig2 wins; on small or long-diameter circuits the BFV\n"
       "flow's re-parameterization overhead dominates and the chi engines\n"
       "lead — the same mixed outcome as the paper's Table 2.\n");
-  return 0;
+  return log.write() && trace.write() ? 0 : 1;
 }

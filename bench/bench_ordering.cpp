@@ -90,7 +90,7 @@ std::vector<circuit::OrderSpec> orderSuite() {
           {OrderKind::kRandom, 2},  {OrderKind::kRandom, 3}};
 }
 
-int runCircuits(bench::JsonLog& log) {
+int runCircuits(bench::JsonLog& log, bench::JsonLog& trace) {
   const char* kCircuits[] = {"arb4",  "cnt8m200", "crc8",
                              "fifo3", "johnson8", "twin6"};
   // Small circuits never reach the default 8K trigger; a low threshold
@@ -100,6 +100,13 @@ int runCircuits(bench::JsonLog& log) {
   bench::RunSpec reorder = baseline;
   reorder.mgr.auto_reorder = true;
   reorder.mgr.reorder_threshold = 512;
+
+  // Only the two final worst-order runs are traced; the sweep probes stay
+  // untraced to keep the sweep cheap.
+  bench::RunSpec baseline_traced = baseline;
+  baseline_traced.opts.trace = trace.enabled();
+  bench::RunSpec reorder_traced = reorder;
+  reorder_traced.opts.trace = trace.enabled();
 
   std::printf(
       "Ordering robustness: TR engine from each circuit's worst static "
@@ -132,8 +139,8 @@ int runCircuits(bench::JsonLog& log) {
     }
 
     // Final comparison from the worst order: plain vs auto-reorder.
-    const reach::ReachResult base = bench::runOnce(n, worst, baseline);
-    const reach::ReachResult sift = bench::runOnce(n, worst, reorder);
+    const reach::ReachResult base = bench::runOnce(n, worst, baseline_traced);
+    const reach::ReachResult sift = bench::runOnce(n, worst, reorder_traced);
     log.push(bench::runObject(name, worst.label(),
                               bench::engineName(baseline.engine), base)
                  .add("mode", "worst_baseline"));
@@ -141,6 +148,10 @@ int runCircuits(bench::JsonLog& log) {
                               bench::engineName(reorder.engine), sift)
                  .add("mode", "worst_auto_reorder")
                  .add("reorder_threshold", reorder.mgr.reorder_threshold));
+    bench::pushTrace(trace, name, worst.label(),
+                     bench::engineName(baseline.engine), base);
+    bench::pushTrace(trace, name, worst.label(),
+                     bench::engineName(reorder.engine), sift);
 
     char sweep[32];
     std::snprintf(sweep, sizeof sweep, "%zu..%zu", best_peak, worst_peak);
@@ -159,7 +170,7 @@ int runCircuits(bench::JsonLog& log) {
       "auto-reorder (sift, threshold %zu) lowered the worst-order peak on "
       "%u/6 circuits\n",
       reorder.mgr.reorder_threshold, improved);
-  if (!log.write()) return 1;
+  if (!log.write() || !trace.write()) return 1;
   return 0;
 }
 
@@ -171,5 +182,6 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--circuits") == 0) circuits = true;
   }
   bench::JsonLog log = bench::jsonLogFromArgs(argc, argv, "ordering");
-  return circuits ? runCircuits(log) : runPairs(log);
+  bench::JsonLog trace = bench::traceLogFromArgs(argc, argv, "ordering");
+  return circuits ? runCircuits(log, trace) : runPairs(log);
 }

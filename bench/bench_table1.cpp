@@ -11,7 +11,12 @@ using bfv::Bfv;
 
 int main(int argc, char** argv) {
   bench::JsonLog log = bench::jsonLogFromArgs(argc, argv, "table1");
+  bench::JsonLog trace = bench::traceLogFromArgs(argc, argv, "table1");
   bdd::Manager m(3);
+  // No reach run here, so the trace report is events-only: record manager
+  // lifecycle events (a forced GC at the end guarantees at least one).
+  obs::RunTrace events_trace;
+  obs::ScopedEventRecorder recorder(m, events_trace.events);
   const std::vector<unsigned> vars{0, 1, 2};
   // Members as component masks (bit i = component i, component 0 is the
   // paper's first / highest-weighted bit).
@@ -54,5 +59,16 @@ int main(int argc, char** argv) {
       .add("bfv_shared_nodes", static_cast<std::uint64_t>(f.sharedSize()))
       .add("states", f.countStates());
   log.push(o);
-  return log.write() ? 0 : 1;
+  if (trace.enabled()) {
+    m.gc();
+    obs::RunMeta meta;
+    meta.circuit = "table1-example";
+    meta.order = "natural";
+    meta.engine = "BFV-construct";
+    meta.states = f.countStates();
+    meta.peak_live_nodes = m.peakNodes();
+    meta.ops = m.stats();
+    trace.push(obs::reportJson(meta, events_trace));
+  }
+  return log.write() && trace.write() ? 0 : 1;
 }

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   }
   JsonLog log = jsonLogFromArgs(argc, argv, "table2");
+  JsonLog trace = traceLogFromArgs(argc, argv, "table2");
 
   struct Row {
     circuit::Netlist n;
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
       tr.engine = RunSpec::Engine::kTr;
       tr.opts.budget.max_seconds = quick ? 5.0 : 20.0;
       tr.opts.budget.max_live_nodes = row.node_budget;
+      tr.opts.trace = trace.enabled();
       RunSpec bf = tr;
       bf.engine = RunSpec::Engine::kBfv;
       const reach::ReachResult a = runOnce(row.n, order, tr);
@@ -66,6 +68,8 @@ int main(int argc, char** argv) {
                          a));
       log.push(runObject(row.n.name(), order.label(), engineName(bf.engine),
                          b));
+      pushTrace(trace, row.n.name(), order.label(), engineName(tr.engine), a);
+      pushTrace(trace, row.n.name(), order.label(), engineName(bf.engine), b);
       const reach::ReachResult& done =
           a.status == RunStatus::kDone ? a : b;
       char states[32];
@@ -89,5 +93,5 @@ int main(int argc, char** argv) {
       "rows (lfsr12, cnt10) where BFV re-parameterizes on every of\n"
       "thousands of iterations — the s3271/s4863 vs s1512/s3330 split of\n"
       "Table 2.\n");
-  return log.write() ? 0 : 1;
+  return log.write() && trace.write() ? 0 : 1;
 }

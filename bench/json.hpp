@@ -1,140 +1,43 @@
-// Machine-readable output for the experiment binaries: every bench accepts
-// `--json[=path]` and then writes one JSON file per run (an array of run
-// objects) so the perf trajectory — peak nodes, recursive steps, reorder
-// counters — can be tracked across commits (BENCH_*.json artifacts).
+// Thin forwarding header: the JSON writer itself was promoted to
+// src/util/json.hpp (shared with the observability layer); what stays here
+// is the bench-specific glue — `--json` / `--trace` flag parsing, the
+// summary run object, and the adapter that turns a traced ReachResult into
+// an obs report.
 //
-// Deliberately tiny: an ordered field builder and an array-file writer, no
-// external dependency.
+// Every bench accepts `--json[=path]` (one summary object per run, default
+// BENCH_<name>.json) and `--trace[=path]` (one full per-iteration report
+// per run, default TRACE_<name>.json) so the perf trajectory — peak nodes,
+// recursive steps, phase splits, reorder counters — can be tracked across
+// commits as CI artifacts.
 #pragma once
 
-#include <cstdint>
-#include <cstdio>
 #include <string>
-#include <vector>
 
+#include "obs/report.hpp"
 #include "reach/engine.hpp"
+#include "util/json.hpp"
 
 namespace bfvr::bench {
 
-/// Ordered JSON object builder. Field order follows insertion order, so
-/// diffs between bench runs stay line-stable.
-class JsonObject {
- public:
-  JsonObject& add(const std::string& key, const std::string& v) {
-    return addRaw(key, quote(v));
-  }
-  JsonObject& add(const std::string& key, const char* v) {
-    return addRaw(key, quote(v));
-  }
-  JsonObject& add(const std::string& key, bool v) {
-    return addRaw(key, v ? "true" : "false");
-  }
-  JsonObject& add(const std::string& key, double v) {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return addRaw(key, buf);
-  }
-  JsonObject& add(const std::string& key, std::uint64_t v) {
-    return addRaw(key, std::to_string(v));
-  }
-  JsonObject& add(const std::string& key, unsigned v) {
-    return addRaw(key, std::to_string(v));
-  }
-  JsonObject& add(const std::string& key, int v) {
-    return addRaw(key, std::to_string(v));
-  }
-  /// Nested object / array: `v` must already be valid JSON.
-  JsonObject& addRaw(const std::string& key, const std::string& v) {
-    body_ += body_.empty() ? "" : ", ";
-    body_ += quote(key) + ": " + v;
-    return *this;
-  }
-
-  std::string str() const { return "{" + body_ + "}"; }
-
-  static std::string quote(const std::string& s) {
-    std::string out = "\"";
-    for (const char c : s) {
-      switch (c) {
-        case '"':
-          out += "\\\"";
-          break;
-        case '\\':
-          out += "\\\\";
-          break;
-        case '\n':
-          out += "\\n";
-          break;
-        case '\t':
-          out += "\\t";
-          break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out + "\"";
-  }
-
- private:
-  std::string body_;
-};
-
-/// Accumulates run objects and writes them as a JSON array. A default-
-/// constructed (disabled) log swallows writes, so benches can log
-/// unconditionally.
-class JsonLog {
- public:
-  JsonLog() = default;
-  explicit JsonLog(std::string path) : path_(std::move(path)) {}
-
-  bool enabled() const noexcept { return !path_.empty(); }
-  void push(const JsonObject& o) {
-    if (enabled()) entries_.push_back(o.str());
-  }
-
-  /// Write the array file; returns false (with a stderr note) on IO error.
-  bool write() const {
-    if (!enabled()) return true;
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
-      return false;
-    }
-    std::fputs("[\n", f);
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(f, "  %s%s\n", entries_[i].c_str(),
-                   i + 1 < entries_.size() ? "," : "");
-    }
-    std::fputs("]\n", f);
-    std::fclose(f);
-    std::printf("wrote %s (%zu runs)\n", path_.c_str(), entries_.size());
-    return true;
-  }
-
-  const std::string& path() const noexcept { return path_; }
-
- private:
-  std::string path_;
-  std::vector<std::string> entries_;
-};
+using util::JsonLog;
+using util::JsonObject;
 
 /// Parse `--json` / `--json=path` out of argv; `bench_name` picks the
 /// default file name `BENCH_<name>.json`. Returns a disabled log when the
 /// flag is absent.
 inline JsonLog jsonLogFromArgs(int argc, char** argv,
                                const std::string& bench_name) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") return JsonLog("BENCH_" + bench_name + ".json");
-    if (arg.rfind("--json=", 0) == 0) return JsonLog(arg.substr(7));
-  }
-  return JsonLog();
+  return util::jsonLogFromFlag(argc, argv, "--json",
+                               "BENCH_" + bench_name + ".json");
+}
+
+/// Parse `--trace` / `--trace=path`; default file `TRACE_<name>.json`.
+/// When enabled, the bench sets ReachOptions::trace on its runs and pushes
+/// each run's full report via pushTrace().
+inline JsonLog traceLogFromArgs(int argc, char** argv,
+                                const std::string& bench_name) {
+  return util::jsonLogFromFlag(argc, argv, "--trace",
+                               "TRACE_" + bench_name + ".json");
 }
 
 /// The common fields of one engine run (everything the tables print, plus
@@ -158,12 +61,41 @@ inline JsonObject runObject(const std::string& circuit,
       .add("recursive_steps", r.ops.recursive_steps)
       .add("cache_lookups", r.ops.cache_lookups)
       .add("cache_hits", r.ops.cache_hits)
+      .add("cache_inserts", r.ops.cache_inserts)
+      .add("cache_collisions", r.ops.cache_collisions)
       .add("nodes_created", r.ops.nodes_created)
       .add("gc_runs", r.ops.gc_runs)
       .add("reorder_runs", r.ops.reorder_runs)
       .add("reorder_swaps", r.ops.reorder_swaps)
       .add("reorder_nodes_saved", r.ops.reorder_nodes_saved);
   return o;
+}
+
+/// Run-level summary of a ReachResult in the form the obs reports expect.
+inline obs::RunMeta traceMeta(const std::string& circuit,
+                              const std::string& order,
+                              const std::string& engine,
+                              const reach::ReachResult& r) {
+  obs::RunMeta m;
+  m.circuit = circuit;
+  m.order = order;
+  m.engine = engine;
+  m.status = to_string(r.status);
+  m.seconds = r.seconds;
+  m.iterations = r.iterations;
+  m.states = r.states;
+  m.peak_live_nodes = r.peak_live_nodes;
+  m.ops = r.ops;
+  return m;
+}
+
+/// Push the run's full per-iteration report into the trace log. No-op when
+/// the log is disabled or the run was not traced.
+inline void pushTrace(JsonLog& log, const std::string& circuit,
+                      const std::string& order, const std::string& engine,
+                      const reach::ReachResult& r) {
+  if (!log.enabled() || !r.trace.has_value()) return;
+  log.push(obs::reportJson(traceMeta(circuit, order, engine, r), *r.trace));
 }
 
 }  // namespace bfvr::bench

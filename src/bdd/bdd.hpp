@@ -63,11 +63,61 @@ struct OpStats {
   std::uint64_t recursive_steps = 0;  ///< cache-missing recursion steps
   std::uint64_t cache_lookups = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t cache_inserts = 0;    ///< computed-cache stores (cacheStore)
+  std::uint64_t cache_collisions = 0; ///< stores that evicted a live entry
+                                      ///  with a different key
   std::uint64_t nodes_created = 0;
   std::uint64_t gc_runs = 0;
   std::uint64_t reorder_runs = 0;         ///< completed reorder() invocations
   std::uint64_t reorder_swaps = 0;        ///< adjacent-level swaps performed
   std::uint64_t reorder_nodes_saved = 0;  ///< nodes reclaimed by reordering
+
+  /// Field-wise difference `this - before`: the counters spent between two
+  /// stats() snapshots. All counters are monotone, so `before` must be the
+  /// earlier snapshot (no reset in between).
+  OpStats since(const OpStats& before) const noexcept {
+    OpStats d;
+    d.top_ops = top_ops - before.top_ops;
+    d.recursive_steps = recursive_steps - before.recursive_steps;
+    d.cache_lookups = cache_lookups - before.cache_lookups;
+    d.cache_hits = cache_hits - before.cache_hits;
+    d.cache_inserts = cache_inserts - before.cache_inserts;
+    d.cache_collisions = cache_collisions - before.cache_collisions;
+    d.nodes_created = nodes_created - before.nodes_created;
+    d.gc_runs = gc_runs - before.gc_runs;
+    d.reorder_runs = reorder_runs - before.reorder_runs;
+    d.reorder_swaps = reorder_swaps - before.reorder_swaps;
+    d.reorder_nodes_saved = reorder_nodes_saved - before.reorder_nodes_saved;
+    return d;
+  }
+};
+
+/// A manager lifecycle event, delivered to the installed EventSink. What
+/// `size_before` / `size_after` measure depends on the kind:
+///  * kGc        — in-use nodes before / after the collection
+///  * kReorder   — in-use nodes at reorder start (post-prologue GC) / end
+///  * kCacheResize — computed-cache slots before / after
+///  * kNodeBudget  — in-use nodes / the configured budget (the event fires
+///                   immediately before NodeBudgetExceeded is thrown)
+struct ManagerEvent {
+  enum class Kind : std::uint8_t { kGc, kReorder, kCacheResize, kNodeBudget };
+  Kind kind = Kind::kGc;
+  std::size_t size_before = 0;
+  std::size_t size_after = 0;
+  double seconds = 0.0;    ///< time spent inside the event (0 for kNodeBudget)
+  bool automatic = false;  ///< fired by maybeGc() rather than an explicit call
+};
+
+/// "gc" / "reorder" / "cache-resize" / "node-budget".
+const char* to_string(ManagerEvent::Kind k) noexcept;
+
+/// Receiver for ManagerEvents (see Manager::setEventSink). Implementations
+/// must not call back into the manager (the event fires mid-operation) and
+/// should not throw.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void onManagerEvent(const ManagerEvent& e) = 0;
 };
 
 /// RAII handle to a BDD function. Copyable and movable; registers itself
@@ -283,7 +333,21 @@ class Manager {
   void resetPeak() noexcept { peak_nodes_ = in_use_; }
 
   const OpStats& stats() const noexcept { return stats_; }
+  /// Reset all operation counters to zero. Note that the peak node count is
+  /// NOT part of OpStats; it is reset separately via resetPeak().
   void resetStats() noexcept { stats_ = OpStats{}; }
+
+  /// Install (or clear, with nullptr) the sink that receives GC, reorder,
+  /// cache-resize and node-budget events. The manager does not own the
+  /// sink; it must outlive the registration. Near-zero cost when unset.
+  void setEventSink(EventSink* sink) noexcept { sink_ = sink; }
+  EventSink* eventSink() const noexcept { return sink_; }
+
+  /// Resize the computed cache to 2^bits slots, dropping all entries.
+  /// Emits a kCacheResize event.
+  void resizeCache(unsigned bits);
+  /// Current number of computed-cache slots.
+  std::size_t cacheSlots() const noexcept { return cache_.size(); }
 
   /// Graphviz dump of the given (labelled) functions, for debugging & docs.
   std::string toDot(std::span<const Bdd> fs,
@@ -385,6 +449,12 @@ class Manager {
   bool cacheLookup(std::uint32_t op, Edge a, Edge b, Edge c, Edge& out);
   void cacheStore(std::uint32_t op, Edge a, Edge b, Edge c, Edge r);
 
+  // -- events ------------------------------------------------------------------
+  /// Forward an event to the installed sink (no-op without one). The
+  /// `automatic` flag comes from auto_event_, set around maybeGc() work.
+  void emitEvent(ManagerEvent::Kind kind, std::size_t before,
+                 std::size_t after, double seconds);
+
   // -- recursive kernels (raw edges; no handle churn) -------------------------
   Edge andRec(Edge f, Edge g);
   Edge xorRec(Edge f, Edge g);
@@ -422,6 +492,8 @@ class Manager {
   std::vector<CacheEntry> cache_;
   std::uint32_t cache_mask_ = 0;
   OpStats stats_;
+  EventSink* sink_ = nullptr;
+  bool auto_event_ = false;  // inside maybeGc(): events are "automatic"
   Bdd* handles_ = nullptr;  // head of intrusive handle registry
   std::vector<std::uint32_t> mark_stack_;
 };

@@ -2,7 +2,23 @@
 
 #include <cassert>
 
+#include "util/stats.hpp"
+
 namespace bfvr::bdd {
+
+const char* to_string(ManagerEvent::Kind k) noexcept {
+  switch (k) {
+    case ManagerEvent::Kind::kGc:
+      return "gc";
+    case ManagerEvent::Kind::kReorder:
+      return "reorder";
+    case ManagerEvent::Kind::kCacheResize:
+      return "cache-resize";
+    case ManagerEvent::Kind::kNodeBudget:
+      return "node-budget";
+  }
+  return "?";
+}
 
 // ---------------------------------------------------------------------------
 // Bdd handle: intrusive registration with the manager so GC can mark roots.
@@ -228,6 +244,7 @@ std::uint32_t Manager::allocNode() {
   // nodes precisely to shrink the table, and sifting's max-growth abort
   // bounds the overshoot.
   if (!reordering_ && cfg_.max_nodes != 0 && nodes_.size() >= cfg_.max_nodes) {
+    emitEvent(ManagerEvent::Kind::kNodeBudget, in_use_, cfg_.max_nodes, 0.0);
     throw NodeBudgetExceeded(cfg_.max_nodes);
   }
   nodes_.push_back(Node{});
@@ -271,9 +288,36 @@ bool Manager::cacheLookup(std::uint32_t op, Edge a, Edge b, Edge c,
 }
 
 void Manager::cacheStore(std::uint32_t op, Edge a, Edge b, Edge c, Edge r) {
+  ++stats_.cache_inserts;
   const std::size_t slot =
       hash3((static_cast<std::uint64_t>(op) << 32) | a, b, c) & cache_mask_;
-  cache_[slot] = CacheEntry{a, b, c, op, r};
+  CacheEntry& e = cache_[slot];
+  if (e.op != 0 && (e.op != op || e.a != a || e.b != b || e.c != c)) {
+    ++stats_.cache_collisions;
+  }
+  e = CacheEntry{a, b, c, op, r};
+}
+
+void Manager::resizeCache(unsigned bits) {
+  const std::size_t before = cache_.size();
+  const Timer timer;
+  cache_.assign(std::size_t{1} << bits, CacheEntry{});
+  cache_mask_ = static_cast<std::uint32_t>(cache_.size() - 1);
+  cfg_.cache_bits = bits;
+  emitEvent(ManagerEvent::Kind::kCacheResize, before, cache_.size(),
+            timer.seconds());
+}
+
+void Manager::emitEvent(ManagerEvent::Kind kind, std::size_t before,
+                        std::size_t after, double seconds) {
+  if (sink_ == nullptr) return;
+  ManagerEvent e;
+  e.kind = kind;
+  e.size_before = before;
+  e.size_after = after;
+  e.seconds = seconds;
+  e.automatic = auto_event_;
+  sink_->onManagerEvent(e);
 }
 
 // ---------------------------------------------------------------------------
@@ -297,6 +341,8 @@ void Manager::markFrom(Edge e) {
 }
 
 void Manager::gc() {
+  const std::size_t before = in_use_;
+  const Timer timer;  // one clock read; the event itself fires only with a sink
   ++stats_.gc_runs;
   ++mark_epoch_;
   if (mark_epoch_ == 0) {  // epoch wrapped: reset all marks
@@ -342,14 +388,18 @@ void Manager::gc() {
   if (live * 4 > gc_threshold_ * 3) {
     gc_threshold_ = gc_threshold_ * 2;
   }
+  emitEvent(ManagerEvent::Kind::kGc, before, in_use_, timer.seconds());
 }
 
 void Manager::maybeGc() {
+  auto_event_ = true;
   if (cfg_.auto_reorder && !reordering_ && in_use_ >= next_reorder_at_) {
     reorder(cfg_.reorder_method);
+    auto_event_ = false;
     return;
   }
   if (in_use_ >= gc_threshold_) gc();
+  auto_event_ = false;
 }
 
 std::size_t Manager::liveNodeCount() {

@@ -22,6 +22,7 @@
 #include <cassert>
 
 #include "bdd/bdd.hpp"
+#include "util/stats.hpp"
 
 namespace bfvr::bdd {
 
@@ -394,7 +395,10 @@ void Manager::windowPass(unsigned window) {
 
 void Manager::reorder(ReorderMethod method) {
   if (reordering_ || num_vars_ < 2) return;
+  // The prologue GC emits its own kGc event; the kReorder event measures
+  // the reordering proper (post-GC size to post-reorder size).
   reorderPrologue();
+  const Timer timer;
   const std::size_t before = in_use_;
   switch (method) {
     case ReorderMethod::kSift:
@@ -427,6 +431,7 @@ void Manager::reorder(ReorderMethod method) {
                                cfg_.reorder_growth));
   if (in_use_ * 10 > before * 9) next = std::max(next, before * 2);
   next_reorder_at_ = next;
+  emitEvent(ManagerEvent::Kind::kReorder, before, in_use_, timer.seconds());
 }
 
 void Manager::swapLevels(unsigned level) {

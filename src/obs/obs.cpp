@@ -1,0 +1,54 @@
+#include "obs/obs.hpp"
+
+#include <cassert>
+
+namespace bfvr::obs {
+
+const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kImage:
+      return "image";
+    case Phase::kReparam:
+      return "reparam";
+    case Phase::kUnion:
+      return "union";
+    case Phase::kCheck:
+      return "check";
+    case Phase::kConvert:
+      return "convert";
+    case Phase::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+double PhaseSeconds::total() const noexcept {
+  double t = 0.0;
+  for (const double s : seconds) t += s;
+  return t;
+}
+
+PhaseSeconds PhaseSeconds::since(const PhaseSeconds& before) const noexcept {
+  PhaseSeconds d;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    d.seconds[i] = seconds[i] - before.seconds[i];
+  }
+  return d;
+}
+
+void PhaseTimer::push(Phase p) {
+  const double t = now();
+  if (!stack_.empty()) totals_[stack_.back()] += t - mark_;
+  stack_.push_back(p);
+  mark_ = t;
+}
+
+void PhaseTimer::pop() {
+  assert(!stack_.empty());
+  const double t = now();
+  totals_[stack_.back()] += t - mark_;
+  stack_.pop_back();
+  mark_ = t;  // the parent scope (if any) resumes from here
+}
+
+}  // namespace bfvr::obs

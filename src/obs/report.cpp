@@ -1,0 +1,140 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+#include "util/json.hpp"
+
+namespace bfvr::obs {
+
+namespace {
+
+using util::JsonObject;
+
+std::string phaseJson(const PhaseSeconds& p) {
+  JsonObject o;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    o.add(to_string(static_cast<Phase>(i)), p.seconds[i]);
+  }
+  return o.str();
+}
+
+std::string opStatsJson(const bdd::OpStats& s) {
+  JsonObject o;
+  o.add("top_ops", s.top_ops)
+      .add("recursive_steps", s.recursive_steps)
+      .add("cache_lookups", s.cache_lookups)
+      .add("cache_hits", s.cache_hits)
+      .add("cache_inserts", s.cache_inserts)
+      .add("cache_collisions", s.cache_collisions)
+      .add("nodes_created", s.nodes_created)
+      .add("gc_runs", s.gc_runs)
+      .add("reorder_runs", s.reorder_runs)
+      .add("reorder_swaps", s.reorder_swaps)
+      .add("reorder_nodes_saved", s.reorder_nodes_saved);
+  return o.str();
+}
+
+std::string iterationJson(const IterationRecord& r) {
+  JsonObject o;
+  o.add("iteration", r.iteration)
+      .add("frontier_states", r.frontier_states)
+      .add("frontier_nodes", static_cast<std::uint64_t>(r.frontier_nodes))
+      .addRaw("phase_seconds", phaseJson(r.phase_seconds))
+      .add("live_nodes", static_cast<std::uint64_t>(r.live_nodes))
+      .add("peak_nodes", static_cast<std::uint64_t>(r.peak_nodes))
+      .addRaw("ops_delta", opStatsJson(r.ops_delta))
+      .add("cache_hit_rate", cacheHitRate(r.ops_delta));
+  return o.str();
+}
+
+std::string eventJson(const bdd::ManagerEvent& e) {
+  JsonObject o;
+  o.add("kind", to_string(e.kind))
+      .add("size_before", static_cast<std::uint64_t>(e.size_before))
+      .add("size_after", static_cast<std::uint64_t>(e.size_after))
+      .add("seconds", e.seconds)
+      .add("automatic", e.automatic);
+  return o.str();
+}
+
+}  // namespace
+
+double cacheHitRate(const bdd::OpStats& ops) noexcept {
+  if (ops.cache_lookups == 0) return 0.0;
+  return static_cast<double>(ops.cache_hits) /
+         static_cast<double>(ops.cache_lookups);
+}
+
+std::string reportJson(const RunMeta& meta, const RunTrace& trace) {
+  std::vector<std::string> iters;
+  iters.reserve(trace.iterations.size());
+  for (const IterationRecord& r : trace.iterations) {
+    iters.push_back(iterationJson(r));
+  }
+  std::vector<std::string> events;
+  events.reserve(trace.events.size());
+  for (const bdd::ManagerEvent& e : trace.events) {
+    events.push_back(eventJson(e));
+  }
+  JsonObject o;
+  o.add("circuit", meta.circuit)
+      .add("order", meta.order)
+      .add("engine", meta.engine)
+      .add("status", meta.status)
+      .add("seconds", meta.seconds)
+      .add("iterations", meta.iterations)
+      .add("states", meta.states)
+      .add("peak_live_nodes", static_cast<std::uint64_t>(meta.peak_live_nodes))
+      .add("cache_hit_rate", cacheHitRate(meta.ops))
+      .addRaw("phase_totals", phaseJson(trace.phase_totals))
+      .addRaw("trace", util::jsonArray(iters))
+      .addRaw("events", util::jsonArray(events));
+  return o.str();
+}
+
+std::string reportTable(const RunMeta& meta, const RunTrace& trace) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%s / %s / %s: %s in %.3fs, %.0f states, %u iterations, "
+                "peak %zu live nodes, cache hit-rate %.1f%%\n",
+                meta.circuit.c_str(), meta.order.c_str(), meta.engine.c_str(),
+                meta.status.c_str(), meta.seconds, meta.states,
+                meta.iterations, meta.peak_live_nodes,
+                100.0 * cacheHitRate(meta.ops));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "%5s %12s %9s | %8s %8s %8s %8s %8s | %9s %9s %10s %5s\n",
+                "iter", "frontier", "nodes", "image", "reparam", "union",
+                "check", "convert", "live", "peak", "steps", "hit%");
+  out += line;
+  for (const IterationRecord& r : trace.iterations) {
+    std::snprintf(line, sizeof line,
+                  "%5u %12.0f %9zu | %8.4f %8.4f %8.4f %8.4f %8.4f | %9zu "
+                  "%9zu %10llu %5.1f\n",
+                  r.iteration, r.frontier_states, r.frontier_nodes,
+                  r.phase_seconds[Phase::kImage],
+                  r.phase_seconds[Phase::kReparam],
+                  r.phase_seconds[Phase::kUnion],
+                  r.phase_seconds[Phase::kCheck],
+                  r.phase_seconds[Phase::kConvert], r.live_nodes,
+                  r.peak_nodes,
+                  static_cast<unsigned long long>(
+                      r.ops_delta.recursive_steps),
+                  100.0 * cacheHitRate(r.ops_delta));
+    out += line;
+  }
+  if (!trace.events.empty()) {
+    out += "events:\n";
+    for (const bdd::ManagerEvent& e : trace.events) {
+      std::snprintf(line, sizeof line,
+                    "  [%s]%s %zu -> %zu in %.4fs\n", to_string(e.kind),
+                    e.automatic ? " auto" : "", e.size_before, e.size_after,
+                    e.seconds);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace bfvr::obs

@@ -1,0 +1,40 @@
+// Machine- and human-readable run reports for a RunTrace: one JSON object
+// per run (nested per-iteration records and manager events — the payload of
+// the benches' `--trace` files) and an aligned-column text table for
+// eyeballing where a run's time and nodes went.
+//
+// obs sits below reach, so the run-level summary arrives as a RunMeta the
+// caller fills from its ReachResult (see bench/json.hpp for the adapter).
+#pragma once
+
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace bfvr::obs {
+
+/// Run-level summary attached to a trace report; mirrors the fields of
+/// reach::ReachResult the bench summaries already publish.
+struct RunMeta {
+  std::string circuit;
+  std::string order;
+  std::string engine;
+  std::string status = "done";  ///< to_string(RunStatus) tag
+  double seconds = 0.0;
+  unsigned iterations = 0;
+  double states = 0.0;
+  std::size_t peak_live_nodes = 0;
+  bdd::OpStats ops;  ///< whole-run counters (for the overall hit rate)
+};
+
+/// Computed-cache hit rate of a counter snapshot (0 when no lookups).
+double cacheHitRate(const bdd::OpStats& ops) noexcept;
+
+/// One JSON object: meta fields, phase totals, `trace` (array of iteration
+/// records with phase_seconds / ops_delta / cache_hit_rate) and `events`.
+std::string reportJson(const RunMeta& meta, const RunTrace& trace);
+
+/// Aligned-column text rendering of the same report.
+std::string reportTable(const RunMeta& meta, const RunTrace& trace);
+
+}  // namespace bfvr::obs

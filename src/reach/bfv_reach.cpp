@@ -30,7 +30,8 @@ std::vector<unsigned> simulationParams(const sym::StateSpace& s) {
 }
 
 void runBfvBackend(sym::StateSpace& s, const ReachOptions& opts,
-                   ReachResult& r, internal::RunGuard& guard) {
+                   ReachResult& r, internal::RunGuard& guard,
+                   internal::Tracer& tracer) {
   Manager& m = s.manager();
   const std::vector<unsigned> params = simulationParams(s);
   internal::applyReorderPolicy(s, opts);
@@ -38,27 +39,43 @@ void runBfvBackend(sym::StateSpace& s, const ReachOptions& opts,
   Bfv from = reached;
   for (;;) {
     ++r.iterations;
-    const sym::SimResult sim = sym::simulate(s, from.comps());
+    tracer.beginIteration(r.iterations, [&] {
+      return std::pair{from.countStates(), from.sharedSize()};
+    });
+    const sym::SimResult sim = tracer.timed(
+        obs::Phase::kImage, [&] { return sym::simulate(s, from.comps()); });
     guard.sample();
     // Re-parameterize onto the u bank, then rename back to the v bank.
-    const Bfv img_u = bfv::reparameterize(m, sim.next_state, s.paramVars(),
-                                          params, opts.reparam);
+    // img_u stays at iteration scope (its handles live exactly as long as
+    // they did before tracing existed); both steps are one kReparam phase.
+    const Bfv img_u = tracer.timed(obs::Phase::kReparam, [&] {
+      return bfv::reparameterize(m, sim.next_state, s.paramVars(), params,
+                                 opts.reparam);
+    });
     guard.sample();
-    const Bfv img = Bfv::fromComponents(m, s.currentVars(),
-                                        renameToCurrent(s, img_u.comps()),
-                                        /*trusted=*/true);
-    const Bfv next = setUnion(reached, img);
+    const Bfv img = tracer.timed(obs::Phase::kReparam, [&] {
+      return Bfv::fromComponents(m, s.currentVars(),
+                                 renameToCurrent(s, img_u.comps()),
+                                 /*trusted=*/true);
+    });
+    const Bfv next = tracer.timed(obs::Phase::kUnion,
+                                  [&] { return setUnion(reached, img); });
     guard.sample();
-    if (next == reached) break;
-    reached = next;
-    // Selection heuristic: simulate from the smaller of the image and the
-    // reached set. (BFVs have no set difference — §2 has no negation — so
-    // the whole image plays the frontier role.)
-    if (opts.use_frontier && img.sharedSize() < reached.sharedSize()) {
-      from = img;
-    } else {
-      from = reached;
+    const bool fixpoint = next == reached;
+    if (!fixpoint) {
+      const auto check = tracer.phase(obs::Phase::kCheck);
+      reached = next;
+      // Selection heuristic: simulate from the smaller of the image and the
+      // reached set. (BFVs have no set difference — §2 has no negation — so
+      // the whole image plays the frontier role.)
+      if (opts.use_frontier && img.sharedSize() < reached.sharedSize()) {
+        from = img;
+      } else {
+        from = reached;
+      }
     }
+    tracer.endIteration();
+    if (fixpoint) break;
     internal::maybeStepReorder(m, opts, r.iterations);
     m.maybeGc();
     guard.sample();
@@ -75,7 +92,8 @@ void runBfvBackend(sym::StateSpace& s, const ReachOptions& opts,
 }
 
 void runCdecBackend(sym::StateSpace& s, const ReachOptions& opts,
-                    ReachResult& r, internal::RunGuard& guard) {
+                    ReachResult& r, internal::RunGuard& guard,
+                    internal::Tracer& tracer) {
   using cdec::Cdec;
   Manager& m = s.manager();
   const std::vector<unsigned> params = simulationParams(s);
@@ -84,32 +102,48 @@ void runCdecBackend(sym::StateSpace& s, const ReachOptions& opts,
   Cdec from = reached;
   for (;;) {
     ++r.iterations;
+    tracer.beginIteration(r.iterations, [&] {
+      return std::pair{from.countStates(), from.sharedSize()};
+    });
     // Simulation needs evaluating components: derive the BFV view (two
     // cofactor operations per component).
-    const Bfv from_bfv = from.toBfv();
-    const sym::SimResult sim = sym::simulate(s, from_bfv.comps());
+    const Bfv from_bfv =
+        tracer.timed(obs::Phase::kConvert, [&] { return from.toBfv(); });
+    const sym::SimResult sim = tracer.timed(obs::Phase::kImage, [&] {
+      return sym::simulate(s, from_bfv.comps());
+    });
     guard.sample();
-    const Cdec img_u = cdec::reparameterizeCdec(
-        m, sim.next_state, s.paramVars(), params, opts.reparam);
+    // img_u stays at iteration scope (handle lifetimes as before tracing).
+    const Cdec img_u = tracer.timed(obs::Phase::kReparam, [&] {
+      return cdec::reparameterizeCdec(m, sim.next_state, s.paramVars(),
+                                      params, opts.reparam);
+    });
     guard.sample();
-    // Rename constraints u -> v; constrain-canonical form is preserved by
-    // the order-preserving renaming.
-    std::vector<Bdd> renamed(img_u.constraints().size());
-    for (std::size_t i = 0; i < renamed.size(); ++i) {
-      renamed[i] =
-          m.permute(img_u.constraints()[i], s.permParamToCurrent());
+    const Cdec img_v = tracer.timed(obs::Phase::kReparam, [&] {
+      // Rename constraints u -> v; constrain-canonical form is preserved by
+      // the order-preserving renaming.
+      std::vector<Bdd> renamed(img_u.constraints().size());
+      for (std::size_t i = 0; i < renamed.size(); ++i) {
+        renamed[i] =
+            m.permute(img_u.constraints()[i], s.permParamToCurrent());
+      }
+      return Cdec::fromConstraints(m, s.currentVars(), std::move(renamed));
+    });
+    const Cdec next = tracer.timed(obs::Phase::kUnion,
+                                   [&] { return setUnion(reached, img_v); });
+    guard.sample();
+    const bool fixpoint = next == reached;
+    if (!fixpoint) {
+      const auto check = tracer.phase(obs::Phase::kCheck);
+      reached = next;
+      if (opts.use_frontier && img_v.sharedSize() < reached.sharedSize()) {
+        from = img_v;
+      } else {
+        from = reached;
+      }
     }
-    const Cdec img_v =
-        Cdec::fromConstraints(m, s.currentVars(), std::move(renamed));
-    const Cdec next = setUnion(reached, img_v);
-    guard.sample();
-    if (next == reached) break;
-    reached = next;
-    if (opts.use_frontier && img_v.sharedSize() < reached.sharedSize()) {
-      from = img_v;
-    } else {
-      from = reached;
-    }
+    tracer.endIteration();
+    if (fixpoint) break;
     internal::maybeStepReorder(m, opts, r.iterations);
     m.maybeGc();
     guard.sample();
@@ -129,11 +163,12 @@ void runCdecBackend(sym::StateSpace& s, const ReachOptions& opts,
 ReachResult reachBfv(sym::StateSpace& s, const ReachOptions& opts) {
   Manager& m = s.manager();
   return internal::runGuarded(
-      m, opts.budget, [&](ReachResult& r, internal::RunGuard& guard) {
+      m, opts, [&](ReachResult& r, internal::RunGuard& guard,
+                   internal::Tracer& tracer) {
         if (opts.backend == SetBackend::kBfv) {
-          runBfvBackend(s, opts, r, guard);
+          runBfvBackend(s, opts, r, guard, tracer);
         } else {
-          runCdecBackend(s, opts, r, guard);
+          runCdecBackend(s, opts, r, guard, tracer);
         }
       });
 }

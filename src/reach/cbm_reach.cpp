@@ -12,33 +12,54 @@ namespace bfvr::reach {
 ReachResult reachCbm(sym::StateSpace& s, const ReachOptions& opts) {
   Manager& m = s.manager();
   return internal::runGuarded(
-      m, opts.budget, [&](ReachResult& r, internal::RunGuard& guard) {
+      m, opts, [&](ReachResult& r, internal::RunGuard& guard,
+                   internal::Tracer& tracer) {
         internal::applyReorderPolicy(s, opts);
         Bdd reached = sym::initialChar(s);
         Bdd from = reached;
         for (;;) {
           ++r.iterations;
-          // Characteristic function -> Boolean functional vector.
-          const Bfv f = bfv::fromChar(m, from, s.currentVars());
+          tracer.beginIteration(r.iterations, [&] {
+            return std::pair{m.satCount(from, s.numLatches()),
+                             m.nodeCount(from)};
+          });
+          // Characteristic function -> Boolean functional vector. Both
+          // per-iteration conversions — the Fig. 1 flow's defining cost —
+          // are attributed to the kConvert phase.
+          const Bfv f = tracer.timed(obs::Phase::kConvert, [&] {
+            return bfv::fromChar(m, from, s.currentVars());
+          });
           guard.sample();
           // Symbolic simulation gives the image as a raw vector ...
-          const sym::SimResult sim = sym::simulate(s, f.comps());
+          const sym::SimResult sim = tracer.timed(
+              obs::Phase::kImage, [&] { return sym::simulate(s, f.comps()); });
           guard.sample();
           // ... which the Fig. 1 flow converts straight back to a
           // characteristic function by recursive range splitting.
-          const Bdd img_u = sym::rangeChar(s, sim.next_state, m.one());
-          const Bdd img = m.permute(img_u, s.permParamToCurrent());
+          const Bdd img_u = tracer.timed(obs::Phase::kConvert, [&] {
+            return sym::rangeChar(s, sim.next_state, m.one());
+          });
+          const Bdd img = tracer.timed(obs::Phase::kConvert, [&] {
+            return m.permute(img_u, s.permParamToCurrent());
+          });
           guard.sample();
-          const Bdd next = reached | img;
-          if (next == reached) break;
-          const Bdd frontier = img & ~reached;
-          reached = next;
-          if (opts.use_frontier &&
-              m.nodeCount(frontier) < m.nodeCount(reached)) {
-            from = frontier;
-          } else {
-            from = reached;
+          const Bdd next = tracer.timed(obs::Phase::kUnion,
+                                        [&] { return reached | img; });
+          const bool fixpoint = next == reached;
+          Bdd frontier;  // iteration scope: alive across the maybeGc() below
+          if (!fixpoint) {
+            const auto check = tracer.phase(obs::Phase::kCheck);
+            frontier = img & ~reached;
+            reached = next;
+            if (opts.use_frontier &&
+                m.nodeCount(frontier) < m.nodeCount(reached)) {
+              from = frontier;
+            } else {
+              from = reached;
+            }
           }
+          tracer.endIteration();
+          if (fixpoint) break;
           internal::maybeStepReorder(m, opts, r.iterations);
           m.maybeGc();
           guard.sample();

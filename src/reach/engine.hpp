@@ -19,6 +19,7 @@
 
 #include "bfv/bfv.hpp"
 #include "cdec/cdec.hpp"
+#include "obs/obs.hpp"
 #include "sym/space.hpp"
 #include "sym/transition.hpp"
 #include "util/stats.hpp"
@@ -62,6 +63,11 @@ struct ReachOptions {
   unsigned max_iterations = 0;
   /// Dynamic variable reordering between frontier steps.
   ReorderPolicy reorder;
+  /// Record a per-iteration obs::RunTrace (frontier size, phase split, node
+  /// census, op deltas, manager events) into ReachResult::trace. Off by
+  /// default: tracing adds a live-node census and a state count per
+  /// iteration, which untraced runs must not pay.
+  bool trace = false;
 };
 
 struct ReachResult {
@@ -80,6 +86,11 @@ struct ReachResult {
   std::size_t bfv_nodes = 0;
   /// BDD operation counters accumulated over the run.
   bdd::OpStats ops;
+
+  /// Per-iteration trace, present iff ReachOptions::trace was set. On a
+  /// T.O./M.O. run the iteration that tripped the budget has no record;
+  /// `iterations` still counts it.
+  std::optional<obs::RunTrace> trace;
 
   /// Reached set, when the run completed (one of the two, per engine).
   std::optional<Bfv> reached_bfv;

@@ -16,7 +16,8 @@ namespace bfvr::reach {
 ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts) {
   Manager& m = s.manager();
   return internal::runGuarded(
-      m, opts.budget, [&](ReachResult& r, internal::RunGuard& guard) {
+      m, opts, [&](ReachResult& r, internal::RunGuard& guard,
+                   internal::Tracer& tracer) {
         internal::applyReorderPolicy(s, opts);
         const sym::TransitionRelation tr(s, opts.transition);
         const std::vector<Bdd> delta = sym::transitionFunctions(s);
@@ -27,31 +28,46 @@ ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts) {
         Bdd from = reached;
         for (;;) {
           ++r.iterations;
-          // Constrain the transition functions by the from-set and compare
-          // against the relation to decide the method.
+          tracer.beginIteration(r.iterations, [&] {
+            return std::pair{m.satCount(from, s.numLatches()),
+                             m.nodeCount(from)};
+          });
+          // The split-vs-conjoin chooser and the chosen image computation
+          // are one kImage phase: together they are "the image step". The
+          // constrained vector stays at iteration scope so its handles live
+          // exactly as long as they did before tracing existed.
           std::vector<Bdd> constrained(delta.size());
-          for (std::size_t i = 0; i < delta.size(); ++i) {
-            constrained[i] = m.constrain(delta[i], from);
-          }
-          const std::size_t split_size = m.sharedNodeCount(constrained);
-          Bdd img;
-          if (split_size * 2 < tr_size + m.nodeCount(from)) {
-            const Bdd img_u = sym::rangeChar(s, constrained, m.one());
-            img = m.permute(img_u, s.permParamToCurrent());
-          } else {
-            img = tr.image(from);
-          }
+          const Bdd img = tracer.timed(obs::Phase::kImage, [&] {
+            // Constrain the transition functions by the from-set and
+            // compare against the relation to decide the method.
+            for (std::size_t i = 0; i < delta.size(); ++i) {
+              constrained[i] = m.constrain(delta[i], from);
+            }
+            const std::size_t split_size = m.sharedNodeCount(constrained);
+            if (split_size * 2 < tr_size + m.nodeCount(from)) {
+              const Bdd img_u = sym::rangeChar(s, constrained, m.one());
+              return m.permute(img_u, s.permParamToCurrent());
+            }
+            return tr.image(from);
+          });
           guard.sample();
-          const Bdd next = reached | img;
-          if (next == reached) break;
-          const Bdd frontier = img & ~reached;
-          reached = next;
-          if (opts.use_frontier &&
-              m.nodeCount(frontier) < m.nodeCount(reached)) {
-            from = frontier;
-          } else {
-            from = reached;
+          const Bdd next = tracer.timed(obs::Phase::kUnion,
+                                        [&] { return reached | img; });
+          const bool fixpoint = next == reached;
+          Bdd frontier;  // iteration scope: alive across the maybeGc() below
+          if (!fixpoint) {
+            const auto check = tracer.phase(obs::Phase::kCheck);
+            frontier = img & ~reached;
+            reached = next;
+            if (opts.use_frontier &&
+                m.nodeCount(frontier) < m.nodeCount(reached)) {
+              from = frontier;
+            } else {
+              from = reached;
+            }
           }
+          tracer.endIteration();
+          if (fixpoint) break;
           internal::maybeStepReorder(m, opts, r.iterations);
           m.maybeGc();
           guard.sample();

@@ -1,6 +1,12 @@
-// Shared engine plumbing: budget enforcement and peak-live-node sampling.
+// Shared engine plumbing: budget enforcement, peak-live-node sampling and
+// the per-iteration trace recorder behind ReachOptions::trace.
 #pragma once
 
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "obs/obs.hpp"
 #include "reach/engine.hpp"
 
 namespace bfvr::reach::internal {
@@ -36,6 +42,81 @@ class RunGuard {
   std::size_t peak_ = 0;
 };
 
+/// Per-iteration trace recorder. Disabled (every member a near-no-op)
+/// unless ReachOptions::trace is set; engines therefore call it
+/// unconditionally. While enabled it also installs itself as the manager's
+/// EventSink (forwarding to any previously installed sink) so GC/reorder/
+/// budget events land in the trace.
+class Tracer {
+ public:
+  Tracer(Manager& m, const ReachOptions& opts, RunGuard& guard)
+      : m_(m), guard_(guard), enabled_(opts.trace) {
+    if (enabled_) recorder_.emplace(m, trace_.events);
+  }
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Scoped phase attribution; a no-op scope when disabled.
+  obs::PhaseTimer::Scope phase(obs::Phase p) {
+    return enabled() ? timer_.scope(p) : obs::PhaseTimer::Scope(nullptr);
+  }
+
+  /// Run `f` under the given phase scope and return its result.
+  template <typename F>
+  decltype(auto) timed(obs::Phase p, F&& f) {
+    const auto scope = phase(p);
+    return std::forward<F>(f)();
+  }
+
+  /// Open iteration `iteration`'s record. `frontier` is invoked only when
+  /// tracing is on; it returns {states, (shared) nodes} of the set this
+  /// iteration simulates from, so untraced runs skip the counting cost.
+  template <typename F>
+  void beginIteration(unsigned iteration, F&& frontier) {
+    if (!enabled()) return;
+    cur_ = obs::IterationRecord{};
+    cur_.iteration = iteration;
+    const auto [states, nodes] = frontier();
+    cur_.frontier_states = states;
+    cur_.frontier_nodes = nodes;
+    iter_ops_ = m_.stats();
+    iter_phases_ = timer_.totals();
+  }
+
+  /// Close the current record: phase split, counter deltas and node census.
+  void endIteration() {
+    if (!enabled()) return;
+    cur_.phase_seconds = timer_.totals().since(iter_phases_);
+    cur_.ops_delta = m_.stats().since(iter_ops_);
+    const std::size_t live = m_.liveNodeCount();
+    cur_.live_nodes = live;
+    cur_.peak_nodes = std::max(guard_.peak(), live);
+    trace_.iterations.push_back(cur_);
+  }
+
+  /// Attach the collected trace to the result (uninstalling the event
+  /// recorder first). Called once, after the iteration loop ends — normally
+  /// or by budget exception.
+  void finish(ReachResult& r) {
+    if (!enabled()) return;
+    trace_.phase_totals = timer_.totals();
+    recorder_.reset();
+    r.trace.emplace(std::move(trace_));
+    trace_ = obs::RunTrace{};
+  }
+
+ private:
+  Manager& m_;
+  RunGuard& guard_;
+  bool enabled_;
+  obs::PhaseTimer timer_;
+  obs::RunTrace trace_;
+  std::optional<obs::ScopedEventRecorder> recorder_;
+  obs::IterationRecord cur_;
+  bdd::OpStats iter_ops_;
+  obs::PhaseSeconds iter_phases_;
+};
+
 /// Apply the run's reorder policy before the iteration loop: bind each
 /// latch's (v, u) pair into a reorder group. Pairs that are not at adjacent
 /// levels (the manager was reordered before this run) are left unbound.
@@ -60,14 +141,16 @@ inline void maybeStepReorder(Manager& m, const ReachOptions& opts,
 }
 
 /// Runs `body` (the iteration loop) and folds budget violations into the
-/// result's status; records time/peak/op metrics.
+/// result's status; records time/peak/op metrics and, when tracing is on,
+/// attaches the per-iteration trace.
 template <typename Body>
-ReachResult runGuarded(Manager& m, const Budget& budget, Body&& body) {
+ReachResult runGuarded(Manager& m, const ReachOptions& opts, Body&& body) {
   ReachResult r;
-  RunGuard guard(m, budget);
+  RunGuard guard(m, opts.budget);
+  Tracer tracer(m, opts, guard);
   const bdd::OpStats before = m.stats();
   try {
-    body(r, guard);
+    body(r, guard, tracer);
     r.status = RunStatus::kDone;
   } catch (const bdd::NodeBudgetExceeded&) {
     r.status = RunStatus::kMemOut;
@@ -76,17 +159,8 @@ ReachResult runGuarded(Manager& m, const Budget& budget, Body&& body) {
   }
   r.seconds = guard.seconds();
   r.peak_live_nodes = guard.peak();
-  const bdd::OpStats after = m.stats();
-  r.ops.top_ops = after.top_ops - before.top_ops;
-  r.ops.recursive_steps = after.recursive_steps - before.recursive_steps;
-  r.ops.cache_lookups = after.cache_lookups - before.cache_lookups;
-  r.ops.cache_hits = after.cache_hits - before.cache_hits;
-  r.ops.nodes_created = after.nodes_created - before.nodes_created;
-  r.ops.gc_runs = after.gc_runs - before.gc_runs;
-  r.ops.reorder_runs = after.reorder_runs - before.reorder_runs;
-  r.ops.reorder_swaps = after.reorder_swaps - before.reorder_swaps;
-  r.ops.reorder_nodes_saved =
-      after.reorder_nodes_saved - before.reorder_nodes_saved;
+  r.ops = m.stats().since(before);
+  tracer.finish(r);
   return r;
 }
 

@@ -9,7 +9,8 @@ namespace bfvr::reach {
 ReachResult reachTr(sym::StateSpace& s, const ReachOptions& opts) {
   Manager& m = s.manager();
   return internal::runGuarded(
-      m, opts.budget, [&](ReachResult& r, internal::RunGuard& guard) {
+      m, opts, [&](ReachResult& r, internal::RunGuard& guard,
+                   internal::Tracer& tracer) {
         internal::applyReorderPolicy(s, opts);
         const sym::TransitionRelation tr(s, opts.transition);
         guard.sample();
@@ -18,20 +19,34 @@ ReachResult reachTr(sym::StateSpace& s, const ReachOptions& opts) {
         Bdd from = reached;
         for (;;) {
           ++r.iterations;
-          const Bdd img = tr.image(from);
+          tracer.beginIteration(r.iterations, [&] {
+            return std::pair{m.satCount(from, s.numLatches()),
+                             m.nodeCount(from)};
+          });
+          const Bdd img = tracer.timed(obs::Phase::kImage,
+                                       [&] { return tr.image(from); });
           guard.sample();
-          const Bdd next = reached | img;
-          if (next == reached) break;
-          // Frontier = genuinely new states; with characteristic functions
-          // set difference is one apply operation.
-          const Bdd frontier = img & ~reached;
-          reached = next;
-          if (opts.use_frontier &&
-              m.nodeCount(frontier) < m.nodeCount(reached)) {
-            from = frontier;
-          } else {
-            from = reached;
+          const Bdd next = tracer.timed(obs::Phase::kUnion,
+                                        [&] { return reached | img; });
+          const bool fixpoint = next == reached;
+          // Iteration scope (not the branch), so the handle lives across
+          // the maybeGc() below exactly as it did before tracing existed.
+          Bdd frontier;
+          if (!fixpoint) {
+            const auto check = tracer.phase(obs::Phase::kCheck);
+            // Frontier = genuinely new states; with characteristic
+            // functions set difference is one apply operation.
+            frontier = img & ~reached;
+            reached = next;
+            if (opts.use_frontier &&
+                m.nodeCount(frontier) < m.nodeCount(reached)) {
+              from = frontier;
+            } else {
+              from = reached;
+            }
           }
+          tracer.endIteration();
+          if (fixpoint) break;
           internal::maybeStepReorder(m, opts, r.iterations);
           m.maybeGc();
           guard.sample();

@@ -14,4 +14,11 @@ std::string to_string(RunStatus s) {
   return "?";
 }
 
+std::optional<RunStatus> parse_run_status(std::string_view s) {
+  if (s == "done") return RunStatus::kDone;
+  if (s == "T.O.") return RunStatus::kTimeOut;
+  if (s == "M.O.") return RunStatus::kMemOut;
+  return std::nullopt;
+}
+
 }  // namespace bfvr

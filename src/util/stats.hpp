@@ -4,7 +4,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace bfvr {
 
@@ -31,6 +33,10 @@ enum class RunStatus : std::uint8_t { kDone, kTimeOut, kMemOut };
 
 /// Human-readable tag used by the bench harness ("done" / "T.O." / "M.O.").
 std::string to_string(RunStatus s);
+
+/// Inverse of to_string(RunStatus), so trace/JSON files can be re-ingested
+/// by tooling. Returns std::nullopt for an unrecognized tag.
+std::optional<RunStatus> parse_run_status(std::string_view s);
 
 /// Resource budget checked inside long-running loops.
 struct Budget {

@@ -92,5 +92,21 @@ TEST(RunStatus, Names) {
   EXPECT_EQ(to_string(RunStatus::kMemOut), "M.O.");
 }
 
+TEST(RunStatus, ParseRoundTripsEveryStatus) {
+  for (const RunStatus s :
+       {RunStatus::kDone, RunStatus::kTimeOut, RunStatus::kMemOut}) {
+    const auto back = parse_run_status(to_string(s));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(RunStatus, ParseRejectsUnknownTags) {
+  EXPECT_FALSE(parse_run_status("").has_value());
+  EXPECT_FALSE(parse_run_status("Done").has_value());
+  EXPECT_FALSE(parse_run_status("timeout").has_value());
+  EXPECT_FALSE(parse_run_status("T.O").has_value());
+}
+
 }  // namespace
 }  // namespace bfvr
