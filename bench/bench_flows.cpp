@@ -4,7 +4,6 @@
 // the paper's flow (Fig. 2) never leaves the functional-vector world. The
 // monolithic and IWLS95-partitioned transition-relation engines complete
 // the comparison.
-#include "json.hpp"
 #include "support.hpp"
 
 using namespace bfvr;

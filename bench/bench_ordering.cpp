@@ -22,7 +22,6 @@
 
 #include "bfv/bfv.hpp"
 #include "circuit/bench_io.hpp"
-#include "json.hpp"
 #include "support.hpp"
 
 #ifndef BFVR_DATA_DIR

@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "bfv/bfv.hpp"
-#include "json.hpp"
+#include "support.hpp"
 
 using namespace bfvr;
 using bfv::Bfv;

@@ -14,7 +14,6 @@
 //   rnd_*          - random sequential logic (generic rows)
 #include <cstring>
 
-#include "json.hpp"
 #include "support.hpp"
 
 using namespace bfvr;

@@ -4,7 +4,6 @@
 // role is played by the twin shift register, whose reachable set is the
 // paper's own chi = AND_i (a_i == b_i) example; a FIFO controller gives a
 // second, less extreme instance).
-#include "json.hpp"
 #include "support.hpp"
 #include "sym/ordersearch.hpp"
 

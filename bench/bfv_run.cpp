@@ -1,0 +1,255 @@
+// Batch-mode CLI over the job runner (src/run): consume a manifest (list
+// of circuit files / generator specs with per-job options), schedule the
+// jobs across a fixed worker pool, optionally race each circuit as an
+// engine portfolio, and aggregate every job's stats (and obs trace, when
+// traced) into one JOBS_<name>.json report.
+//
+//   bfv_run <manifest> [--workers N] [--portfolio e1,e2,...] [--deadline S]
+//           [--trace] [--jobs[=path]] [--quiet]
+//
+//   --workers N        pool size (default 1: deterministic, bit-identical
+//                      op counts to running the engines directly)
+//   --portfolio LIST   race EVERY manifest line under these engines,
+//                      overriding any per-line portfolio= key
+//   --deadline S       default wall-clock deadline for jobs without one
+//   --trace            force per-iteration obs traces on for every job
+//   --jobs[=path]      write the aggregated JSON report (default path
+//                      JOBS_<manifest-stem>.json)
+//   --quiet            suppress the per-job table rows
+//
+// Exit status: 0 when every job ended in a resource-model status (done /
+// T.O. / M.O. / cancelled); 1 when any job errored (bad circuit spec,
+// unreadable file) or the manifest/report itself failed.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "run/manifest.hpp"
+#include "run/run.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+using namespace bfvr;
+
+namespace {
+
+struct Args {
+  std::string manifest;
+  unsigned workers = 1;
+  std::vector<run::EngineKind> portfolio;  // empty = per-line setting
+  double default_deadline = 0.0;
+  bool force_trace = false;
+  bool quiet = false;
+  std::string jobs_path;  // empty = no report
+};
+
+std::string manifestStem(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem.erase(dot);
+  return stem;
+}
+
+bool parseArgs(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+      a.workers = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      a.workers = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg == "--portfolio" && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string tok =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!tok.empty()) a.portfolio.push_back(run::parseEngineKind(tok));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      a.default_deadline = std::stod(argv[++i]);
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      a.default_deadline = std::stod(arg.substr(11));
+    } else if (arg == "--trace") {
+      a.force_trace = true;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else if (arg == "--jobs") {
+      a.jobs_path = "<default>";
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      a.jobs_path = arg.substr(7);
+    } else if (!arg.empty() && arg[0] != '-' && a.manifest.empty()) {
+      a.manifest = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (a.manifest.empty()) return false;
+  if (a.jobs_path == "<default>") {
+    a.jobs_path = "JOBS_" + manifestStem(a.manifest) + ".json";
+  }
+  return true;
+}
+
+obs::JobRecord toRecord(const run::JobSpec& spec, const run::JobResult& r) {
+  obs::JobRecord rec;
+  rec.name = spec.displayName();
+  rec.circuit = spec.circuit;
+  rec.order = spec.order.label();
+  rec.engine = to_string(spec.engine);
+  rec.status = to_string(r.status);
+  rec.failure = r.failure;
+  rec.worker = r.worker;
+  rec.queue_seconds = r.queue_seconds;
+  rec.seconds = r.seconds;
+  rec.iterations = r.reach.iterations;
+  rec.states = r.reach.states;
+  rec.peak_live_nodes = r.reach.peak_live_nodes;
+  rec.ops = r.reach.ops;
+  if (r.reach.trace.has_value()) {
+    obs::RunMeta meta;
+    meta.circuit = rec.circuit;
+    meta.order = rec.order;
+    meta.engine = rec.engine;
+    meta.status = rec.status;
+    meta.seconds = r.reach.seconds;
+    meta.iterations = rec.iterations;
+    meta.states = rec.states;
+    meta.peak_live_nodes = rec.peak_live_nodes;
+    meta.ops = rec.ops;
+    rec.trace_json = obs::reportJson(meta, *r.reach.trace);
+  }
+  return rec;
+}
+
+void printRow(const obs::JobRecord& rec) {
+  char states[32];
+  if (rec.status == "done") {
+    std::snprintf(states, sizeof states, "%.6g", rec.states);
+  } else {
+    std::snprintf(states, sizeof states, "-");
+  }
+  std::printf("%-28s %-8s %-9s %8.3f %6u %12s  w%u%s\n", rec.name.c_str(),
+              rec.engine.c_str(), rec.status.c_str(), rec.seconds,
+              rec.iterations, states, rec.worker,
+              rec.winner ? "  <- winner" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: %s <manifest> [--workers N] [--portfolio e1,e2,...] "
+                 "[--deadline S] [--trace] [--jobs[=path]] [--quiet]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<run::ManifestEntry> entries;
+  try {
+    entries = run::parseManifestFile(args.manifest);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  for (run::ManifestEntry& e : entries) {
+    if (!args.portfolio.empty()) e.portfolio = args.portfolio;
+    if (e.spec.deadline_seconds == 0.0) {
+      e.spec.deadline_seconds = args.default_deadline;
+    }
+    if (args.force_trace) e.spec.opts.trace = true;
+  }
+
+  const Timer total;
+  run::WorkerPool pool(args.workers);
+  std::vector<obs::JobRecord> records;
+
+  // Plain jobs go straight to the pool; each portfolio race gets a cheap
+  // controller thread (runPortfolio blocks until its whole group returns),
+  // so every variant of every manifest line is in the queue at once and
+  // the pool stays saturated across lines.
+  struct Race {
+    const run::ManifestEntry* entry;
+    run::PortfolioResult result;
+  };
+  std::vector<Race> races;
+  std::vector<std::pair<const run::ManifestEntry*,
+                        std::future<run::JobResult>>>
+      singles;
+  for (const run::ManifestEntry& e : entries) {
+    if (e.portfolio.empty()) {
+      singles.emplace_back(&e, pool.submit(e.spec));
+    } else {
+      races.push_back({&e, {}});
+    }
+  }
+  std::vector<std::thread> controllers;
+  controllers.reserve(races.size());
+  for (Race& race : races) {
+    controllers.emplace_back([&pool, &race] {
+      race.result =
+          run::runPortfolio(pool, race.entry->spec, race.entry->portfolio);
+    });
+  }
+  for (auto& [entry, fut] : singles) {
+    records.push_back(toRecord(entry->spec, fut.get()));
+  }
+  for (std::thread& t : controllers) t.join();
+  for (const Race& race : races) {
+    for (std::size_t i = 0; i < race.result.jobs.size(); ++i) {
+      run::JobSpec variant = race.entry->spec;
+      variant.engine = race.entry->portfolio[i];
+      variant.name = race.entry->spec.displayName() + "/" +
+                     to_string(variant.engine);
+      obs::JobRecord rec = toRecord(variant, race.result.jobs[i]);
+      rec.group = race.entry->spec.displayName();
+      rec.winner = race.result.winner == static_cast<int>(i);
+      records.push_back(std::move(rec));
+    }
+  }
+  const double total_seconds = total.seconds();
+
+  if (!args.quiet) {
+    std::printf("%-28s %-8s %-9s %8s %6s %12s  %s\n", "job", "engine",
+                "status", "time(s)", "iters", "states", "worker");
+    for (const obs::JobRecord& rec : records) printRow(rec);
+    std::printf("%zu jobs on %u workers in %.3fs\n", records.size(),
+                pool.workers(), total_seconds);
+  }
+
+  bool ok = true;
+  for (const obs::JobRecord& rec : records) {
+    if (rec.status == "error") {
+      std::fprintf(stderr, "job %s failed: %s\n", rec.name.c_str(),
+                   rec.failure.c_str());
+      ok = false;
+    }
+  }
+
+  if (!args.jobs_path.empty()) {
+    const std::string payload =
+        obs::jobsReportJson(manifestStem(args.manifest), pool.workers(),
+                            total_seconds, records);
+    std::FILE* f = std::fopen(args.jobs_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.jobs_path.c_str());
+      return 1;
+    }
+    std::fputs(payload.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu jobs)\n", args.jobs_path.c_str(),
+                records.size());
+  }
+  return ok ? 0 : 1;
+}

@@ -1,6 +1,15 @@
 // Shared harness plumbing for the experiment binaries: circuit/order
-// suites, engine runners and fixed-width table printing in the style of the
-// paper's tables.
+// suites, engine runners, fixed-width table printing in the style of the
+// paper's tables, and the JSON glue — `--json` / `--trace` flag parsing,
+// the summary run object, and the adapter from a traced ReachResult to an
+// obs report. (The JSON writer itself lives in src/util/json.hpp; the
+// bench/json.hpp forwarding shim that used to sit in between is gone.)
+//
+// Every bench accepts `--json[=path]` (one summary object per run, default
+// BENCH_<name>.json) and `--trace[=path]` (one full per-iteration report
+// per run, default TRACE_<name>.json) so the perf trajectory — peak nodes,
+// recursive steps, phase splits, reorder counters — can be tracked across
+// commits as CI artifacts.
 #pragma once
 
 #include <cstdio>
@@ -9,10 +18,15 @@
 
 #include "circuit/generators.hpp"
 #include "circuit/orders.hpp"
+#include "obs/report.hpp"
 #include "reach/engine.hpp"
 #include "sym/space.hpp"
+#include "util/json.hpp"
 
 namespace bfvr::bench {
+
+using util::JsonLog;
+using util::JsonObject;
 
 /// One engine invocation on a fresh manager (each run gets its own BDD
 /// universe so peaks and caches do not leak across rows — the paper runs
@@ -45,24 +59,117 @@ inline const char* engineName(RunSpec::Engine e) {
 inline reach::ReachResult runOnce(const circuit::Netlist& n,
                                   const circuit::OrderSpec& order,
                                   RunSpec spec) {
-  bdd::Manager m(0, spec.mgr);
-  sym::StateSpace s(m, n, circuit::makeOrder(n, order));
-  switch (spec.engine) {
-    case RunSpec::Engine::kTr:
-      return reach::reachTr(s, spec.opts);
-    case RunSpec::Engine::kTrMono:
-      spec.opts.transition.cluster_limit = 0;
-      return reach::reachTr(s, spec.opts);
-    case RunSpec::Engine::kCbm:
-      return reach::reachCbm(s, spec.opts);
-    case RunSpec::Engine::kBfv:
-      spec.opts.backend = reach::SetBackend::kBfv;
-      return reach::reachBfv(s, spec.opts);
-    case RunSpec::Engine::kCdec:
-      spec.opts.backend = reach::SetBackend::kCdec;
-      return reach::reachBfv(s, spec.opts);
+  // The engine-boundary catch: building the StateSpace (netlist -> BDDs)
+  // happens before the engine's own guarded loop, so a hard manager node
+  // budget tripped there used to escape and abort the whole bench. Fold it
+  // into the same RunStatus the engines report (M.O., and the interrupt
+  // statuses for symmetry) instead.
+  try {
+    bdd::Manager m(0, spec.mgr);
+    sym::StateSpace s(m, n, circuit::makeOrder(n, order));
+    switch (spec.engine) {
+      case RunSpec::Engine::kTr:
+        return reach::reachTr(s, spec.opts);
+      case RunSpec::Engine::kTrMono:
+        spec.opts.transition.cluster_limit = 0;
+        return reach::reachTr(s, spec.opts);
+      case RunSpec::Engine::kCbm:
+        return reach::reachCbm(s, spec.opts);
+      case RunSpec::Engine::kBfv:
+        spec.opts.backend = reach::SetBackend::kBfv;
+        return reach::reachBfv(s, spec.opts);
+      case RunSpec::Engine::kCdec:
+        spec.opts.backend = reach::SetBackend::kCdec;
+        return reach::reachBfv(s, spec.opts);
+    }
+  } catch (const bdd::NodeBudgetExceeded&) {
+    reach::ReachResult r;
+    r.status = RunStatus::kMemOut;
+    return r;
+  } catch (const bdd::Interrupted& e) {
+    reach::ReachResult r;
+    r.status = e.reason() == bdd::Interrupted::Reason::kDeadline
+                   ? RunStatus::kTimeOut
+                   : RunStatus::kCancelled;
+    return r;
   }
   throw std::logic_error("bad engine");
+}
+
+/// Parse `--json` / `--json=path` out of argv; `bench_name` picks the
+/// default file name `BENCH_<name>.json`. Returns a disabled log when the
+/// flag is absent.
+inline JsonLog jsonLogFromArgs(int argc, char** argv,
+                               const std::string& bench_name) {
+  return util::jsonLogFromFlag(argc, argv, "--json",
+                               "BENCH_" + bench_name + ".json");
+}
+
+/// Parse `--trace` / `--trace=path`; default file `TRACE_<name>.json`.
+/// When enabled, the bench sets ReachOptions::trace on its runs and pushes
+/// each run's full report via pushTrace().
+inline JsonLog traceLogFromArgs(int argc, char** argv,
+                                const std::string& bench_name) {
+  return util::jsonLogFromFlag(argc, argv, "--trace",
+                               "TRACE_" + bench_name + ".json");
+}
+
+/// The common fields of one engine run (everything the tables print, plus
+/// the op counters the tables do not have room for).
+inline JsonObject runObject(const std::string& circuit,
+                            const std::string& order,
+                            const std::string& engine,
+                            const reach::ReachResult& r) {
+  JsonObject o;
+  o.add("circuit", circuit)
+      .add("order", order)
+      .add("engine", engine)
+      .add("status", to_string(r.status))
+      .add("seconds", r.seconds)
+      .add("iterations", r.iterations)
+      .add("states", r.states)
+      .add("peak_live_nodes", r.peak_live_nodes)
+      .add("chi_nodes", r.chi_nodes)
+      .add("bfv_nodes", r.bfv_nodes)
+      .add("top_ops", r.ops.top_ops)
+      .add("recursive_steps", r.ops.recursive_steps)
+      .add("cache_lookups", r.ops.cache_lookups)
+      .add("cache_hits", r.ops.cache_hits)
+      .add("cache_inserts", r.ops.cache_inserts)
+      .add("cache_collisions", r.ops.cache_collisions)
+      .add("nodes_created", r.ops.nodes_created)
+      .add("gc_runs", r.ops.gc_runs)
+      .add("reorder_runs", r.ops.reorder_runs)
+      .add("reorder_swaps", r.ops.reorder_swaps)
+      .add("reorder_nodes_saved", r.ops.reorder_nodes_saved);
+  return o;
+}
+
+/// Run-level summary of a ReachResult in the form the obs reports expect.
+inline obs::RunMeta traceMeta(const std::string& circuit,
+                              const std::string& order,
+                              const std::string& engine,
+                              const reach::ReachResult& r) {
+  obs::RunMeta m;
+  m.circuit = circuit;
+  m.order = order;
+  m.engine = engine;
+  m.status = to_string(r.status);
+  m.seconds = r.seconds;
+  m.iterations = r.iterations;
+  m.states = r.states;
+  m.peak_live_nodes = r.peak_live_nodes;
+  m.ops = r.ops;
+  return m;
+}
+
+/// Push the run's full per-iteration report into the trace log. No-op when
+/// the log is disabled or the run was not traced.
+inline void pushTrace(JsonLog& log, const std::string& circuit,
+                      const std::string& order, const std::string& engine,
+                      const reach::ReachResult& r) {
+  if (!log.enabled() || !r.trace.has_value()) return;
+  log.push(obs::reportJson(traceMeta(circuit, order, engine, r), *r.trace));
 }
 
 /// "time(s)" cell: the run time, or T.O. / M.O. like the paper's Table 2.

@@ -40,9 +40,18 @@ int main(int argc, char** argv) {
                       {"CBM-Fig1", reach::reachCbm},
                       {"BFV-Fig2", reach::reachBfv}};
   for (const Run& run : runs) {
-    bdd::Manager m(0);
-    sym::StateSpace s(m, n, order);
-    const reach::ReachResult r = run.fn(s, opts);
+    // StateSpace construction precedes the engine's guarded loop; catch a
+    // node-budget blowup there so one engine's M.O. doesn't abort the rest.
+    reach::ReachResult r;
+    try {
+      bdd::Manager m(0);
+      sym::StateSpace s(m, n, order);
+      r = run.fn(s, opts);
+      r.reached_bfv.reset();  // handles die with the per-run manager
+      r.reached_chi = bdd::Bdd();
+    } catch (const bdd::NodeBudgetExceeded&) {
+      r.status = RunStatus::kMemOut;
+    }
     if (r.status == RunStatus::kDone) {
       std::printf("%-12s %10.3f %10.1f %6u %14.6g\n", run.name, r.seconds,
                   r.peak_live_nodes / 1000.0, r.iterations, r.states);

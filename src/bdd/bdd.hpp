@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
 #include <stdexcept>
@@ -52,6 +53,32 @@ class NodeBudgetExceeded : public std::runtime_error {
   explicit NodeBudgetExceeded(std::size_t budget)
       : std::runtime_error("BDD node budget exceeded (" +
                            std::to_string(budget) + " nodes)") {}
+};
+
+/// Thrown out of a Manager operation when the installed interrupt check
+/// (Manager::setInterruptCheck) decides the computation must stop — the
+/// cooperative-cancellation signal of the job runner (src/run). The check
+/// itself throws this, tagged with why; the reachability engines map
+/// kDeadline to RunStatus::kTimeOut and kCancelled to RunStatus::kCancelled.
+///
+/// Safety: the throw points are the same as NodeBudgetExceeded's (node
+/// allocation, i.e. mid-operation) plus GC entry and between reordering
+/// swaps. In all cases the manager survives: partially built recursion
+/// results become garbage the next GC reclaims, the computed cache is
+/// cleared with it, and an aborted reorder leaves a consistent (if
+/// intermediate) order with every live handle still denoting its function.
+class Interrupted : public std::runtime_error {
+ public:
+  enum class Reason : std::uint8_t { kDeadline, kCancelled };
+  explicit Interrupted(Reason r)
+      : std::runtime_error(r == Reason::kDeadline
+                               ? "BDD operation interrupted: deadline"
+                               : "BDD operation interrupted: cancelled"),
+        reason_(r) {}
+  Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
 };
 
 /// Cumulative operation counters (monotone; reset with Manager::resetStats).
@@ -343,6 +370,31 @@ class Manager {
   void setEventSink(EventSink* sink) noexcept { sink_ = sink; }
   EventSink* eventSink() const noexcept { return sink_; }
 
+  /// Cooperative cancellation/deadline hook. The callback is polled at
+  /// node-allocation (every kInterruptStride allocations), GC and
+  /// reordering boundaries; to stop the computation it throws Interrupted
+  /// (tagged with the reason), which unwinds out of the public operation.
+  /// The callback must not call back into the manager. Pass a default-
+  /// constructed function to uninstall. Near-zero cost when unset; op
+  /// counters (OpStats) are never affected by polling, so interrupted and
+  /// uninterrupted runs stay bit-identical in their counters.
+  using InterruptCheck = std::function<void()>;
+  void setInterruptCheck(InterruptCheck fn) {
+    interrupt_check_ = std::move(fn);
+    interrupt_tick_ = 0;
+  }
+  bool hasInterruptCheck() const noexcept {
+    return static_cast<bool>(interrupt_check_);
+  }
+  /// Invoke the check now (no-op without one) — an extra poll point for
+  /// higher layers with long manager-free stretches.
+  void pollInterrupt() {
+    if (interrupt_check_) interrupt_check_();
+  }
+  /// Node allocations between two interrupt polls (the poll granularity —
+  /// and the cancel-latency unit — of a running apply chain).
+  static constexpr std::uint32_t kInterruptStride = 1024;
+
   /// Resize the computed cache to 2^bits slots, dropping all entries.
   /// Emits a kCacheResize event.
   void resizeCache(unsigned bits);
@@ -492,6 +544,8 @@ class Manager {
   std::vector<CacheEntry> cache_;
   std::uint32_t cache_mask_ = 0;
   OpStats stats_;
+  InterruptCheck interrupt_check_;
+  std::uint32_t interrupt_tick_ = 0;  // allocations since the last poll
   EventSink* sink_ = nullptr;
   bool auto_event_ = false;  // inside maybeGc(): events are "automatic"
   Bdd* handles_ = nullptr;  // head of intrusive handle registry

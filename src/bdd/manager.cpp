@@ -233,6 +233,14 @@ Edge Manager::mkNode(std::uint32_t var, Edge high, Edge low) {
 }
 
 std::uint32_t Manager::allocNode() {
+  // Cooperative interrupt poll. Skipped while reordering: an adjacent-level
+  // swap must complete atomically (its invariants do not hold mid-swap);
+  // the reordering loops poll between swaps instead (reorder.cpp).
+  if (interrupt_check_ && !reordering_ &&
+      ++interrupt_tick_ >= kInterruptStride) {
+    interrupt_tick_ = 0;
+    interrupt_check_();
+  }
   if (free_list_ != kNil) {
     const std::uint32_t idx = free_list_;
     free_list_ = nodes_[idx].next;
@@ -341,6 +349,7 @@ void Manager::markFrom(Edge e) {
 }
 
 void Manager::gc() {
+  pollInterrupt();  // GC boundary: throws before any collection work starts
   const std::size_t before = in_use_;
   const Timer timer;  // one clock read; the event itself fires only with a sink
   ++stats_.gc_runs;
@@ -392,6 +401,10 @@ void Manager::gc() {
 }
 
 void Manager::maybeGc() {
+  // The engines' per-iteration safe point doubles as an interrupt poll, so
+  // cancellation latency is bounded by one iteration even when the
+  // iterations are too small to hit the allocation-stride poll.
+  pollInterrupt();
   auto_event_ = true;
   if (cfg_.auto_reorder && !reordering_ && in_use_ >= next_reorder_at_) {
     reorder(cfg_.reorder_method);

@@ -241,6 +241,11 @@ std::vector<std::uint32_t> Manager::blockSizes() const {
 
 void Manager::swapBlockWithNext(std::vector<std::uint32_t>& sizes,
                                 unsigned i) {
+  // Reordering-boundary interrupt poll: between block swaps every swap
+  // sequence is complete, so all swap invariants hold and an Interrupted
+  // unwinding from here leaves a consistent (intermediate) order. The
+  // public entry points catch it, finalize via reorderDone() and rethrow.
+  pollInterrupt();
   unsigned start = 0;
   for (unsigned k = 0; k < i; ++k) start += sizes[k];
   const unsigned sx = sizes[i];
@@ -400,25 +405,34 @@ void Manager::reorder(ReorderMethod method) {
   reorderPrologue();
   const Timer timer;
   const std::size_t before = in_use_;
-  switch (method) {
-    case ReorderMethod::kSift:
-      siftPass();
-      break;
-    case ReorderMethod::kSiftConverge: {
-      std::size_t prev = in_use_;
-      for (int round = 0; round < 8; ++round) {
+  try {
+    switch (method) {
+      case ReorderMethod::kSift:
         siftPass();
-        if (in_use_ >= prev) break;
-        prev = in_use_;
+        break;
+      case ReorderMethod::kSiftConverge: {
+        std::size_t prev = in_use_;
+        for (int round = 0; round < 8; ++round) {
+          siftPass();
+          if (in_use_ >= prev) break;
+          prev = in_use_;
+        }
+        break;
       }
-      break;
+      case ReorderMethod::kWindow2:
+        windowPass(2);
+        break;
+      case ReorderMethod::kWindow3:
+        windowPass(3);
+        break;
     }
-    case ReorderMethod::kWindow2:
-      windowPass(2);
-      break;
-    case ReorderMethod::kWindow3:
-      windowPass(3);
-      break;
+  } catch (...) {
+    // Interrupted mid-pass: the order is an arbitrary but consistent
+    // intermediate permutation and every handle still denotes its function.
+    // Finalize the transient refcount mode, skip the completed-run stats
+    // and the kReorder event, and let the interrupt unwind.
+    reorderDone();
+    throw;
   }
   reorderDone();
   ++stats_.reorder_runs;

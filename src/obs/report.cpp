@@ -92,6 +92,51 @@ std::string reportJson(const RunMeta& meta, const RunTrace& trace) {
   return o.str();
 }
 
+std::string jobsReportJson(const std::string& batch, unsigned workers,
+                           double total_seconds,
+                           std::span<const JobRecord> jobs) {
+  std::vector<std::string> rows;
+  rows.reserve(jobs.size());
+  std::size_t done = 0, timeout = 0, memout = 0, cancelled = 0, error = 0;
+  for (const JobRecord& j : jobs) {
+    JsonObject o;
+    o.add("name", j.name)
+        .add("circuit", j.circuit)
+        .add("order", j.order)
+        .add("engine", j.engine)
+        .add("status", j.status)
+        .add("worker", j.worker)
+        .add("queue_seconds", j.queue_seconds)
+        .add("seconds", j.seconds)
+        .add("iterations", j.iterations)
+        .add("states", j.states)
+        .add("peak_live_nodes", static_cast<std::uint64_t>(j.peak_live_nodes))
+        .addRaw("ops", opStatsJson(j.ops))
+        .add("cache_hit_rate", cacheHitRate(j.ops));
+    if (!j.group.empty()) o.add("group", j.group).add("winner", j.winner);
+    if (!j.failure.empty()) o.add("failure", j.failure);
+    if (!j.trace_json.empty()) o.addRaw("trace_report", j.trace_json);
+    rows.push_back(o.str());
+    if (j.status == "done") ++done;
+    else if (j.status == "T.O.") ++timeout;
+    else if (j.status == "M.O.") ++memout;
+    else if (j.status == "cancelled") ++cancelled;
+    else ++error;
+  }
+  JsonObject o;
+  o.add("batch", batch)
+      .add("workers", workers)
+      .add("total_seconds", total_seconds)
+      .add("jobs_total", static_cast<std::uint64_t>(jobs.size()))
+      .add("jobs_done", static_cast<std::uint64_t>(done))
+      .add("jobs_timeout", static_cast<std::uint64_t>(timeout))
+      .add("jobs_memout", static_cast<std::uint64_t>(memout))
+      .add("jobs_cancelled", static_cast<std::uint64_t>(cancelled))
+      .add("jobs_error", static_cast<std::uint64_t>(error))
+      .addRaw("jobs", util::jsonArray(rows));
+  return o.str();
+}
+
 std::string reportTable(const RunMeta& meta, const RunTrace& trace) {
   std::string out;
   char line[256];

@@ -4,9 +4,15 @@
 // eyeballing where a run's time and nodes went.
 //
 // obs sits below reach, so the run-level summary arrives as a RunMeta the
-// caller fills from its ReachResult (see bench/json.hpp for the adapter).
+// caller fills from its ReachResult (see bench/support.hpp for the adapter).
+//
+// The job runner (src/run) reports at one more level: a batch of jobs
+// scheduled across a worker pool. JobRecord is the per-job summary row and
+// jobsReportJson() the aggregated JOBS_<name>.json payload the `bfv_run`
+// CLI writes.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "obs/obs.hpp"
@@ -36,5 +42,39 @@ std::string reportJson(const RunMeta& meta, const RunTrace& trace);
 
 /// Aligned-column text rendering of the same report.
 std::string reportTable(const RunMeta& meta, const RunTrace& trace);
+
+/// One scheduled job of a batch/portfolio run — what the job runner knows
+/// after the worker finished (or failed, timed out, or was cancelled by a
+/// winning portfolio sibling). Plain data, so obs stays below run.
+struct JobRecord {
+  std::string name;     ///< job name (portfolio variants: "<job>/<engine>")
+  std::string circuit;
+  std::string order;
+  std::string engine;
+  std::string status = "done";  ///< to_string(RunStatus) tag
+  std::string failure;          ///< non-empty iff status == "error"
+  unsigned worker = 0;          ///< pool worker index that ran the job
+  double queue_seconds = 0.0;   ///< time spent waiting for a worker
+  double seconds = 0.0;         ///< execution wall-clock (setup + engine)
+  unsigned iterations = 0;
+  double states = 0.0;
+  std::size_t peak_live_nodes = 0;
+  bdd::OpStats ops;
+  /// Portfolio bookkeeping: the race's group name (empty for plain jobs)
+  /// and whether this variant was the race's first conclusive finisher.
+  std::string group;
+  bool winner = false;
+  /// Full per-iteration report (reportJson) when the job was traced; empty
+  /// otherwise.
+  std::string trace_json;
+};
+
+/// The aggregated batch report: one JSON object with batch-level meta
+/// (manifest name, worker count, wall-clock, per-status job counts) and a
+/// `jobs` array of JobRecord objects (each embedding its trace report when
+/// present).
+std::string jobsReportJson(const std::string& batch, unsigned workers,
+                           double total_seconds,
+                           std::span<const JobRecord> jobs);
 
 }  // namespace bfvr::obs

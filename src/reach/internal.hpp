@@ -156,6 +156,14 @@ ReachResult runGuarded(Manager& m, const ReachOptions& opts, Body&& body) {
     r.status = RunStatus::kMemOut;
   } catch (const TimeBudgetExceeded&) {
     r.status = RunStatus::kTimeOut;
+  } catch (const bdd::Interrupted& e) {
+    // Cooperative interrupt (Manager::setInterruptCheck): a job-runner
+    // deadline maps to the paper's T.O. outcome, a portfolio cancellation
+    // to its own status. Either way the manager stays usable for the next
+    // job on this worker.
+    r.status = e.reason() == bdd::Interrupted::Reason::kDeadline
+                   ? RunStatus::kTimeOut
+                   : RunStatus::kCancelled;
   }
   r.seconds = guard.seconds();
   r.peak_live_nodes = guard.peak();

@@ -133,6 +133,10 @@ InvariantResult checkInvariant(sym::StateSpace& s, const Bdd& bad,
     out.status = RunStatus::kMemOut;
   } catch (const internal::TimeBudgetExceeded&) {
     out.status = RunStatus::kTimeOut;
+  } catch (const bdd::Interrupted& e) {
+    out.status = e.reason() == bdd::Interrupted::Reason::kDeadline
+                     ? RunStatus::kTimeOut
+                     : RunStatus::kCancelled;
   }
   out.seconds = guard.seconds();
   out.peak_live_nodes = guard.peak();

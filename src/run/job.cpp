@@ -1,0 +1,172 @@
+// Single-job execution: fresh manager, deadline + cancellation through the
+// interrupt hook, engine dispatch, and the engine-boundary catch that turns
+// every failure mode into a RunStatus (a runaway or crashing job must never
+// take the pool — or the process — down with it).
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/generators.hpp"
+#include "run/run.hpp"
+#include "sym/space.hpp"
+#include "util/stats.hpp"
+
+namespace bfvr::run {
+
+const char* to_string(EngineKind e) noexcept {
+  switch (e) {
+    case EngineKind::kTr:
+      return "tr";
+    case EngineKind::kTrMono:
+      return "tr-mono";
+    case EngineKind::kCbm:
+      return "cbm";
+    case EngineKind::kBfv:
+      return "bfv";
+    case EngineKind::kCdec:
+      return "cdec";
+    case EngineKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+EngineKind parseEngineKind(const std::string& s) {
+  if (s == "tr") return EngineKind::kTr;
+  if (s == "tr-mono" || s == "trmono") return EngineKind::kTrMono;
+  if (s == "cbm") return EngineKind::kCbm;
+  if (s == "bfv") return EngineKind::kBfv;
+  if (s == "cdec") return EngineKind::kCdec;
+  if (s == "hybrid") return EngineKind::kHybrid;
+  throw std::invalid_argument("unknown engine: " + s);
+}
+
+std::string JobSpec::displayName() const {
+  if (!name.empty()) return name;
+  return circuit + "/" + to_string(engine);
+}
+
+namespace {
+
+/// Split "a:b:c" into segments.
+std::vector<std::string> splitColons(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, ':')) out.push_back(cur);
+  return out;
+}
+
+unsigned argAt(const std::vector<std::string>& parts, std::size_t i,
+               const std::string& spec) {
+  if (i >= parts.size()) {
+    throw std::invalid_argument("generator spec needs more arguments: " +
+                                spec);
+  }
+  return static_cast<unsigned>(std::stoul(parts[i]));
+}
+
+reach::ReachResult dispatchEngine(EngineKind e, sym::StateSpace& s,
+                                  reach::ReachOptions opts) {
+  switch (e) {
+    case EngineKind::kTr:
+      return reach::reachTr(s, opts);
+    case EngineKind::kTrMono:
+      opts.transition.cluster_limit = 0;
+      return reach::reachTr(s, opts);
+    case EngineKind::kCbm:
+      return reach::reachCbm(s, opts);
+    case EngineKind::kBfv:
+      opts.backend = reach::SetBackend::kBfv;
+      return reach::reachBfv(s, opts);
+    case EngineKind::kCdec:
+      opts.backend = reach::SetBackend::kCdec;
+      return reach::reachBfv(s, opts);
+    case EngineKind::kHybrid:
+      return reach::reachHybrid(s, opts);
+  }
+  throw std::logic_error("bad engine kind");
+}
+
+}  // namespace
+
+circuit::Netlist resolveCircuit(const std::string& spec) {
+  if (spec.rfind("gen:", 0) != 0) return circuit::parseBenchFile(spec);
+  const std::vector<std::string> parts = splitColons(spec.substr(4));
+  if (parts.empty()) throw std::invalid_argument("empty generator spec");
+  const std::string& kind = parts[0];
+  if (kind == "counter") {
+    return circuit::makeCounter(argAt(parts, 1, spec), argAt(parts, 2, spec));
+  }
+  if (kind == "johnson") return circuit::makeJohnson(argAt(parts, 1, spec));
+  if (kind == "lfsr") return circuit::makeLfsr(argAt(parts, 1, spec));
+  if (kind == "twinshift") {
+    return circuit::makeTwinShift(argAt(parts, 1, spec));
+  }
+  if (kind == "arbiter") return circuit::makeArbiter(argAt(parts, 1, spec));
+  if (kind == "fifo") return circuit::makeFifoCtrl(argAt(parts, 1, spec));
+  if (kind == "gray") return circuit::makeGrayCounter(argAt(parts, 1, spec));
+  if (kind == "crc") return circuit::makeCrc(argAt(parts, 1, spec));
+  if (kind == "random") {
+    return circuit::makeRandomSeq(argAt(parts, 1, spec), argAt(parts, 2, spec),
+                                  argAt(parts, 3, spec), argAt(parts, 4, spec));
+  }
+  throw std::invalid_argument("unknown generator kind: " + spec);
+}
+
+JobResult executeJob(const JobSpec& spec, const CancelToken* cancel) noexcept {
+  JobResult out;
+  const Timer timer;  // the deadline clock: covers setup AND engine
+  try {
+    reach::ReachOptions opts = spec.opts;
+    if (spec.deadline_seconds > 0.0) {
+      // Fold the deadline into the engine budget too: a job whose
+      // iterations are too small to reach a manager poll point must still
+      // time out at the engine's per-iteration budget check.
+      opts.budget.max_seconds =
+          opts.budget.max_seconds > 0.0
+              ? std::min(opts.budget.max_seconds, spec.deadline_seconds)
+              : spec.deadline_seconds;
+    }
+    const circuit::Netlist n = resolveCircuit(spec.circuit);
+    bdd::Manager m(0, spec.mgr);
+    if (cancel != nullptr || spec.deadline_seconds > 0.0) {
+      const double deadline = spec.deadline_seconds;
+      m.setInterruptCheck([cancel, deadline, &timer] {
+        if (cancel != nullptr && cancel->cancelled()) {
+          throw bdd::Interrupted(bdd::Interrupted::Reason::kCancelled);
+        }
+        if (deadline > 0.0 && timer.seconds() > deadline) {
+          throw bdd::Interrupted(bdd::Interrupted::Reason::kDeadline);
+        }
+      });
+    }
+    sym::StateSpace s(m, n, circuit::makeOrder(n, spec.order));
+    out.reach = dispatchEngine(spec.engine, s, opts);
+    out.status = out.reach.status;
+    // The reached set lives in this manager, which dies with the job: drop
+    // the handles here, explicitly, rather than letting ~Manager orphan
+    // them after the result already escaped the scope.
+    out.reach.reached_bfv.reset();
+    out.reach.reached_chi = bdd::Bdd();
+  } catch (const bdd::NodeBudgetExceeded&) {
+    // Setup (netlist -> BDDs) blew the manager's hard node budget before
+    // the engine's own boundary could catch it.
+    out.status = RunStatus::kMemOut;
+  } catch (const bdd::Interrupted& e) {
+    out.status = e.reason() == bdd::Interrupted::Reason::kDeadline
+                     ? RunStatus::kTimeOut
+                     : RunStatus::kCancelled;
+  } catch (const std::exception& e) {
+    out.status = RunStatus::kError;
+    out.failure = e.what();
+  } catch (...) {
+    out.status = RunStatus::kError;
+    out.failure = "unknown exception";
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace bfvr::run

@@ -1,0 +1,120 @@
+#include "run/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfvr::run {
+
+namespace {
+
+circuit::OrderSpec parseOrder(const std::string& s) {
+  if (s == "natural") return {circuit::OrderKind::kNatural, 0};
+  if (s == "topo") return {circuit::OrderKind::kTopo, 0};
+  if (s == "reverse") return {circuit::OrderKind::kReverse, 0};
+  if (s == "random") return {circuit::OrderKind::kRandom, 0};
+  if (s.rfind("random:", 0) == 0) {
+    return {circuit::OrderKind::kRandom, std::stoull(s.substr(7))};
+  }
+  throw std::invalid_argument("unknown order: " + s);
+}
+
+std::vector<EngineKind> parseEngineList(const std::string& s) {
+  std::vector<EngineKind> out;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, ',')) {
+    if (!cur.empty()) out.push_back(parseEngineKind(cur));
+  }
+  if (out.empty()) throw std::invalid_argument("empty engine list");
+  return out;
+}
+
+bool parseBool(const std::string& s) {
+  if (s == "0" || s == "false") return false;
+  if (s == "1" || s == "true") return true;
+  throw std::invalid_argument("expected 0/1: " + s);
+}
+
+void applyKey(ManifestEntry& e, const std::string& key,
+              const std::string& value) {
+  JobSpec& j = e.spec;
+  if (key == "circuit") {
+    j.circuit = value;
+  } else if (key == "name") {
+    j.name = value;
+  } else if (key == "engine") {
+    j.engine = parseEngineKind(value);
+  } else if (key == "order") {
+    j.order = parseOrder(value);
+  } else if (key == "deadline") {
+    j.deadline_seconds = std::stod(value);
+  } else if (key == "seconds") {
+    j.opts.budget.max_seconds = std::stod(value);
+  } else if (key == "nodes") {
+    j.opts.budget.max_live_nodes = std::stoull(value);
+  } else if (key == "max-nodes") {
+    j.mgr.max_nodes = std::stoull(value);
+  } else if (key == "iters") {
+    j.opts.max_iterations = static_cast<unsigned>(std::stoul(value));
+  } else if (key == "reorder-every") {
+    j.opts.reorder.every = static_cast<unsigned>(std::stoul(value));
+  } else if (key == "auto-reorder") {
+    j.mgr.auto_reorder = parseBool(value);
+  } else if (key == "trace") {
+    j.opts.trace = parseBool(value);
+  } else if (key == "portfolio") {
+    e.portfolio = parseEngineList(value);
+  } else {
+    throw std::invalid_argument("unknown key: " + key);
+  }
+}
+
+}  // namespace
+
+std::vector<ManifestEntry> parseManifest(std::istream& in) {
+  std::vector<ManifestEntry> out;
+  std::string line;
+  unsigned lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string tok;
+    ManifestEntry entry;
+    bool any = false;
+    try {
+      while (tokens >> tok) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          throw std::invalid_argument("expected key=value, got: " + tok);
+        }
+        applyKey(entry, tok.substr(0, eq), tok.substr(eq + 1));
+        any = true;
+      }
+      if (!any) continue;  // blank / comment-only line
+      if (entry.spec.circuit.empty()) {
+        throw std::invalid_argument("missing circuit=");
+      }
+    } catch (const std::exception& ex) {
+      throw std::runtime_error("manifest line " + std::to_string(lineno) +
+                               ": " + ex.what());
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<ManifestEntry> parseManifestString(const std::string& text) {
+  std::istringstream in(text);
+  return parseManifest(in);
+}
+
+std::vector<ManifestEntry> parseManifestFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open manifest: " + path);
+  return parseManifest(in);
+}
+
+}  // namespace bfvr::run

@@ -1,0 +1,49 @@
+// Batch manifests for the `bfv_run` CLI: a dependency-free, line-oriented
+// job list. One job per non-comment line, whitespace-separated key=value
+// tokens:
+//
+//   # circuit is the only required key
+//   circuit=data/arb4.bench engine=bfv order=topo deadline=30
+//   circuit=gen:johnson:16  engine=tr  nodes=1000000 name=j16
+//   circuit=data/twin6.bench portfolio=tr,cbm,bfv,hybrid deadline=10
+//
+// Keys:
+//   circuit        .bench path or gen:<kind>:<args> (see run::resolveCircuit)
+//   name           report key (default "<circuit>/<engine>")
+//   engine         tr | tr-mono | cbm | bfv | cdec | hybrid   (default bfv)
+//   order          natural | topo | reverse | random[:seed]   (default topo)
+//   deadline       wall-clock deadline in seconds, setup included (0 = none)
+//   seconds        engine time budget (ReachOptions::budget.max_seconds)
+//   nodes          engine live-node budget (budget.max_live_nodes)
+//   max-nodes      manager hard node budget (Manager::Config::max_nodes)
+//   iters          ReachOptions::max_iterations
+//   reorder-every  sift after every k-th frontier iteration
+//   auto-reorder   0/1: Manager::Config::auto_reorder
+//   trace          0/1: record the per-iteration obs trace
+//   portfolio      comma-separated engine list — expands this line into a
+//                  portfolio race instead of a single job
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "run/run.hpp"
+
+namespace bfvr::run {
+
+/// One manifest line: the base spec plus the (possibly empty) portfolio
+/// engine list it expands into.
+struct ManifestEntry {
+  JobSpec spec;
+  std::vector<EngineKind> portfolio;  ///< empty = plain single-engine job
+};
+
+/// Parse a manifest; throws std::runtime_error naming the offending line on
+/// any malformed entry. Circuits are NOT resolved here — a missing .bench
+/// file surfaces per job as RunStatus::kError, not as a batch failure.
+std::vector<ManifestEntry> parseManifest(std::istream& in);
+std::vector<ManifestEntry> parseManifestString(const std::string& text);
+std::vector<ManifestEntry> parseManifestFile(const std::string& path);
+
+}  // namespace bfvr::run

@@ -1,0 +1,82 @@
+// The fixed-size worker pool: a mutex+condvar FIFO of queued jobs, N
+// worker threads, one live bdd::Manager per worker at a time (inside
+// executeJob). Results travel by future; an optional on_done callback runs
+// on the worker thread first, so a portfolio controller can cancel the
+// losers the instant a winner concludes.
+#include "run/run.hpp"
+#include "util/stats.hpp"
+
+namespace bfvr::run {
+
+struct WorkerPool::Queued {
+  JobSpec spec;
+  std::shared_ptr<CancelToken> cancel;
+  std::function<void(const JobResult&)> on_done;
+  std::promise<JobResult> promise;
+  Timer queued;  // starts at submit(); read when a worker picks the job up
+};
+
+WorkerPool::WorkerPool(unsigned workers) {
+  const unsigned n = workers == 0 ? 1 : workers;
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { workerMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::future<JobResult> WorkerPool::submit(
+    JobSpec spec, std::shared_ptr<CancelToken> cancel,
+    std::function<void(const JobResult&)> on_done) {
+  auto q = std::make_unique<Queued>();
+  q->spec = std::move(spec);
+  q->cancel = std::move(cancel);
+  q->on_done = std::move(on_done);
+  std::future<JobResult> fut = q->promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      throw std::logic_error("WorkerPool::submit after shutdown");
+    }
+    queue_.push_back(std::move(q));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void WorkerPool::workerMain(unsigned index) {
+  for (;;) {
+    std::unique_ptr<Queued> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain-on-shutdown: pending jobs still run (their tokens can be
+      // cancelled for a fast exit); exit only once the queue is empty.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const double waited = job->queued.seconds();
+    JobResult r = executeJob(job->spec, job->cancel.get());
+    r.queue_seconds = waited;
+    r.worker = index;
+    if (job->on_done) {
+      try {
+        job->on_done(r);
+      } catch (...) {
+        // A misbehaving callback must not take the worker down.
+      }
+    }
+    job->promise.set_value(std::move(r));
+  }
+}
+
+}  // namespace bfvr::run

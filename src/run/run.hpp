@@ -1,0 +1,182 @@
+// Concurrent job-runner & portfolio subsystem.
+//
+// The four engines in src/reach win on different circuits (the same
+// engine-selection sensitivity Goel & Bryant report across the ISCAS
+// circuits), and a bdd::Manager is documented single-threaded — so the
+// natural scaling unit is the *job*: one circuit + one engine + one fresh
+// BDD universe, executed to completion (or to a deadline) on one worker
+// thread. This module provides:
+//
+//  * JobSpec -> JobResult: one engine invocation with a wall-clock deadline
+//    and cooperative cancellation, every failure mode folded into a
+//    RunStatus instead of an escaping exception.
+//  * WorkerPool: a fixed-size pool; each worker thread owns the single live
+//    Manager it runs jobs on (created fresh per job so node budgets, caches
+//    and variable orders never leak between jobs, and never shared across
+//    threads).
+//  * Portfolio mode: launch the same circuit under N engines sharing one
+//    CancelToken; the first conclusive winner cancels the rest.
+//
+// Cancellation is cooperative end to end: the worker installs a
+// Manager::setInterruptCheck callback that watches the job's CancelToken
+// and deadline; the manager polls it at node-allocation / GC / reordering
+// boundaries and throws bdd::Interrupted, which the engines surface as
+// RunStatus::kTimeOut / kCancelled with the manager still usable for the
+// worker's next job.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/orders.hpp"
+#include "reach/engine.hpp"
+
+namespace bfvr::run {
+
+/// Cancellation flag shared between a controller and the workers running
+/// the jobs it may want to stop. Sticky: once cancelled, stays cancelled.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Engine selector, superset of the bench harness's RunSpec::Engine (adds
+/// the hybrid split/conjoin engine, so a 4-way portfolio covers all the
+/// image strategies the codebase implements).
+enum class EngineKind : std::uint8_t {
+  kTr,      ///< partitioned transition relations, IWLS95 schedule
+  kTrMono,  ///< monolithic transition relation
+  kCbm,     ///< Coudert/Berthet/Madre Fig. 1 flow
+  kBfv,     ///< the paper's Fig. 2 flow on functional vectors
+  kCdec,    ///< Fig. 2 on the conjunctive decomposition
+  kHybrid,  ///< per-iteration split-vs-conjoin chooser
+};
+
+/// "tr" / "tr-mono" / "cbm" / "bfv" / "cdec" / "hybrid".
+const char* to_string(EngineKind e) noexcept;
+/// Inverse of to_string; throws std::invalid_argument on an unknown tag.
+EngineKind parseEngineKind(const std::string& s);
+
+/// Everything needed to run one reachability job on a fresh manager.
+struct JobSpec {
+  /// Report key; defaults to "<circuit>/<engine>" when empty.
+  std::string name;
+  /// Circuit source: a `.bench` file path, or a generator spec
+  /// `gen:<kind>:<args>` (see resolveCircuit for the accepted kinds).
+  std::string circuit;
+  EngineKind engine = EngineKind::kBfv;
+  circuit::OrderSpec order{circuit::OrderKind::kTopo, 0};
+  /// Engine options; budget/trace/reorder policy all apply per job.
+  reach::ReachOptions opts;
+  /// Configuration of the job's fresh BDD universe (hard node budget,
+  /// cache size, auto-reorder trigger).
+  bdd::Manager::Config mgr;
+  /// Wall-clock deadline covering the whole job — circuit setup included,
+  /// unlike ReachOptions::budget.max_seconds which the engine only starts
+  /// counting once it runs. 0 = none. Enforced through the interrupt hook,
+  /// and also folded into the engine budget so tiny jobs that never hit a
+  /// poll point still observe it.
+  double deadline_seconds = 0.0;
+
+  std::string displayName() const;
+};
+
+/// Outcome of one job. The reached set itself does not survive the job
+/// (it lives in the worker's manager, which is torn down with the job);
+/// consumers get the stats, status and optional trace.
+struct JobResult {
+  RunStatus status = RunStatus::kError;
+  /// Exception text when status == kError (bad circuit spec, parse error).
+  std::string failure;
+  /// Engine metrics; default-constructed when setup failed before the
+  /// engine ran (iterations == 0, states == 0).
+  reach::ReachResult reach;
+  double seconds = 0.0;        ///< execution wall-clock, setup included
+  double queue_seconds = 0.0;  ///< time the job waited for a free worker
+  unsigned worker = 0;         ///< index of the worker that ran it
+};
+
+/// Materialize a JobSpec's circuit: parse the `.bench` file, or build the
+/// generator. Accepted generator specs: gen:counter:<bits>:<mod>,
+/// gen:johnson:<bits>, gen:lfsr:<bits>, gen:twinshift:<bits>,
+/// gen:arbiter:<clients>, gen:fifo:<ptr_bits>, gen:gray:<bits>,
+/// gen:crc:<bits>, gen:random:<latches>:<inputs>:<gates>:<seed>.
+/// Throws std::invalid_argument / std::runtime_error on a bad spec.
+circuit::Netlist resolveCircuit(const std::string& spec);
+
+/// Run one job to completion on the calling thread: fresh manager, deadline
+/// + cancellation wired to the interrupt hook, engine dispatched by kind,
+/// NodeBudgetExceeded / Interrupted / any setup exception folded into the
+/// result status. Never throws.
+JobResult executeJob(const JobSpec& spec,
+                     const CancelToken* cancel = nullptr) noexcept;
+
+/// Fixed-size worker pool executing JobSpecs FIFO. Each worker thread runs
+/// executeJob — one manager alive per worker at a time, never shared.
+class WorkerPool {
+ public:
+  /// `workers` is clamped to at least 1.
+  explicit WorkerPool(unsigned workers);
+  /// Drains the queue (pending jobs still run; cancel them through their
+  /// tokens for a fast exit) and joins the workers.
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned workers() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueue a job. `cancel` (optional) is polled by the job's manager;
+  /// `on_done` (optional) fires on the worker thread right before the
+  /// future is fulfilled — the portfolio uses it to cancel the siblings of
+  /// the first winner with no controller round-trip.
+  std::future<JobResult> submit(
+      JobSpec spec, std::shared_ptr<CancelToken> cancel = nullptr,
+      std::function<void(const JobResult&)> on_done = {});
+
+ private:
+  struct Queued;
+  void workerMain(unsigned index);
+
+  std::vector<std::thread> threads_;
+  std::deque<std::unique_ptr<Queued>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+/// Result of racing one circuit under several engines.
+struct PortfolioResult {
+  /// One result per variant, in `engines` order (not finish order).
+  std::vector<JobResult> jobs;
+  /// Index (into `jobs`) of the first variant to *finish* with kDone;
+  /// -1 when no variant concluded (all timed out / ran out of nodes).
+  int winner = -1;
+  double seconds = 0.0;  ///< wall-clock of the whole race
+};
+
+/// Launch `base` once per engine on the pool, all variants sharing one
+/// CancelToken; the first variant to finish with kDone cancels the rest.
+/// Blocks until every variant has returned (winners, losers and all).
+PortfolioResult runPortfolio(WorkerPool& pool, const JobSpec& base,
+                             std::span<const EngineKind> engines);
+
+}  // namespace bfvr::run

@@ -3,8 +3,9 @@
 // obs/report.hpp) and anything else that wants a line-stable, dependency-
 // free serialization.
 //
-// Promoted from bench/json.hpp so the observability layer and the bench
-// harness use one writer; bench/json.hpp forwards here.
+// Promoted from the bench harness so the observability layer, the job
+// runner and the benches all use one writer (the bench-side glue lives in
+// bench/support.hpp).
 //
 // Deliberately tiny: an ordered field builder and an array-file writer, no
 // external dependency.

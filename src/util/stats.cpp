@@ -10,6 +10,10 @@ std::string to_string(RunStatus s) {
       return "T.O.";
     case RunStatus::kMemOut:
       return "M.O.";
+    case RunStatus::kCancelled:
+      return "cancelled";
+    case RunStatus::kError:
+      return "error";
   }
   return "?";
 }
@@ -18,6 +22,8 @@ std::optional<RunStatus> parse_run_status(std::string_view s) {
   if (s == "done") return RunStatus::kDone;
   if (s == "T.O.") return RunStatus::kTimeOut;
   if (s == "M.O.") return RunStatus::kMemOut;
+  if (s == "cancelled") return RunStatus::kCancelled;
+  if (s == "error") return RunStatus::kError;
   return std::nullopt;
 }
 

@@ -27,11 +27,21 @@ class Timer {
   Clock::time_point start_;
 };
 
-/// Outcome of a resource-budgeted run. Mirrors the paper's Table 2 notation:
-/// completed, T.O. (time budget exceeded) or M.O. (node budget exceeded).
-enum class RunStatus : std::uint8_t { kDone, kTimeOut, kMemOut };
+/// Outcome of a resource-budgeted run. The first three mirror the paper's
+/// Table 2 notation: completed, T.O. (time budget exceeded) or M.O. (node
+/// budget exceeded). The job runner (src/run) adds two more: kCancelled for
+/// runs stopped cooperatively (a portfolio sibling won first) and kError for
+/// failures outside the resource model (bad manifest entry, parse error).
+enum class RunStatus : std::uint8_t {
+  kDone,
+  kTimeOut,
+  kMemOut,
+  kCancelled,
+  kError,
+};
 
-/// Human-readable tag used by the bench harness ("done" / "T.O." / "M.O.").
+/// Human-readable tag used by the bench harness ("done" / "T.O." / "M.O." /
+/// "cancelled" / "error").
 std::string to_string(RunStatus s);
 
 /// Inverse of to_string(RunStatus), so trace/JSON files can be re-ingested

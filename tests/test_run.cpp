@@ -1,0 +1,328 @@
+// The job runner (src/run): cooperative interruption at the manager's poll
+// points (apply, GC, sifting) leaving the manager usable, job execution
+// with deadlines / cancellation / budgets folded into RunStatus, the
+// worker pool, portfolio races, and the manifest grammar.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "run/manifest.hpp"
+#include "run/run.hpp"
+#include "support/brute.hpp"
+#include "sym/space.hpp"
+
+namespace bfvr::run {
+namespace {
+
+using bdd::Bdd;
+using bdd::Interrupted;
+using bdd::Manager;
+using test::bddFromTruth;
+using test::randomTruth;
+using test::truthOf;
+
+/// Builds random functions until the manager's allocation-stride poll
+/// fires (or the build budget runs out, which fails the test).
+void buildUntilInterrupt(Manager& m) {
+  Rng rng(17);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  std::vector<Bdd> keep;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 500; ++i) {
+          keep.push_back(bddFromTruth(m, vars, randomTruth(rng, 6)));
+        }
+      },
+      Interrupted);
+}
+
+TEST(RunInterrupt, DuringApplyLeavesManagerUsable) {
+  Manager m(8);
+  bool armed = true;
+  m.setInterruptCheck([&armed] {
+    if (armed) throw Interrupted(Interrupted::Reason::kCancelled);
+  });
+  buildUntilInterrupt(m);
+  // Disarmed, the same manager keeps working: builds, evaluation, GC.
+  armed = false;
+  Rng rng(4);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5};
+  const std::uint64_t tt = randomTruth(rng, 6);
+  Bdd f = bddFromTruth(m, vars, tt);
+  EXPECT_EQ(truthOf(m, f, vars), tt);
+  m.gc();
+  EXPECT_EQ(truthOf(m, f, vars), tt);
+}
+
+TEST(RunInterrupt, DuringGcLeavesManagerUsable) {
+  Manager m(8);
+  Bdd keep = (m.var(0) & m.var(1)) | m.var(2);
+  bool armed = true;
+  m.setInterruptCheck([&armed] {
+    if (armed) throw Interrupted(Interrupted::Reason::kDeadline);
+  });
+  // gc() polls on entry, before touching any node.
+  EXPECT_THROW(m.gc(), Interrupted);
+  EXPECT_THROW(m.maybeGc(), Interrupted);
+  armed = false;
+  m.gc();
+  EXPECT_EQ(keep, (m.var(0) & m.var(1)) | m.var(2));
+}
+
+TEST(RunInterrupt, DuringSiftLeavesManagerUsable) {
+  Manager m(12);
+  // Badly ordered and-or: sifting has many block swaps to do, so an
+  // interrupt lands mid-pass.
+  Bdd f = m.zero();
+  for (unsigned i = 0; i < 6; ++i) f |= m.var(i) & m.var(i + 6);
+  int polls_left = 3;
+  m.setInterruptCheck([&polls_left] {
+    if (--polls_left < 0) throw Interrupted(Interrupted::Reason::kCancelled);
+  });
+  EXPECT_THROW(m.reorder(bdd::ReorderMethod::kSift), Interrupted);
+  // The pass stopped between two complete adjacent-level swaps: the order
+  // is consistent and every handle still denotes its function.
+  m.setInterruptCheck({});
+  for (std::uint32_t a = 0; a < (1U << 12); ++a) {
+    std::vector<bool> values(12);
+    bool expect = false;
+    for (unsigned i = 0; i < 12; ++i) values[i] = ((a >> i) & 1U) != 0;
+    for (unsigned i = 0; i < 6; ++i) expect |= values[i] && values[i + 6];
+    ASSERT_EQ(m.eval(f, values), expect) << "assignment " << a;
+  }
+  // And a fresh full pass still converges to the small form.
+  m.reorder(bdd::ReorderMethod::kSift);
+  EXPECT_LT(f.nodeCount(), 50U);
+}
+
+TEST(RunInterrupt, PollsSkippedWhileReordering) {
+  // The allocation-stride poll is suppressed during a swap (nodes are
+  // mid-rewrite); only the between-swaps poll point may fire. A check
+  // that only counts must therefore see far fewer calls than allocations.
+  Manager m(12);
+  Bdd f = m.zero();
+  for (unsigned i = 0; i < 6; ++i) f |= m.var(i) & m.var(i + 6);
+  const std::vector<unsigned> vars{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  int calls = 0;
+  m.setInterruptCheck([&calls] { ++calls; });
+  m.reorder(bdd::ReorderMethod::kSift);
+  EXPECT_GT(calls, 0);  // the between-swaps point did poll
+  EXPECT_LT(f.nodeCount(), 50U);  // and a non-throwing check is harmless
+}
+
+TEST(RunJob, CompletesSmallCircuit) {
+  JobSpec spec;
+  spec.circuit = "gen:johnson:8";
+  spec.engine = EngineKind::kBfv;
+  const JobResult r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kDone);
+  EXPECT_EQ(r.reach.states, 16.0);
+  EXPECT_EQ(r.reach.iterations, 16U);
+  // The reached-set handles were dropped with the job's manager.
+  EXPECT_TRUE(r.reach.reached_chi.isNull());
+}
+
+TEST(RunJob, DeadlineTimesOut) {
+  JobSpec spec;
+  spec.circuit = "gen:counter:26:67108864";  // ~67M iterations: unreachable
+  spec.engine = EngineKind::kTr;
+  spec.deadline_seconds = 0.2;
+  const JobResult r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kTimeOut);
+  EXPECT_LT(r.seconds, 30.0);  // fired near the deadline, not at the end
+}
+
+TEST(RunJob, PreCancelledTokenCancels) {
+  CancelToken token;
+  token.cancel();
+  JobSpec spec;
+  spec.circuit = "gen:counter:20:1048576";
+  spec.engine = EngineKind::kTr;
+  const JobResult r = executeJob(spec, &token);
+  EXPECT_EQ(r.status, RunStatus::kCancelled);
+}
+
+TEST(RunJob, BadSpecsFoldToErrorStatus) {
+  JobSpec spec;
+  spec.circuit = "gen:nosuchkind:3";
+  JobResult r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kError);
+  EXPECT_FALSE(r.failure.empty());
+
+  spec.circuit = "/nonexistent/path.bench";
+  r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kError);
+  EXPECT_FALSE(r.failure.empty());
+}
+
+TEST(RunJob, TinyManagerBudgetIsMemOut) {
+  JobSpec spec;
+  spec.circuit = "gen:crc:8";
+  spec.engine = EngineKind::kCbm;
+  spec.mgr.max_nodes = 64;  // setup itself blows this
+  const JobResult r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kMemOut);
+}
+
+TEST(RunJob, OpCountsMatchDirectRun) {
+  JobSpec spec;
+  spec.circuit = "gen:johnson:8";
+  spec.engine = EngineKind::kBfv;
+  const JobResult viaJob = executeJob(spec);
+  ASSERT_EQ(viaJob.status, RunStatus::kDone);
+
+  const circuit::Netlist n = resolveCircuit(spec.circuit);
+  Manager m(0);
+  sym::StateSpace s(m, n, circuit::makeOrder(n, spec.order));
+  reach::ReachOptions opts = spec.opts;
+  opts.backend = reach::SetBackend::kBfv;
+  const reach::ReachResult direct = reach::reachBfv(s, opts);
+
+  // The runner adds scheduling and interrupt plumbing but must not perturb
+  // the computation: identical op counters, iteration and state counts.
+  EXPECT_EQ(viaJob.reach.iterations, direct.iterations);
+  EXPECT_EQ(viaJob.reach.states, direct.states);
+  EXPECT_EQ(viaJob.reach.peak_live_nodes, direct.peak_live_nodes);
+  EXPECT_EQ(viaJob.reach.ops.top_ops, direct.ops.top_ops);
+  EXPECT_EQ(viaJob.reach.ops.recursive_steps, direct.ops.recursive_steps);
+  EXPECT_EQ(viaJob.reach.ops.cache_lookups, direct.ops.cache_lookups);
+  EXPECT_EQ(viaJob.reach.ops.cache_hits, direct.ops.cache_hits);
+  EXPECT_EQ(viaJob.reach.ops.nodes_created, direct.ops.nodes_created);
+}
+
+TEST(RunPool, RunsJobsAcrossWorkers) {
+  WorkerPool pool(2);
+  EXPECT_EQ(pool.workers(), 2U);
+  const char* circuits[] = {"gen:johnson:8", "gen:gray:6", "gen:lfsr:8",
+                            "gen:twinshift:6"};
+  std::vector<std::future<JobResult>> futs;
+  for (const char* c : circuits) {
+    JobSpec spec;
+    spec.circuit = c;
+    spec.engine = EngineKind::kBfv;
+    futs.push_back(pool.submit(std::move(spec)));
+  }
+  for (auto& f : futs) {
+    const JobResult r = f.get();
+    EXPECT_EQ(r.status, RunStatus::kDone) << r.failure;
+    EXPECT_LT(r.worker, 2U);
+    EXPECT_GE(r.queue_seconds, 0.0);
+  }
+}
+
+TEST(RunPool, CancelStopsRunningJobQuickly) {
+  WorkerPool pool(1);
+  JobSpec spec;
+  spec.circuit = "gen:counter:26:67108864";  // would run ~forever
+  spec.engine = EngineKind::kTr;
+  auto token = std::make_shared<CancelToken>();
+  std::future<JobResult> fut = pool.submit(spec, token);
+  // Let the job get well into its fixpoint loop, then pull the plug. The
+  // engines poll at least once per iteration (the maybeGc safe point), so
+  // the latency bound is one iteration, far below the seconds granted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  token->cancel();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(20)),
+            std::future_status::ready);
+  const JobResult r = fut.get();
+  EXPECT_EQ(r.status, RunStatus::kCancelled);
+}
+
+TEST(RunPortfolio, WinnerCancelsLosers) {
+  WorkerPool pool(3);
+  JobSpec base;
+  base.name = "cnt13";
+  base.circuit = "gen:counter:13:8192";  // 8192 iterations: ~a second, not ms
+  const EngineKind engines[] = {EngineKind::kTr, EngineKind::kBfv,
+                                EngineKind::kCbm};
+  const PortfolioResult race = runPortfolio(pool, base, engines);
+  ASSERT_EQ(race.jobs.size(), 3U);
+  ASSERT_NE(race.winner, -1);
+  EXPECT_EQ(race.jobs[race.winner].status, RunStatus::kDone);
+  EXPECT_EQ(race.jobs[race.winner].reach.states, 8192.0);
+  // Cancellation is prompt: a cancelled loser stopped well short of the
+  // 32768 iterations it would have needed to finish on its own.
+  for (int i = 0; i < 3; ++i) {
+    if (i == race.winner) continue;
+    EXPECT_TRUE(race.jobs[i].status == RunStatus::kCancelled ||
+                race.jobs[i].status == RunStatus::kDone);
+    if (race.jobs[i].status == RunStatus::kCancelled) {
+      EXPECT_LT(race.jobs[i].reach.iterations, 8192U);
+    }
+  }
+}
+
+TEST(RunPortfolio, NoWinnerWhenAllTimeOut) {
+  WorkerPool pool(2);
+  JobSpec base;
+  base.circuit = "gen:counter:26:67108864";
+  base.deadline_seconds = 0.2;
+  const EngineKind engines[] = {EngineKind::kTr, EngineKind::kBfv};
+  const PortfolioResult race = runPortfolio(pool, base, engines);
+  ASSERT_EQ(race.jobs.size(), 2U);
+  EXPECT_EQ(race.winner, -1);
+  for (const JobResult& r : race.jobs) {
+    EXPECT_EQ(r.status, RunStatus::kTimeOut);
+  }
+}
+
+TEST(RunManifest, ParsesKeysAndPortfolio) {
+  const std::string text =
+      "# a comment line\n"
+      "circuit=data/a.bench name=a engine=cbm order=random:7 deadline=1.5\n"
+      "\n"
+      "circuit=gen:johnson:8 portfolio=tr,bfv trace=1 nodes=5000 "
+      "max-nodes=100000  # trailing comment\n";
+  const std::vector<ManifestEntry> entries = parseManifestString(text);
+  ASSERT_EQ(entries.size(), 2U);
+  EXPECT_EQ(entries[0].spec.name, "a");
+  EXPECT_EQ(entries[0].spec.circuit, "data/a.bench");
+  EXPECT_EQ(entries[0].spec.engine, EngineKind::kCbm);
+  EXPECT_EQ(entries[0].spec.order.kind, circuit::OrderKind::kRandom);
+  EXPECT_EQ(entries[0].spec.order.seed, 7U);
+  EXPECT_EQ(entries[0].spec.deadline_seconds, 1.5);
+  EXPECT_TRUE(entries[0].portfolio.empty());
+  EXPECT_EQ(entries[1].portfolio,
+            (std::vector<EngineKind>{EngineKind::kTr, EngineKind::kBfv}));
+  EXPECT_TRUE(entries[1].spec.opts.trace);
+  EXPECT_EQ(entries[1].spec.opts.budget.max_live_nodes, 5000U);
+  EXPECT_EQ(entries[1].spec.mgr.max_nodes, 100000U);
+}
+
+TEST(RunManifest, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(parseManifestString("circuit=a.bench\nbogus\n"),
+               std::runtime_error);
+  EXPECT_THROW(parseManifestString("name=x engine=bfv\n"),  // no circuit=
+               std::runtime_error);
+  EXPECT_THROW(parseManifestString("circuit=a.bench engine=warp\n"),
+               std::runtime_error);
+  try {
+    parseManifestString("circuit=ok.bench\n\ncircuit=b.bench order=bad\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RunManifest, ParsesShippedSmokeManifest) {
+  const std::vector<ManifestEntry> entries =
+      parseManifestFile(BFVR_DATA_DIR "/ci_smoke.manifest");
+  ASSERT_EQ(entries.size(), 3U);
+  EXPECT_EQ(entries[0].spec.name, "smoke-johnson8");
+  EXPECT_EQ(entries[1].spec.engine, EngineKind::kTr);
+  EXPECT_EQ(entries[1].spec.deadline_seconds, 0.5);
+}
+
+TEST(RunEngineKind, RoundTripsAllTags) {
+  for (const EngineKind e :
+       {EngineKind::kTr, EngineKind::kTrMono, EngineKind::kCbm,
+        EngineKind::kBfv, EngineKind::kCdec, EngineKind::kHybrid}) {
+    EXPECT_EQ(parseEngineKind(to_string(e)), e);
+  }
+  EXPECT_THROW(parseEngineKind("warp"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfvr::run
