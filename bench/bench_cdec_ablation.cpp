@@ -36,7 +36,7 @@ bdd::Bdd randomChi(bdd::Manager& m, const std::vector<unsigned>& vars,
   return chi;
 }
 
-void unionOps() {
+void unionOps(JsonLog& log) {
   std::printf(
       "Set union, random sets: BDD operations and wall time per call\n"
       "%-6s | %10s %10s %9s | %10s %10s %9s\n",
@@ -80,6 +80,15 @@ void unionOps() {
       std::printf("!! representations disagree at width %u\n", n);
       return;
     }
+    log.push(JsonObject{}
+                 .add("section", "union_ops")
+                 .add("width", n)
+                 .add("bfv_ops", bfv_ops)
+                 .add("bfv_steps", bfv_steps)
+                 .add("bfv_ms", bfv_ms)
+                 .add("cdec_ops", cdec_ops)
+                 .add("cdec_steps", cdec_steps)
+                 .add("cdec_ms", cdec_ms));
     std::printf("%-6u | %10llu %10llu %9.3f | %10llu %10llu %9.3f\n", n,
                 static_cast<unsigned long long>(bfv_ops),
                 static_cast<unsigned long long>(bfv_steps), bfv_ms,
@@ -89,7 +98,7 @@ void unionOps() {
   hr(78);
 }
 
-void reachBackends() {
+void reachBackends(JsonLog& log, JsonLog& trace) {
   std::printf(
       "\nFig. 2 reachability, BFV backend vs conjunctive-decomposition "
       "backend\n"
@@ -103,11 +112,16 @@ void reachBackends() {
     RunSpec a;
     a.engine = RunSpec::Engine::kBfv;
     a.opts.budget.max_seconds = 20.0;
+    a.opts.trace = trace.enabled();
     RunSpec b = a;
     b.engine = RunSpec::Engine::kCdec;
     const circuit::OrderSpec order{circuit::OrderKind::kTopo, 0};
     const reach::ReachResult ra = runOnce(n, order, a);
     const reach::ReachResult rb = runOnce(n, order, b);
+    log.push(runObject(n.name(), order.label(), engineName(a.engine), ra));
+    log.push(runObject(n.name(), order.label(), engineName(b.engine), rb));
+    pushTrace(trace, n.name(), order.label(), engineName(a.engine), ra);
+    pushTrace(trace, n.name(), order.label(), engineName(b.engine), rb);
     std::printf("%-10s | %10s %9s | %10s %9s\n", n.name().c_str(),
                 timeCell(ra).c_str(), peakCell(ra).c_str(),
                 timeCell(rb).c_str(), peakCell(rb).c_str());
@@ -122,8 +136,10 @@ void reachBackends() {
 
 }  // namespace
 
-int main() {
-  unionOps();
-  reachBackends();
-  return 0;
+int main(int argc, char** argv) {
+  JsonLog log = jsonLogFromArgs(argc, argv, "cdec_ablation");
+  JsonLog trace = traceLogFromArgs(argc, argv, "cdec_ablation");
+  unionOps(log);
+  reachBackends(log, trace);
+  return log.write() && trace.write() ? 0 : 1;
 }

@@ -2,16 +2,33 @@
 // paper uses "a dynamic quantification schedule based on a simple support
 // based cost heuristic"; this ablation compares it against quantifying
 // parameters in a fixed (variable-index) order.
+//
+// `--quick` pins the suite to the heaviest row (fifo4) — the configuration
+// the CI perf smoke compares against baselines/BENCH_quantsched.json, so
+// its `recursive_steps` guard stays on one stable circuit.
+#include <cstring>
+
 #include "support.hpp"
 
 using namespace bfvr;
 using namespace bfvr::bench;
 
-int main() {
-  const circuit::Netlist circuits[] = {
-      circuit::makeTwinShift(14), circuit::makeFifoCtrl(4),
-      circuit::makeJohnson(20), circuit::makeRandomSeq(14, 4, 80, 11),
-      circuit::makeRandomSeq(16, 5, 100, 23)};
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  JsonLog log = jsonLogFromArgs(argc, argv, "quantsched");
+  JsonLog trace = traceLogFromArgs(argc, argv, "quantsched");
+
+  std::vector<circuit::Netlist> circuits;
+  circuits.push_back(circuit::makeFifoCtrl(4));
+  if (!quick) {
+    circuits.push_back(circuit::makeTwinShift(14));
+    circuits.push_back(circuit::makeJohnson(20));
+    circuits.push_back(circuit::makeRandomSeq(14, 4, 80, 11));
+    circuits.push_back(circuit::makeRandomSeq(16, 5, 100, 23));
+  }
 
   std::printf("Re-parameterization schedule ablation (BFV engine, topo)\n");
   std::printf("%-12s | %10s %9s | %10s %9s\n", "circuit", "static t",
@@ -22,11 +39,18 @@ int main() {
     stat.engine = RunSpec::Engine::kBfv;
     stat.opts.budget.max_seconds = 30.0;
     stat.opts.reparam.schedule = bfv::QuantSchedule::kStaticOrder;
+    stat.opts.trace = trace.enabled();
     RunSpec dyn = stat;
     dyn.opts.reparam.schedule = bfv::QuantSchedule::kSupportCost;
     const circuit::OrderSpec order{circuit::OrderKind::kTopo, 0};
     const reach::ReachResult a = runOnce(n, order, stat);
     const reach::ReachResult b = runOnce(n, order, dyn);
+    log.push(runObject(n.name(), order.label(), engineName(stat.engine), a)
+                 .add("schedule", "static"));
+    log.push(runObject(n.name(), order.label(), engineName(dyn.engine), b)
+                 .add("schedule", "dynamic"));
+    pushTrace(trace, n.name(), order.label(), engineName(stat.engine), a);
+    pushTrace(trace, n.name(), order.label(), engineName(dyn.engine), b);
     std::printf("%-12s | %10s %9s | %10s %9s\n", n.name().c_str(),
                 timeCell(a).c_str(), peakCell(a).c_str(),
                 timeCell(b).c_str(), peakCell(b).c_str());
@@ -36,5 +60,5 @@ int main() {
       "\nThe dynamic schedule touches fewer components per quantification\n"
       "(\"we compute supports to avoid BDD operations on vector components\n"
       "that do not depend on the variable being quantified\", §3).\n");
-  return 0;
+  return log.write() && trace.write() ? 0 : 1;
 }

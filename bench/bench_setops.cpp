@@ -2,9 +2,19 @@
 // Union is linear in the vector width in BDD operations; intersection is
 // quadratic (§2.4); the chi conversions bracket them. Counters report BDD
 // operations ("ops") alongside wall time.
+//
+// On top of the google-benchmark tables, `--json[=path]` /
+// `--trace[=path]` (stripped from argv before benchmark::Initialize sees
+// it) write one deterministic counter sweep per (operation, width) —
+// top-level ops, recursive steps, and the per-op computed-cache hit/miss
+// split — so the perf trajectory of the set algorithms lands in the same
+// BENCH_/TRACE_ artifact shape as the reachability benches.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bfv/bfv.hpp"
+#include "support.hpp"
 #include "util/rng.hpp"
 
 using namespace bfvr;
@@ -130,6 +140,102 @@ void BM_Reparam(benchmark::State& state) {
   }
 }
 
+/// One sweep row: deterministic counters of a counter delta, including the
+/// per-op computed-cache split the reachability benches also publish.
+util::JsonObject statsRow(const char* op, unsigned width,
+                          const bdd::OpStats& d) {
+  util::JsonObject o;
+  o.add("op", op)
+      .add("width", width)
+      .add("top_ops", d.top_ops)
+      .add("recursive_steps", d.recursive_steps)
+      .add("cache_lookups", d.cache_lookups)
+      .add("cache_hits", d.cache_hits)
+      .addRaw("op_cache", obs::opCacheJson(d));
+  return o;
+}
+
+/// Deterministic counter sweep behind `--json` / `--trace`: reruns each
+/// set algorithm kSweepReps times without intermediate GC, logging the
+/// whole-sweep counters (summary) and the per-repetition deltas (trace —
+/// repetitions after the first show how much the computed cache retains).
+void counterSweep(util::JsonLog& json, util::JsonLog& trace) {
+  constexpr int kSweepReps = 5;
+  const auto sweep = [&](const char* op, unsigned width, bdd::Manager& m,
+                         auto&& body) {
+    std::vector<std::string> reps;
+    const bdd::OpStats start = m.stats();
+    for (int rep = 0; rep < kSweepReps; ++rep) {
+      const bdd::OpStats pre = m.stats();
+      body();
+      if (trace.enabled()) {
+        reps.push_back(statsRow(op, width, m.stats().since(pre)).str());
+      }
+    }
+    json.push(statsRow(op, width, m.stats().since(start))
+                  .add("reps", kSweepReps));
+    if (trace.enabled()) {
+      util::JsonObject t;
+      t.add("op", op).add("width", width).addRaw("reps",
+                                                 util::jsonArray(reps));
+      trace.push(t);
+    }
+  };
+
+  for (unsigned n : {8U, 16U, 32U, 64U}) {
+    {
+      SetPair p(n, 42);
+      sweep("union", n, p.m, [&] {
+        Bfv u = setUnion(p.a, p.b);
+        benchmark::DoNotOptimize(u);
+      });
+    }
+    {
+      SetPair p(n, 43);
+      sweep("intersect", n, p.m, [&] {
+        Bfv i = setIntersect(p.a, p.b);
+        benchmark::DoNotOptimize(i);
+      });
+    }
+    {
+      SetPair p(n, 44);
+      sweep("to_char", n, p.m, [&] {
+        bdd::Bdd chi = p.a.toChar();
+        benchmark::DoNotOptimize(chi);
+      });
+    }
+    {
+      SetPair p(n, 45);
+      const bdd::Bdd chi = p.a.toChar();
+      sweep("from_char", n, p.m, [&] {
+        Bfv f = bfv::fromChar(p.m, chi, p.vars);
+        benchmark::DoNotOptimize(f);
+      });
+    }
+  }
+  for (unsigned n : {4U, 8U, 16U}) {
+    bdd::Manager m(2 * n);
+    Rng rng(46);
+    std::vector<unsigned> choice(n);
+    std::vector<unsigned> params(n);
+    for (unsigned i = 0; i < n; ++i) {
+      choice[i] = i;
+      params[i] = n + i;
+    }
+    std::vector<bdd::Bdd> outs(n);
+    for (unsigned i = 0; i < n; ++i) {
+      const bdd::Bdd x = m.var(params[rng.below(n)]);
+      const bdd::Bdd y = m.var(params[rng.below(n)]);
+      const bdd::Bdd z = m.var(params[rng.below(n)]);
+      outs[i] = (x & y) | (~x & z);
+    }
+    sweep("reparam", n, m, [&] {
+      Bfv f = bfv::reparameterize(m, outs, choice, params);
+      benchmark::DoNotOptimize(f);
+    });
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_Union)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
@@ -138,4 +244,27 @@ BENCHMARK(BM_ToChar)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_FromChar)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_Reparam)->Arg(4)->Arg(8)->Arg(16);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the `--json` / `--trace` flags
+// are ours, and google-benchmark aborts on flags it does not recognize, so
+// they are parsed and stripped before benchmark::Initialize runs.
+int main(int argc, char** argv) {
+  util::JsonLog json = bench::jsonLogFromArgs(argc, argv, "setops");
+  util::JsonLog trace = bench::traceLogFromArgs(argc, argv, "setops");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0 ||
+        std::strncmp(argv[i], "--trace", 7) == 0) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  counterSweep(json, trace);
+  return json.write() && trace.write() ? 0 : 1;
+}

@@ -141,7 +141,8 @@ inline JsonObject runObject(const std::string& circuit,
       .add("gc_runs", r.ops.gc_runs)
       .add("reorder_runs", r.ops.reorder_runs)
       .add("reorder_swaps", r.ops.reorder_swaps)
-      .add("reorder_nodes_saved", r.ops.reorder_nodes_saved);
+      .add("reorder_nodes_saved", r.ops.reorder_nodes_saved)
+      .addRaw("op_cache", obs::opCacheJson(r.ops));
   return o;
 }
 

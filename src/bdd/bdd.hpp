@@ -25,13 +25,19 @@
 //  * Not thread-safe; one Manager per thread.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "bdd/reorder.hpp"
 
@@ -39,6 +45,27 @@ namespace bfvr::bdd {
 
 class Manager;
 class Bdd;
+
+namespace detail {
+
+inline constexpr std::uint64_t kMul1 = 0x9e3779b97f4a7c15ULL;
+inline constexpr std::uint64_t kMul2 = 0xc2b2ae3d27d4eb4fULL;
+
+/// Mixer behind both the unique table and the computed cache. Lives in the
+/// header so the cache probe inlines into the recursive kernels.
+inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c) noexcept {
+  std::uint64_t h = a * kMul1;
+  h ^= (b + kMul2) * kMul1;
+  h = (h << 31) | (h >> 33);
+  h ^= (c + kMul1) * kMul2;
+  h ^= h >> 29;
+  h *= kMul1;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace detail
 
 /// Internal edge handle: (node index << 1) | complement bit.
 using Edge = std::uint32_t;
@@ -81,6 +108,27 @@ class Interrupted : public std::runtime_error {
   Reason reason_;
 };
 
+/// Public identity of a computed-cache operation family, used to break the
+/// aggregate cache counters down per operation (OpStats::op_cache_hits /
+/// op_cache_misses). All compose variants share one tag (the internal tag
+/// space is open-ended per substituted variable); everything else maps 1:1
+/// to its recursive kernel.
+enum class OpTag : std::uint8_t {
+  kAnd,
+  kXor,
+  kIte,
+  kExists,
+  kAndExists,
+  kConstrain,
+  kRestrict,
+  kCofactor2,
+  kCompose,
+};
+inline constexpr std::size_t kNumOpTags = 9;
+/// "and" / "xor" / "ite" / "exists" / "and-exists" / "constrain" /
+/// "restrict" / "cofactor2" / "compose".
+const char* to_string(OpTag t) noexcept;
+
 /// Cumulative operation counters (monotone; reset with Manager::resetStats).
 /// `recursive_steps` counts every cache-missing recursion step of the apply
 /// family — the unit behind the paper's "number of BDD operations" claims
@@ -98,6 +146,18 @@ struct OpStats {
   std::uint64_t reorder_runs = 0;         ///< completed reorder() invocations
   std::uint64_t reorder_swaps = 0;        ///< adjacent-level swaps performed
   std::uint64_t reorder_nodes_saved = 0;  ///< nodes reclaimed by reordering
+  /// Per-operation split of cache_lookups: hits/misses indexed by OpTag, so
+  /// a hit-rate regression in one kernel (say the re-parameterization
+  /// cofactors) is visible even when the aggregate rate looks healthy.
+  std::array<std::uint64_t, kNumOpTags> op_cache_hits{};
+  std::array<std::uint64_t, kNumOpTags> op_cache_misses{};
+
+  std::uint64_t opHits(OpTag t) const noexcept {
+    return op_cache_hits[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t opMisses(OpTag t) const noexcept {
+    return op_cache_misses[static_cast<std::size_t>(t)];
+  }
 
   /// Field-wise difference `this - before`: the counters spent between two
   /// stats() snapshots. All counters are monotone, so `before` must be the
@@ -115,6 +175,10 @@ struct OpStats {
     d.reorder_runs = reorder_runs - before.reorder_runs;
     d.reorder_swaps = reorder_swaps - before.reorder_swaps;
     d.reorder_nodes_saved = reorder_nodes_saved - before.reorder_nodes_saved;
+    for (std::size_t i = 0; i < kNumOpTags; ++i) {
+      d.op_cache_hits[i] = op_cache_hits[i] - before.op_cache_hits[i];
+      d.op_cache_misses[i] = op_cache_misses[i] - before.op_cache_misses[i];
+    }
     return d;
   }
 };
@@ -286,6 +350,12 @@ class Manager {
   Bdd restrict(const Bdd& f, const Bdd& c);
   /// Shannon cofactor with respect to a single variable.
   Bdd cofactor(const Bdd& f, unsigned var, bool value);
+  /// Both Shannon cofactors {f|var=0, f|var=1} from ONE traversal of f. The
+  /// fused kernel caches the pair under its own tag, so the second cofactor
+  /// is free instead of a second full walk — the hot path of the §2.6
+  /// re-parameterization loop, which needs both slices of every component.
+  /// Results are bit-identical to two cofactor() calls (both canonical).
+  std::pair<Bdd, Bdd> cofactor2(const Bdd& f, unsigned var);
 
   /// Substitute g for variable `var` in f.
   Bdd compose(const Bdd& f, unsigned var, const Bdd& g);
@@ -399,7 +469,9 @@ class Manager {
   /// Emits a kCacheResize event.
   void resizeCache(unsigned bits);
   /// Current number of computed-cache slots.
-  std::size_t cacheSlots() const noexcept { return cache_.size(); }
+  std::size_t cacheSlots() const noexcept {
+    return cache_keys_.size() * kCacheWays;
+  }
 
   /// Graphviz dump of the given (labelled) functions, for debugging & docs.
   std::string toDot(std::span<const Bdd> fs,
@@ -425,10 +497,40 @@ class Manager {
     std::size_t count = 0;               // nodes currently in this subtable
   };
 
-  struct CacheEntry {
+  /// Set associativity of the computed cache. Replacement within a set is
+  /// generation-based aging: hits refresh an entry's generation, stores
+  /// evict the stalest way, so a hot entry survives collisions that the old
+  /// direct-mapped cache would have evicted on immediately.
+  static constexpr std::size_t kCacheWays = 4;
+  /// Inserts between two bumps of the cache generation counter.
+  static constexpr std::uint32_t kCacheGenPeriod = 4096;
+  /// cacheFind() miss sentinel.
+  static constexpr std::size_t kCacheMiss = ~std::size_t{0};
+
+  /// One way's key. The cache is split structure-of-arrays so the probe —
+  /// the only part every recursive step pays — stays on a single cache
+  /// line: four 16-byte keys fill exactly one 64-byte CacheKeySet.
+  struct CacheKey {
     Edge a = 0, b = 0, c = 0;
-    std::uint32_t op = 0;  // 0 = empty
+    std::uint32_t op = 0;  // 0 = empty way
+  };
+  /// All keys of one set, line-aligned so a whole-set probe is one touch.
+  struct alignas(64) CacheKeySet {
+    CacheKey way[kCacheWays];
+  };
+  /// Results live apart from the keys: they are read on hits only, and a
+  /// dual-result operation (cofactor2) fills both fields.
+  struct CacheResult {
     Edge result = 0;
+    Edge result2 = 0;
+  };
+  /// One set's results and aging stamps, packed into a second line so a
+  /// hit (result read + gen refresh) and an insert each touch exactly one
+  /// line beyond the key probe. Gens are mod-256 distances from the
+  /// current generation; staleness comparisons survive the wrap-around.
+  struct alignas(64) CacheSetData {
+    CacheResult result[kCacheWays];
+    std::uint8_t gen[kCacheWays];
   };
 
   static constexpr std::uint32_t kTermVar = 0xFFFFFFFFU;
@@ -445,8 +547,33 @@ class Manager {
     kOpAndExists,
     kOpConstrain,
     kOpRestrict,
-    kOpComposeBase  // kOpComposeBase + var
+    kOpCofactor2,   // key: (f, var); dual result
+    kOpComposeBase  // kOpComposeBase + var; must stay last (open-ended)
   };
+
+  /// Stats bucket of an internal op tag (compose variants collapse to one).
+  static OpTag tagOf(std::uint32_t op) noexcept {
+    switch (op) {
+      case kOpAnd:
+        return OpTag::kAnd;
+      case kOpXor:
+        return OpTag::kXor;
+      case kOpIte:
+        return OpTag::kIte;
+      case kOpExists:
+        return OpTag::kExists;
+      case kOpAndExists:
+        return OpTag::kAndExists;
+      case kOpConstrain:
+        return OpTag::kConstrain;
+      case kOpRestrict:
+        return OpTag::kRestrict;
+      case kOpCofactor2:
+        return OpTag::kCofactor2;
+      default:
+        return OpTag::kCompose;
+    }
+  }
 
   // -- edge helpers ----------------------------------------------------------
   static Edge negate(Edge e) noexcept { return e ^ 1U; }
@@ -498,8 +625,36 @@ class Manager {
   void windowPass(unsigned window);
 
   // -- computed cache ---------------------------------------------------------
-  bool cacheLookup(std::uint32_t op, Edge a, Edge b, Edge c, Edge& out);
-  void cacheStore(std::uint32_t op, Edge a, Edge b, Edge c, Edge r);
+  /// Way of `ks` whose key equals (a,b,c,op), or kCacheWays if absent.
+  static std::size_t probeSet(const CacheKeySet& ks, Edge a, Edge b, Edge c,
+                              std::uint32_t op) noexcept;
+  /// Probe the set of (op,a,b,c); on a hit refreshes the way's generation
+  /// and returns its flat index (set * kCacheWays + way) into the result /
+  /// gen arrays, else kCacheMiss. Counts aggregate and per-tag hit/miss.
+  std::size_t cacheFind(std::uint32_t op, Edge a, Edge b, Edge c);
+  /// Insert (op,a,b,c) -> (r, r2), evicting the stalest way of a full set.
+  void cacheInsert(std::uint32_t op, Edge a, Edge b, Edge c, Edge r, Edge r2);
+  bool cacheLookup(std::uint32_t op, Edge a, Edge b, Edge c, Edge& out) {
+    const std::size_t i = cacheFind(op, a, b, c);
+    if (i == kCacheMiss) return false;
+    out = cache_data_[i / kCacheWays].result[i % kCacheWays].result;
+    return true;
+  }
+  bool cacheLookup2(std::uint32_t op, Edge a, Edge b, Edge c, Edge& out,
+                    Edge& out2) {
+    const std::size_t i = cacheFind(op, a, b, c);
+    if (i == kCacheMiss) return false;
+    const CacheResult& r = cache_data_[i / kCacheWays].result[i % kCacheWays];
+    out = r.result;
+    out2 = r.result2;
+    return true;
+  }
+  void cacheStore(std::uint32_t op, Edge a, Edge b, Edge c, Edge r) {
+    cacheInsert(op, a, b, c, r, 0);
+  }
+  void cacheStore2(std::uint32_t op, Edge a, Edge b, Edge c, Edge r, Edge r2) {
+    cacheInsert(op, a, b, c, r, r2);
+  }
 
   // -- events ------------------------------------------------------------------
   /// Forward an event to the installed sink (no-op without one). The
@@ -516,6 +671,8 @@ class Manager {
   Edge constrainRec(Edge f, Edge c);
   Edge restrictRec(Edge f, Edge c);
   Edge composeRec(Edge f, std::uint32_t var, Edge g);
+  /// Fused dual cofactor: returns f|var=0 and writes f|var=1 to `hi`.
+  Edge cofactor2Rec(Edge f, std::uint32_t var, Edge& hi);
 
   // -- GC ----------------------------------------------------------------------
   void markFrom(Edge e);
@@ -541,8 +698,11 @@ class Manager {
   std::size_t peak_nodes_ = 0;
   std::size_t gc_threshold_ = 0;
   std::uint32_t mark_epoch_ = 0;
-  std::vector<CacheEntry> cache_;
-  std::uint32_t cache_mask_ = 0;
+  std::vector<CacheKeySet> cache_keys_;      // one key line per set
+  std::vector<CacheSetData> cache_data_;     // one result/gen line per set
+  std::uint32_t cache_set_mask_ = 0;         // (number of sets) - 1
+  std::uint32_t cache_gen_ = 1;              // current aging generation
+  std::uint32_t cache_gen_tick_ = 0;         // inserts since the last bump
   OpStats stats_;
   InterruptCheck interrupt_check_;
   std::uint32_t interrupt_tick_ = 0;  // allocations since the last poll
@@ -551,5 +711,96 @@ class Manager {
   Bdd* handles_ = nullptr;  // head of intrusive handle registry
   std::vector<std::uint32_t> mark_stack_;
 };
+
+// ---------------------------------------------------------------------------
+// Computed-cache fast path. Defined inline: these run once per recursive
+// step of every kernel, and the call overhead is measurable there.
+// ---------------------------------------------------------------------------
+
+/// Index of the way whose 16-byte key equals (a,b,c,op), or kCacheWays.
+/// The keys of a set share one 64-byte line (CacheKeySet is line-aligned),
+/// so the whole probe is a single memory touch; with SSE2 each way is one
+/// 128-bit compare instead of four compare-and-branch pairs.
+inline std::size_t Manager::probeSet(const CacheKeySet& ks, Edge a, Edge b,
+                                     Edge c, std::uint32_t op) noexcept {
+#if defined(__SSE2__)
+  const __m128i probe =
+      _mm_setr_epi32(static_cast<int>(a), static_cast<int>(b),
+                     static_cast<int>(c), static_cast<int>(op));
+  for (std::size_t w = 0; w < kCacheWays; ++w) {
+    const __m128i key =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(&ks.way[w]));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(key, probe)) == 0xFFFF) return w;
+  }
+#else
+  for (std::size_t w = 0; w < kCacheWays; ++w) {
+    const CacheKey& k = ks.way[w];
+    if (k.op == op && k.a == a && k.b == b && k.c == c) return w;
+  }
+#endif
+  return kCacheWays;
+}
+
+inline std::size_t Manager::cacheFind(std::uint32_t op, Edge a, Edge b,
+                                      Edge c) {
+  ++stats_.cache_lookups;
+  const std::size_t set =
+      detail::hash3((static_cast<std::uint64_t>(op) << 32) | a, b, c) &
+      cache_set_mask_;
+#if defined(__SSE2__)
+  // A hit needs the result line next; start that fetch under the probe.
+  _mm_prefetch(reinterpret_cast<const char*>(&cache_data_[set]), _MM_HINT_T0);
+#endif
+  const std::size_t w = probeSet(cache_keys_[set], a, b, c, op);
+  if (w != kCacheWays) {
+    // Refresh the aging stamp: a hot entry outlives set pressure.
+    cache_data_[set].gen[w] = static_cast<std::uint8_t>(cache_gen_);
+    ++stats_.cache_hits;
+    ++stats_.op_cache_hits[static_cast<std::size_t>(tagOf(op))];
+    return set * kCacheWays + w;
+  }
+  ++stats_.op_cache_misses[static_cast<std::size_t>(tagOf(op))];
+  return kCacheMiss;
+}
+
+inline void Manager::cacheInsert(std::uint32_t op, Edge a, Edge b, Edge c,
+                                 Edge r, Edge r2) {
+  ++stats_.cache_inserts;
+  if (++cache_gen_tick_ >= kCacheGenPeriod) {
+    cache_gen_tick_ = 0;
+    ++cache_gen_;
+  }
+  const std::size_t set =
+      detail::hash3((static_cast<std::uint64_t>(op) << 32) | a, b, c) &
+      cache_set_mask_;
+  CacheKeySet& ks = cache_keys_[set];
+  CacheSetData& data = cache_data_[set];
+  const std::uint8_t now = static_cast<std::uint8_t>(cache_gen_);
+  // Victim: the first empty way, else the stalest age (a mod-256 distance
+  // from the current generation, so staleness survives counter wrap).
+  // No match probe: stores only follow a missed lookup of the same key,
+  // and no descendant of the pending computation can insert that key (the
+  // subproblem would be recursing into itself), so the key cannot already
+  // be present. A duplicate way would be harmless anyway — results are
+  // deterministic, so both ways would agree.
+  std::size_t w = 0;
+  std::uint8_t stale_age = 0;
+  for (std::size_t i = 0; i < kCacheWays; ++i) {
+    if (ks.way[i].op == 0) {
+      w = i;
+      stale_age = 0xFF;  // an empty way cannot lose to a live one
+      break;
+    }
+    const std::uint8_t age = static_cast<std::uint8_t>(now - data.gen[i]);
+    if (age >= stale_age) {
+      stale_age = age;
+      w = i;
+    }
+  }
+  if (ks.way[w].op != 0) ++stats_.cache_collisions;
+  ks.way[w] = CacheKey{a, b, c, op};
+  data.result[w] = CacheResult{r, r2};
+  data.gen[w] = now;
+}
 
 }  // namespace bfvr::bdd

@@ -17,6 +17,54 @@ Bdd Manager::cofactor(const Bdd& f, unsigned var, bool value) {
 }
 
 // ---------------------------------------------------------------------------
+// Fused dual cofactor: both Shannon cofactors from one traversal
+// ---------------------------------------------------------------------------
+
+Edge Manager::cofactor2Rec(Edge f, std::uint32_t var, Edge& hi) {
+  // f is independent of var when its top level is below var's level.
+  if (isConstEdge(f) || level(f) > var2level_[var]) {
+    hi = f;
+    return f;
+  }
+  // Cofactors of ~f are the complements of f's; cache regular edges only.
+  const Edge parity = f & 1U;
+  f = regular(f);
+  // Copy the node fields: recursion below may grow (reallocate) nodes_.
+  const std::uint32_t top = varOf(f);
+  const Edge fh = highOf(f);
+  const Edge fl = lowOf(f);
+  if (top == var) {
+    hi = fh ^ parity;
+    return fl ^ parity;
+  }
+  Edge lo;
+  if (cacheLookup2(kOpCofactor2, f, var, 0, lo, hi)) {
+    hi ^= parity;
+    return lo ^ parity;
+  }
+  ++stats_.recursive_steps;
+  // Both children's cofactor pairs in the same walk, then one mkNode per
+  // output slice. Children's cofactors no longer contain var, so their
+  // levels stay strictly below top's and mkNode's invariants hold.
+  Edge fh1, fl1;
+  const Edge fh0 = cofactor2Rec(fh, var, fh1);
+  const Edge fl0 = cofactor2Rec(fl, var, fl1);
+  lo = mkNode(top, fh0, fl0);
+  const Edge hi_reg = mkNode(top, fh1, fl1);
+  cacheStore2(kOpCofactor2, f, var, 0, lo, hi_reg);
+  hi = hi_reg ^ parity;
+  return lo ^ parity;
+}
+
+std::pair<Bdd, Bdd> Manager::cofactor2(const Bdd& f, unsigned var) {
+  ++stats_.top_ops;
+  ensureVar(var);
+  Edge hi = kFalseEdge;
+  const Edge lo = cofactor2Rec(requireSameManager(f), var, hi);
+  return {make(lo), make(hi)};
+}
+
+// ---------------------------------------------------------------------------
 // constrain (Coudert–Madre generalized cofactor)
 // ---------------------------------------------------------------------------
 

@@ -1,10 +1,36 @@
 #include "bdd/bdd.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/stats.hpp"
 
 namespace bfvr::bdd {
+
+
+const char* to_string(OpTag t) noexcept {
+  switch (t) {
+    case OpTag::kAnd:
+      return "and";
+    case OpTag::kXor:
+      return "xor";
+    case OpTag::kIte:
+      return "ite";
+    case OpTag::kExists:
+      return "exists";
+    case OpTag::kAndExists:
+      return "and-exists";
+    case OpTag::kConstrain:
+      return "constrain";
+    case OpTag::kRestrict:
+      return "restrict";
+    case OpTag::kCofactor2:
+      return "cofactor2";
+    case OpTag::kCompose:
+      return "compose";
+  }
+  return "?";
+}
 
 const char* to_string(ManagerEvent::Kind k) noexcept {
   switch (k) {
@@ -131,24 +157,8 @@ double Bdd::satCount(unsigned num_vars) const {
 // Manager: node store and unique table.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-constexpr std::uint64_t kMul1 = 0x9e3779b97f4a7c15ULL;
-constexpr std::uint64_t kMul2 = 0xc2b2ae3d27d4eb4fULL;
-
-std::uint64_t hash3(std::uint64_t a, std::uint64_t b,
-                    std::uint64_t c) noexcept {
-  std::uint64_t h = a * kMul1;
-  h ^= (b + kMul2) * kMul1;
-  h = (h << 31) | (h >> 33);
-  h ^= (c + kMul1) * kMul2;
-  h ^= h >> 29;
-  h *= kMul1;
-  h ^= h >> 32;
-  return h;
-}
-
-}  // namespace
+using detail::hash3;
+using detail::kMul2;
 
 Manager::Manager(unsigned num_vars) : Manager(num_vars, Config{}) {}
 
@@ -161,8 +171,12 @@ Manager::Manager(unsigned num_vars, Config cfg)
   peak_nodes_ = 1;
   gc_threshold_ = cfg_.gc_threshold;
   next_reorder_at_ = cfg_.reorder_threshold;
-  cache_.assign(std::size_t{1} << cfg_.cache_bits, CacheEntry{});
-  cache_mask_ = static_cast<std::uint32_t>(cache_.size() - 1);
+  // At least one full set, even under degenerate cache_bits.
+  const std::size_t sets =
+      std::max(std::size_t{1} << cfg_.cache_bits, kCacheWays) / kCacheWays;
+  cache_keys_.assign(sets, CacheKeySet{});
+  cache_data_.assign(sets, CacheSetData{});
+  cache_set_mask_ = static_cast<std::uint32_t>(sets - 1);
   if (num_vars > 0) ensureVar(num_vars - 1);
 }
 
@@ -278,41 +292,20 @@ void Manager::growSubTable(std::uint32_t var) {
 }
 
 // ---------------------------------------------------------------------------
-// Computed cache.
+// Computed cache. cacheFind/cacheInsert live in the header so they inline
+// into the recursive kernels.
 // ---------------------------------------------------------------------------
 
-bool Manager::cacheLookup(std::uint32_t op, Edge a, Edge b, Edge c,
-                          Edge& out) {
-  ++stats_.cache_lookups;
-  const std::size_t slot =
-      hash3((static_cast<std::uint64_t>(op) << 32) | a, b, c) & cache_mask_;
-  const CacheEntry& e = cache_[slot];
-  if (e.op == op && e.a == a && e.b == b && e.c == c) {
-    out = e.result;
-    ++stats_.cache_hits;
-    return true;
-  }
-  return false;
-}
-
-void Manager::cacheStore(std::uint32_t op, Edge a, Edge b, Edge c, Edge r) {
-  ++stats_.cache_inserts;
-  const std::size_t slot =
-      hash3((static_cast<std::uint64_t>(op) << 32) | a, b, c) & cache_mask_;
-  CacheEntry& e = cache_[slot];
-  if (e.op != 0 && (e.op != op || e.a != a || e.b != b || e.c != c)) {
-    ++stats_.cache_collisions;
-  }
-  e = CacheEntry{a, b, c, op, r};
-}
-
 void Manager::resizeCache(unsigned bits) {
-  const std::size_t before = cache_.size();
+  const std::size_t before = cacheSlots();
   const Timer timer;
-  cache_.assign(std::size_t{1} << bits, CacheEntry{});
-  cache_mask_ = static_cast<std::uint32_t>(cache_.size() - 1);
+  const std::size_t sets =
+      std::max(std::size_t{1} << bits, kCacheWays) / kCacheWays;
+  cache_keys_.assign(sets, CacheKeySet{});
+  cache_data_.assign(sets, CacheSetData{});
+  cache_set_mask_ = static_cast<std::uint32_t>(sets - 1);
   cfg_.cache_bits = bits;
-  emitEvent(ManagerEvent::Kind::kCacheResize, before, cache_.size(),
+  emitEvent(ManagerEvent::Kind::kCacheResize, before, cacheSlots(),
             timer.seconds());
 }
 
@@ -391,8 +384,10 @@ void Manager::gc() {
     }
   }
   in_use_ = live;
-  // Cache entries may point at freed nodes: drop them all.
-  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  // Cache entries may point at freed nodes: drop them all. Clearing the
+  // keys alone suffices (op == 0 marks a way empty); stale results and
+  // gens are unreachable until their way is re-keyed.
+  std::fill(cache_keys_.begin(), cache_keys_.end(), CacheKeySet{});
   // Adapt the threshold: if little was reclaimed, collect less often.
   if (live * 4 > gc_threshold_ * 3) {
     gc_threshold_ = gc_threshold_ * 2;

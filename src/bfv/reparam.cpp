@@ -14,9 +14,22 @@
 // first the parameter that the fewest / smallest components depend on), and
 // skip components that do not depend on the variable being quantified.
 //
+// Hot-path structure (this is the inner loop of the Fig. 2 flow):
+//  * both cofactor slices of a component come from ONE fused traversal
+//    (Manager::cofactor2) instead of two composeRec walks;
+//  * per-component supports are bitsets maintained incrementally — after a
+//    slice union, only components whose edge actually changed are re-walked
+//    (identical raw edge => identical function => identical support);
+//  * per-component node counts are memoized alongside the supports, so the
+//    kSupportCost schedule reads them in O(1) instead of recounting inside
+//    its O(pending × n) cost loop. After an automatic reorder they can be
+//    stale until the component next changes; they only steer the heuristic.
+//
 // The loop is shared with the conjunctive-decomposition backend
 // (cdec::reparameterizeCdec), which plugs in its constrain-based union.
 #include <algorithm>
+#include <cstdint>
+#include <tuple>
 
 #include "bfv/internal.hpp"
 
@@ -39,6 +52,27 @@ struct QuantCost {
   }
 };
 
+/// Per-component support as a variable-indexed bitset (supports are sets of
+/// variable *indices*, so they are stable across dynamic reordering).
+class SupportBits {
+ public:
+  explicit SupportBits(std::size_t num_vars)
+      : words_((num_vars + 63) / 64, 0) {}
+
+  void assignFrom(const std::vector<unsigned>& vars) {
+    std::fill(words_.begin(), words_.end(), 0);
+    for (const unsigned v : vars) {
+      words_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
+  }
+  bool test(unsigned v) const noexcept {
+    return (words_[v >> 6] >> (v & 63)) & 1U;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
 }  // namespace
 
 std::vector<Bdd> quantifyParams(Manager& m, std::vector<Bdd> cur,
@@ -47,29 +81,45 @@ std::vector<Bdd> quantifyParams(Manager& m, std::vector<Bdd> cur,
                                 const ReparamOptions& opts,
                                 SliceUnion slice_union) {
   std::vector<unsigned> pending(param_vars.begin(), param_vars.end());
+  const bool dynamic = opts.schedule == QuantSchedule::kSupportCost;
 
-  // Per-component support sets, refreshed after each quantification.
+  // The bitsets must cover every variable a support walk can report: the
+  // manager's current variables, every parameter we are about to quantify,
+  // and the choice variables the slice unions introduce.
+  std::size_t num_vars = m.numVars();
+  for (const unsigned v : param_vars) {
+    num_vars = std::max<std::size_t>(num_vars, v + 1);
+  }
+  for (const unsigned v : choice_vars) {
+    num_vars = std::max<std::size_t>(num_vars, v + 1);
+  }
+
   const std::size_t n = cur.size();
-  std::vector<std::vector<unsigned>> supports(n);
-  auto refresh = [&](std::size_t i) { supports[i] = m.support(cur[i]); };
-  for (std::size_t i = 0; i < n; ++i) refresh(i);
-
-  auto dependsOn = [&](std::size_t i, unsigned v) {
-    return std::binary_search(supports[i].begin(), supports[i].end(), v);
+  std::vector<SupportBits> supports(n, SupportBits(num_vars));
+  std::vector<std::size_t> node_counts(n, 0);
+  auto rewalk = [&](std::size_t i) {
+    supports[i].assignFrom(m.support(cur[i]));
+    if (dynamic) node_counts[i] = m.nodeCount(cur[i]);
   };
+  for (std::size_t i = 0; i < n; ++i) rewalk(i);
 
-  while (!pending.empty()) {
+  // kStaticOrder consumes `pending` in place through an order-preserving
+  // cursor; kSupportCost swap-pops (order is irrelevant there — the
+  // schedule recomputes the cheapest variable every round).
+  std::size_t cursor = 0;
+  while (dynamic ? !pending.empty() : cursor < pending.size()) {
     // Pick the next parameter variable to quantify out.
-    std::size_t pick = 0;
-    if (opts.schedule == QuantSchedule::kSupportCost) {
+    unsigned v;
+    if (dynamic) {
+      std::size_t pick = 0;
       QuantCost best;
       bool have = false;
       for (std::size_t c = 0; c < pending.size(); ++c) {
         QuantCost cost;
         for (std::size_t i = 0; i < n; ++i) {
-          if (dependsOn(i, pending[c])) {
+          if (supports[i].test(pending[c])) {
             ++cost.dependents;
-            cost.nodes += m.nodeCount(cur[i]);
+            cost.nodes += node_counts[i];
           }
         }
         if (!have || cost < best) {
@@ -78,13 +128,16 @@ std::vector<Bdd> quantifyParams(Manager& m, std::vector<Bdd> cur,
           have = true;
         }
       }
+      v = pending[pick];
+      pending[pick] = pending.back();
+      pending.pop_back();
+    } else {
+      v = pending[cursor++];
     }
-    const unsigned v = pending[pick];
-    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
 
     bool touched = false;
     for (std::size_t i = 0; i < n; ++i) {
-      if (dependsOn(i, v)) {
+      if (supports[i].test(v)) {
         touched = true;
         break;
       }
@@ -93,16 +146,25 @@ std::vector<Bdd> quantifyParams(Manager& m, std::vector<Bdd> cur,
 
     std::vector<Bdd> lo(n), hi(n);
     for (std::size_t i = 0; i < n; ++i) {
-      if (dependsOn(i, v)) {
-        lo[i] = m.cofactor(cur[i], v, false);
-        hi[i] = m.cofactor(cur[i], v, true);
+      if (supports[i].test(v)) {
+        std::tie(lo[i], hi[i]) = m.cofactor2(cur[i], v);
       } else {
         lo[i] = cur[i];
         hi[i] = cur[i];
       }
     }
-    cur = slice_union(m, choice_vars, lo, hi);
-    for (std::size_t i = 0; i < n; ++i) refresh(i);
+    std::vector<Bdd> next = slice_union(m, choice_vars, lo, hi);
+    // Incremental support maintenance: compare edges while BOTH vectors are
+    // alive (so no index can have been recycled by a GC in between). An
+    // unchanged edge is the same function — support and size carry over.
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool changed = next[i].raw() != cur[i].raw();
+      cur[i] = std::move(next[i]);
+      if (changed) rewalk(i);
+    }
+    next.clear();
+    lo.clear();
+    hi.clear();
     m.maybeGc();
   }
   return cur;

@@ -30,7 +30,8 @@ std::string opStatsJson(const bdd::OpStats& s) {
       .add("gc_runs", s.gc_runs)
       .add("reorder_runs", s.reorder_runs)
       .add("reorder_swaps", s.reorder_swaps)
-      .add("reorder_nodes_saved", s.reorder_nodes_saved);
+      .add("reorder_nodes_saved", s.reorder_nodes_saved)
+      .addRaw("op_cache", opCacheJson(s));
   return o.str();
 }
 
@@ -63,6 +64,20 @@ double cacheHitRate(const bdd::OpStats& ops) noexcept {
   if (ops.cache_lookups == 0) return 0.0;
   return static_cast<double>(ops.cache_hits) /
          static_cast<double>(ops.cache_lookups);
+}
+
+std::string opCacheJson(const bdd::OpStats& ops) {
+  JsonObject o;
+  for (std::size_t i = 0; i < bdd::kNumOpTags; ++i) {
+    const auto tag = static_cast<bdd::OpTag>(i);
+    const std::uint64_t hits = ops.opHits(tag);
+    const std::uint64_t misses = ops.opMisses(tag);
+    if (hits == 0 && misses == 0) continue;
+    JsonObject entry;
+    entry.add("hits", hits).add("misses", misses);
+    o.addRaw(to_string(tag), entry.str());
+  }
+  return o.str();
 }
 
 std::string reportJson(const RunMeta& meta, const RunTrace& trace) {
@@ -148,6 +163,21 @@ std::string reportTable(const RunMeta& meta, const RunTrace& trace) {
                 meta.iterations, meta.peak_live_nodes,
                 100.0 * cacheHitRate(meta.ops));
   out += line;
+  // Whole-run per-op cache hit rates, skipping ops the run never used.
+  std::string ops_line;
+  for (std::size_t i = 0; i < bdd::kNumOpTags; ++i) {
+    const auto tag = static_cast<bdd::OpTag>(i);
+    const std::uint64_t hits = meta.ops.opHits(tag);
+    const std::uint64_t total = hits + meta.ops.opMisses(tag);
+    if (total == 0) continue;
+    std::snprintf(line, sizeof line, "%s%s %.1f%% of %llu",
+                  ops_line.empty() ? "" : ", ", to_string(tag),
+                  100.0 * static_cast<double>(hits) /
+                      static_cast<double>(total),
+                  static_cast<unsigned long long>(total));
+    ops_line += line;
+  }
+  if (!ops_line.empty()) out += "op cache: " + ops_line + "\n";
   std::snprintf(line, sizeof line,
                 "%5s %12s %9s | %8s %8s %8s %8s %8s | %9s %9s %10s %5s\n",
                 "iter", "frontier", "nodes", "image", "reparam", "union",

@@ -36,6 +36,12 @@ struct RunMeta {
 /// Computed-cache hit rate of a counter snapshot (0 when no lookups).
 double cacheHitRate(const bdd::OpStats& ops) noexcept;
 
+/// Per-operation computed-cache counters as one JSON object: a key per op
+/// tag with lookups (`{"and": {"hits": H, "misses": M}, ...}`), omitting
+/// tags the snapshot never exercised. Shared by the trace reports and the
+/// benches' `--json` summaries.
+std::string opCacheJson(const bdd::OpStats& ops);
+
 /// One JSON object: meta fields, phase totals, `trace` (array of iteration
 /// records with phase_seconds / ops_delta / cache_hit_rate) and `events`.
 std::string reportJson(const RunMeta& meta, const RunTrace& trace);

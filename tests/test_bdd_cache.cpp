@@ -1,0 +1,165 @@
+// The set-associative aging computed cache is a performance structure only:
+// results must be independent of its geometry. A 16-slot cache (cache_bits=4,
+// i.e. 4 sets x 4 ways) evicts constantly, so running the same operation
+// sequence against it and against the 2^18-slot default catches any result
+// corruption in the way-probe, the victim selection, or the dual-result
+// (cofactor2) storage.
+#include <gtest/gtest.h>
+
+#include "support/brute.hpp"
+
+namespace bfvr::bdd {
+namespace {
+
+using test::bddFromTruth;
+using test::randomTruth;
+using test::truthOf;
+
+const std::vector<unsigned> kVars{0, 1, 2, 3, 4, 5};
+
+Manager::Config withCacheBits(unsigned bits) {
+  Manager::Config cfg;
+  cfg.cache_bits = bits;
+  return cfg;
+}
+
+/// Runs the same randomized operation mix on two managers and returns the
+/// truth tables each produced, in call order.
+std::vector<std::uint64_t> opMixTruths(Manager& m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bdd> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(bddFromTruth(m, kVars, randomTruth(rng, 6)));
+  }
+  const auto pick = [&]() -> const Bdd& {
+    return pool[rng.below(pool.size())];
+  };
+  std::vector<std::uint64_t> out;
+  for (int step = 0; step < 200; ++step) {
+    Bdd r;
+    switch (rng.below(8)) {
+      case 0: r = pick() & pick(); break;
+      case 1: r = pick() ^ pick(); break;
+      case 2: r = m.ite(pick(), pick(), pick()); break;
+      case 3: {
+        const unsigned cv[] = {static_cast<unsigned>(rng.below(6))};
+        r = m.exists(pick(), m.cube(cv));
+        break;
+      }
+      case 4: {
+        const unsigned cv[] = {static_cast<unsigned>(rng.below(6))};
+        r = m.andExists(pick(), pick(), m.cube(cv));
+        break;
+      }
+      case 5: {
+        Bdd c = pick();
+        if (c.isFalse()) c = m.var(0);
+        r = m.constrain(pick(), c);
+        break;
+      }
+      case 6: {
+        const unsigned v = static_cast<unsigned>(rng.below(6));
+        const auto [lo, hi] = m.cofactor2(pick(), v);
+        out.push_back(truthOf(m, lo, kVars));
+        r = hi;
+        break;
+      }
+      default: {
+        const unsigned v = static_cast<unsigned>(rng.below(6));
+        r = m.compose(pick(), v, pick());
+        break;
+      }
+    }
+    out.push_back(truthOf(m, r, kVars));
+    pool[rng.below(pool.size())] = r;
+  }
+  return out;
+}
+
+TEST(BddCache, TinyCacheMatchesDefaultCache) {
+  Manager tiny(6, withCacheBits(4));
+  Manager dflt(6, withCacheBits(18));
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    EXPECT_EQ(opMixTruths(tiny, seed), opMixTruths(dflt, seed))
+        << "cache geometry changed an operation result (seed " << seed << ")";
+  }
+  // The tiny cache really was under pressure, or the test proves nothing.
+  EXPECT_GT(tiny.stats().cache_collisions, 0U);
+}
+
+TEST(BddCache, CacheBitsBelowOneSetStillWork) {
+  // cache_bits=0 rounds up to a single 4-way set.
+  Manager one(6, withCacheBits(0));
+  EXPECT_EQ(one.cacheSlots(), 4U);
+  Manager dflt(6, withCacheBits(18));
+  EXPECT_EQ(opMixTruths(one, 7), opMixTruths(dflt, 7));
+}
+
+TEST(BddCache, ResizePreservesResults) {
+  Manager m(6, withCacheBits(4));
+  Rng rng(11);
+  const std::uint64_t tt_f = randomTruth(rng, 6);
+  const std::uint64_t tt_g = randomTruth(rng, 6);
+  const Bdd f = bddFromTruth(m, kVars, tt_f);
+  const Bdd g = bddFromTruth(m, kVars, tt_g);
+  const Bdd before = f & g;
+  m.resizeCache(10);
+  EXPECT_EQ(m.cacheSlots(), std::size_t{1} << 10);
+  EXPECT_EQ(f & g, before);  // recomputed into the fresh cache
+  EXPECT_EQ(truthOf(m, before, kVars), tt_f & tt_g);
+}
+
+TEST(BddCache, PerOpCountersLandInTheRightBucket) {
+  Manager m(8);
+  Rng rng(5);
+  const Bdd f = bddFromTruth(m, kVars, randomTruth(rng, 6));
+  const Bdd g = bddFromTruth(m, kVars, randomTruth(rng, 6));
+
+  OpStats pre = m.stats();
+  (void)(f & g);
+  OpStats d = m.stats().since(pre);
+  EXPECT_GT(d.opMisses(OpTag::kAnd), 0U);
+  EXPECT_EQ(d.opMisses(OpTag::kXor) + d.opHits(OpTag::kXor), 0U);
+
+  // Repeating the identical call must be answered from the cache: one
+  // lookup, one hit, charged to the same bucket.
+  pre = m.stats();
+  (void)(f & g);
+  d = m.stats().since(pre);
+  EXPECT_EQ(d.opHits(OpTag::kAnd), 1U);
+  EXPECT_EQ(d.opMisses(OpTag::kAnd), 0U);
+
+  pre = m.stats();
+  (void)m.cofactor2(f, 2);
+  d = m.stats().since(pre);
+  EXPECT_GT(d.opMisses(OpTag::kCofactor2) + d.opHits(OpTag::kCofactor2), 0U);
+  EXPECT_EQ(d.opHits(OpTag::kAnd) + d.opMisses(OpTag::kAnd), 0U);
+
+  // Aggregate counters stay consistent with the per-op split.
+  const OpStats& s = m.stats();
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (std::size_t i = 0; i < kNumOpTags; ++i) {
+    hits += s.opHits(static_cast<OpTag>(i));
+    misses += s.opMisses(static_cast<OpTag>(i));
+  }
+  EXPECT_EQ(hits, s.cache_hits);
+  EXPECT_EQ(hits + misses, s.cache_lookups);
+}
+
+TEST(BddCache, DualResultEntriesSurviveAndRoundTrip) {
+  // A cofactor2 hit must return both halves, not just the primary edge.
+  Manager m(6);
+  Rng rng(9);
+  const Bdd f = bddFromTruth(m, kVars, randomTruth(rng, 6));
+  const auto first = m.cofactor2(f, 3);
+  const OpStats pre = m.stats();
+  const auto second = m.cofactor2(f, 3);
+  const OpStats d = m.stats().since(pre);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(d.opHits(OpTag::kCofactor2), 1U);
+  EXPECT_EQ(d.opMisses(OpTag::kCofactor2), 0U);
+}
+
+}  // namespace
+}  // namespace bfvr::bdd

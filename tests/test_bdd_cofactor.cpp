@@ -58,7 +58,73 @@ TEST_P(GenCofSweep, CofactorMatchesTruthTable) {
   }
 }
 
+TEST_P(GenCofSweep, Cofactor2MatchesTwoSingleCofactors) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 67 + 11);
+  Manager m(4);
+  const Bdd f = bddFromTruth(m, kVars, randomTruth(rng, 4));
+  for (unsigned j = 0; j < 4; ++j) {
+    const auto [lo, hi] = m.cofactor2(f, j);
+    EXPECT_EQ(lo, m.cofactor(f, j, false));
+    EXPECT_EQ(hi, m.cofactor(f, j, true));
+  }
+  // Complemented input: the fused kernel factors the parity out of the
+  // cache key, so exercise both polarities explicitly.
+  const auto [nlo, nhi] = m.cofactor2(~f, 2);
+  EXPECT_EQ(nlo, m.cofactor(~f, 2, false));
+  EXPECT_EQ(nhi, m.cofactor(~f, 2, true));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, GenCofSweep, ::testing::Range(0, 30));
+
+TEST(BddCofactor, Cofactor2Basics) {
+  Manager m(4);
+  const Bdd f = (m.var(0) & m.var(1)) | (m.var(1) & m.var(2));
+  // Cofactors on the top variable, below the support, and on constants.
+  const auto [l1, h1] = m.cofactor2(f, 1);
+  EXPECT_EQ(l1, m.zero());
+  EXPECT_EQ(h1, m.var(0) | m.var(2));
+  const auto [l3, h3] = m.cofactor2(f, 3);
+  EXPECT_EQ(l3, f);
+  EXPECT_EQ(h3, f);
+  const auto [lt, ht] = m.cofactor2(m.one(), 0);
+  EXPECT_EQ(lt, m.one());
+  EXPECT_EQ(ht, m.one());
+}
+
+TEST(BddCofactor, Cofactor2MatchesSinglesUnderReordering) {
+  // The fused kernel indexes levels through var2level_, so it must agree
+  // with the single-variable cofactor before and after sifting permutes
+  // the order (same variable identities, different levels).
+  Rng rng(2027);
+  Manager m(8);
+  std::vector<Bdd> fs;
+  for (int i = 0; i < 6; ++i) {
+    Bdd f = m.zero();
+    for (int c = 0; c < 6; ++c) {
+      Bdd cube = m.one();
+      for (int lit = 0; lit < 3; ++lit) {
+        const unsigned v = static_cast<unsigned>(rng.below(8));
+        cube &= rng.flip() ? m.var(v) : ~m.var(v);
+      }
+      f |= cube;
+    }
+    fs.push_back(f);
+  }
+  const auto check = [&] {
+    for (const Bdd& f : fs) {
+      for (unsigned j = 0; j < 8; ++j) {
+        const auto [lo, hi] = m.cofactor2(f, j);
+        EXPECT_EQ(lo, m.cofactor(f, j, false));
+        EXPECT_EQ(hi, m.cofactor(f, j, true));
+      }
+    }
+  };
+  check();
+  m.reorder(ReorderMethod::kSift);
+  check();
+  m.reorder(ReorderMethod::kWindow3);
+  check();
+}
 
 TEST(BddCofactor, ConstrainIdentities) {
   Manager m(4);

@@ -1,7 +1,12 @@
 // §2.6 re-parameterization: canonicalizing raw simulated vectors.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "bfv/internal.hpp"
+#include "circuit/bench_io.hpp"
 #include "support/brute.hpp"
+#include "sym/simulate.hpp"
 
 namespace bfvr::bfv {
 namespace {
@@ -121,6 +126,140 @@ TEST(BfvReparam, ManyParametersFewValues) {
   const Bfv f = reparameterize(m, outs, choice, params);
   EXPECT_EQ(test::setOf(f), (Set{0b1000, 0b1101}));
 }
+
+// ---------------------------------------------------------------------------
+// Differential against the pre-overhaul quantification loop.
+//
+// `referenceQuantifyParams` is a verbatim copy of internal::quantifyParams
+// before the incremental-support rewrite: it recomputes every component's
+// support from scratch after each quantification and re-counts nodes inside
+// the cost scan. Same math, brute force — the rewrite must be bit-identical
+// to it on real circuits, for both schedules.
+
+struct RefQuantCost {
+  std::size_t dependents = 0;
+  std::size_t nodes = 0;
+
+  bool operator<(const RefQuantCost& o) const {
+    if (dependents != o.dependents) return dependents < o.dependents;
+    return nodes < o.nodes;
+  }
+};
+
+std::vector<Bdd> referenceQuantifyParams(Manager& m, std::vector<Bdd> cur,
+                                         const std::vector<unsigned>& choice,
+                                         std::span<const unsigned> param_vars,
+                                         const ReparamOptions& opts) {
+  std::vector<unsigned> pending(param_vars.begin(), param_vars.end());
+  const std::size_t n = cur.size();
+  std::vector<std::vector<unsigned>> supports(n);
+  auto refresh = [&](std::size_t i) { supports[i] = m.support(cur[i]); };
+  for (std::size_t i = 0; i < n; ++i) refresh(i);
+  auto dependsOn = [&](std::size_t i, unsigned v) {
+    return std::binary_search(supports[i].begin(), supports[i].end(), v);
+  };
+  while (!pending.empty()) {
+    std::size_t pick = 0;
+    if (opts.schedule == QuantSchedule::kSupportCost) {
+      RefQuantCost best;
+      bool have = false;
+      for (std::size_t c = 0; c < pending.size(); ++c) {
+        RefQuantCost cost;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (dependsOn(i, pending[c])) {
+            ++cost.dependents;
+            cost.nodes += m.nodeCount(cur[i]);
+          }
+        }
+        if (!have || cost < best) {
+          best = cost;
+          pick = c;
+          have = true;
+        }
+      }
+    }
+    const unsigned v = pending[pick];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+    bool touched = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dependsOn(i, v)) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) continue;
+    std::vector<Bdd> lo(n), hi(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dependsOn(i, v)) {
+        lo[i] = m.cofactor(cur[i], v, false);
+        hi[i] = m.cofactor(cur[i], v, true);
+      } else {
+        lo[i] = cur[i];
+        hi[i] = cur[i];
+      }
+    }
+    cur = internal::unionCore(m, choice, lo, hi);
+    for (std::size_t i = 0; i < n; ++i) refresh(i);
+    m.maybeGc();
+  }
+  return cur;
+}
+
+class ReparamCircuitDiff : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReparamCircuitDiff, BitIdenticalToPreOverhaulLoop) {
+  const circuit::Netlist n =
+      circuit::parseBenchFile(std::string(BFVR_DATA_DIR) + "/" + GetParam());
+  Manager m(0);
+  sym::StateSpace s(m, n,
+                    circuit::makeOrder(n, {circuit::OrderKind::kTopo, 0}));
+  std::vector<unsigned> params = s.currentVars();
+  params.insert(params.end(), s.inputVars().begin(), s.inputVars().end());
+
+  // Walk a few image steps of the Fig. 2 flow; at each step compare the
+  // rewritten quantification loop against the reference on the raw
+  // simulated vector. Same manager, deterministic kernels: identical
+  // handles, not just identical sets.
+  Bfv from = Bfv::point(m, s.currentVars(), s.initialBits());
+  for (int iter = 0; iter < 3; ++iter) {
+    const sym::SimResult sim = sym::simulate(s, from.comps());
+    for (const QuantSchedule sched :
+         {QuantSchedule::kStaticOrder, QuantSchedule::kSupportCost}) {
+      ReparamOptions opts;
+      opts.schedule = sched;
+      const std::vector<Bdd> got = internal::quantifyParams(
+          m, sim.next_state, s.paramVars(), params, opts,
+          &internal::unionCore);
+      const std::vector<Bdd> want = referenceQuantifyParams(
+          m, sim.next_state, s.paramVars(), params, opts);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << GetParam() << " iter " << iter << " component " << i
+            << " differs under schedule "
+            << (sched == QuantSchedule::kStaticOrder ? "static" : "dynamic");
+      }
+    }
+    // Advance with the production path (dynamic schedule, like the engine).
+    const Bfv img_u =
+        reparameterize(m, sim.next_state, s.paramVars(), params, {});
+    std::vector<Bdd> renamed(img_u.comps().size());
+    for (std::size_t i = 0; i < renamed.size(); ++i) {
+      renamed[i] = m.permute(img_u.comps()[i], s.permParamToCurrent());
+    }
+    const Bfv img = Bfv::fromComponents(m, s.currentVars(),
+                                        std::move(renamed), /*trusted=*/true);
+    const Bfv next = setUnion(from, img);
+    if (next == from) break;
+    from = next;
+    m.maybeGc();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, ReparamCircuitDiff,
+                         ::testing::Values("arb4.bench", "cnt8m200.bench",
+                                           "crc8.bench", "fifo3.bench",
+                                           "johnson8.bench", "twin6.bench"));
 
 }  // namespace
 }  // namespace bfvr::bfv

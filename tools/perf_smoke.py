@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI perf smoke: guard recursive_steps against a committed baseline.
+
+Usage: perf_smoke.py <current.json> <baseline.json> [--tolerance 0.10]
+
+Both files are BENCH_quantsched.json-shaped arrays of run objects. Rows are
+matched on (circuit, order, engine, schedule) and compared on
+`recursive_steps` — the deterministic work metric, immune to CI-runner noise
+(wall time on shared runners swings far more than 10%). The check fails if
+any matched row regresses by more than the tolerance, or if a baseline row
+disappears; new rows are reported but allowed, so adding circuits to the
+bench does not require a lockstep baseline update.
+
+Update the baseline (after a deliberate algorithmic change) with:
+    ./build/bench/bench_quantsched --quick --trace \
+        --json=baselines/BENCH_quantsched.json
+(--trace matters: the tracer's per-iteration snapshots perform a little BDD
+work, so step counts in trace mode differ slightly from plain runs, and CI
+runs with both flags.)
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(row):
+    return (
+        row.get("circuit"),
+        row.get("order"),
+        row.get("engine"),
+        row.get("schedule"),
+    )
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    out = {}
+    for row in rows:
+        if "recursive_steps" in row:
+            out[key(row)] = row["recursive_steps"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+    if not base:
+        print(f"error: no comparable rows in baseline {args.baseline}")
+        return 1
+
+    failed = False
+    for k, base_steps in sorted(base.items()):
+        label = "/".join(str(p) for p in k)
+        if k not in cur:
+            print(f"FAIL {label}: row missing from current run")
+            failed = True
+            continue
+        cur_steps = cur[k]
+        ratio = cur_steps / base_steps if base_steps else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "FAIL"
+            failed = True
+        print(
+            f"{verdict:4s} {label}: recursive_steps {cur_steps} vs "
+            f"baseline {base_steps} ({(ratio - 1.0) * 100:+.1f}%)"
+        )
+    for k in sorted(set(cur) - set(base)):
+        label = "/".join(str(p) for p in k)
+        print(f"new  {label}: recursive_steps {cur[k]} (not in baseline)")
+
+    if failed:
+        print(f"\nperf smoke failed (tolerance {args.tolerance:.0%}); "
+              "if the regression is intentional, regenerate the baseline "
+              "(see header).")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
