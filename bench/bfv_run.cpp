@@ -106,8 +106,19 @@ obs::JobRecord toRecord(const run::JobSpec& spec, const run::JobResult& r) {
   rec.order = spec.order.label();
   rec.engine = to_string(spec.engine);
   rec.status = to_string(r.status);
-  rec.failure = r.failure;
+  rec.message = r.message;
   rec.worker = r.worker;
+  rec.attempts.reserve(r.attempts.size());
+  for (const run::AttemptRecord& a : r.attempts) {
+    obs::JobAttempt ja;
+    ja.status = to_string(a.status);
+    ja.message = a.message;
+    ja.escalation = a.escalation;
+    ja.seconds = a.seconds;
+    ja.resumed = a.resumed;
+    ja.faults_injected = a.faults_injected;
+    rec.attempts.push_back(std::move(ja));
+  }
   rec.queue_seconds = r.queue_seconds;
   rec.seconds = r.seconds;
   rec.iterations = r.reach.iterations;
@@ -223,15 +234,31 @@ int main(int argc, char** argv) {
     std::printf("%-28s %-8s %-9s %8s %6s %12s  %s\n", "job", "engine",
                 "status", "time(s)", "iters", "states", "worker");
     for (const obs::JobRecord& rec : records) printRow(rec);
-    std::printf("%zu jobs on %u workers in %.3fs\n", records.size(),
-                pool.workers(), total_seconds);
   }
+
+  // Per-status roll-up, printed even under --quiet: it's the one line a CI
+  // log needs to judge a batch.
+  std::size_t done = 0, memout = 0, timeout = 0, cancelled = 0, error = 0;
+  std::size_t retries = 0;
+  for (const obs::JobRecord& rec : records) {
+    if (rec.status == "done") ++done;
+    else if (rec.status == "M.O.") ++memout;
+    else if (rec.status == "T.O.") ++timeout;
+    else if (rec.status == "cancelled") ++cancelled;
+    else ++error;
+    if (rec.attempts.size() > 1) retries += rec.attempts.size() - 1;
+  }
+  std::printf(
+      "%zu jobs on %u workers in %.3fs: %zu done, %zu memout, %zu timeout, "
+      "%zu cancelled, %zu error; %zu retr%s used\n",
+      records.size(), pool.workers(), total_seconds, done, memout, timeout,
+      cancelled, error, retries, retries == 1 ? "y" : "ies");
 
   bool ok = true;
   for (const obs::JobRecord& rec : records) {
     if (rec.status == "error") {
       std::fprintf(stderr, "job %s failed: %s\n", rec.name.c_str(),
-                   rec.failure.c_str());
+                   rec.message.c_str());
       ok = false;
     }
   }

@@ -74,12 +74,31 @@ inline constexpr Edge kTrueEdge = 0;   // regular edge to the terminal node
 inline constexpr Edge kFalseEdge = 1;  // complemented edge to the terminal
 
 /// Thrown when an operation would exceed the manager's node budget. The
-/// reachability engines map this to the paper's "M.O." outcome.
+/// reachability engines map this to the paper's "M.O." outcome. Carries the
+/// budget and the in-use node count at the throw point so the failure can
+/// be reported (JobResult) instead of reduced to a bare status.
 class NodeBudgetExceeded : public std::runtime_error {
  public:
-  explicit NodeBudgetExceeded(std::size_t budget)
-      : std::runtime_error("BDD node budget exceeded (" +
-                           std::to_string(budget) + " nodes)") {}
+  explicit NodeBudgetExceeded(std::size_t budget, std::size_t in_use = 0,
+                              bool injected = false)
+      : std::runtime_error(
+            std::string(injected ? "BDD allocation failure injected (budget "
+                                 : "BDD node budget exceeded (") +
+            std::to_string(budget) + " nodes, " + std::to_string(in_use) +
+            " in use)"),
+        budget_(budget),
+        in_use_(in_use),
+        injected_(injected) {}
+
+  std::size_t budget() const noexcept { return budget_; }
+  std::size_t inUse() const noexcept { return in_use_; }
+  /// True when thrown by an installed fault plan rather than the budget.
+  bool injected() const noexcept { return injected_; }
+
+ private:
+  std::size_t budget_;
+  std::size_t in_use_;
+  bool injected_;
 };
 
 /// Thrown out of a Manager operation when the installed interrupt check
@@ -107,6 +126,38 @@ class Interrupted : public std::runtime_error {
  private:
   Reason reason_;
 };
+
+/// Deterministic fault-injection schedule (Manager::setFaultPlan). Faults
+/// fire at exact points of the manager's own deterministic clocks, so a
+/// failing run replays bit-identically:
+///  * `alloc_failures` — 1-based node-allocation counts (counted from the
+///    moment the plan is installed) at which allocNode() throws
+///    NodeBudgetExceeded with injected() == true, simulating an allocation
+///    failure mid-operation;
+///  * `spurious_interrupts` — 1-based interrupt-poll counts (the stride
+///    poll in allocNode, plus every pollInterrupt() boundary: GC entry,
+///    maybeGc, reorder swaps) at which the poll throws
+///    Interrupted(kCancelled) even with no interrupt check installed.
+/// With an empty plan the manager's behavior — including every OpStats
+/// counter — is bit-identical to a manager that never heard of fault plans.
+struct FaultPlan {
+  std::vector<std::uint64_t> alloc_failures;
+  std::vector<std::uint64_t> spurious_interrupts;
+
+  bool empty() const noexcept {
+    return alloc_failures.empty() && spurious_interrupts.empty();
+  }
+};
+
+/// The degradation ladder's rungs, in escalation order (see
+/// Manager::Config::PressureLadder). Reported through the kPressure event.
+enum class PressureRung : std::uint8_t {
+  kForcedGc,     ///< mark-and-sweep to refill the free list
+  kCacheShrink,  ///< halve the computed cache (plus a GC)
+  kReorder,      ///< emergency dynamic reordering (plus a GC)
+};
+/// "forced-gc" / "cache-shrink" / "reorder".
+const char* to_string(PressureRung r) noexcept;
 
 /// Public identity of a computed-cache operation family, used to break the
 /// aggregate cache counters down per operation (OpStats::op_cache_hits /
@@ -190,16 +241,26 @@ struct OpStats {
 ///  * kCacheResize — computed-cache slots before / after
 ///  * kNodeBudget  — in-use nodes / the configured budget (the event fires
 ///                   immediately before NodeBudgetExceeded is thrown)
+///  * kPressure    — in-use nodes before / after one governor rung (`rung`
+///                   says which; see Config::PressureLadder)
 struct ManagerEvent {
-  enum class Kind : std::uint8_t { kGc, kReorder, kCacheResize, kNodeBudget };
+  enum class Kind : std::uint8_t {
+    kGc,
+    kReorder,
+    kCacheResize,
+    kNodeBudget,
+    kPressure,
+  };
   Kind kind = Kind::kGc;
   std::size_t size_before = 0;
   std::size_t size_after = 0;
   double seconds = 0.0;    ///< time spent inside the event (0 for kNodeBudget)
   bool automatic = false;  ///< fired by maybeGc() rather than an explicit call
+  /// Which ladder rung ran; meaningful for kPressure only.
+  PressureRung rung = PressureRung::kForcedGc;
 };
 
-/// "gc" / "reorder" / "cache-resize" / "node-budget".
+/// "gc" / "reorder" / "cache-resize" / "node-budget" / "pressure".
 const char* to_string(ManagerEvent::Kind k) noexcept;
 
 /// Receiver for ManagerEvents (see Manager::setEventSink). Implementations
@@ -309,6 +370,26 @@ class Manager {
     /// Sifting abandons a direction when the in-use node count exceeds
     /// this factor of the size at sift start.
     double reorder_max_growth = 1.2;
+    /// Memory-pressure governor: a degradation ladder run when the node
+    /// budget trips inside a public operation, instead of letting
+    /// NodeBudgetExceeded escape immediately. The failed operation's
+    /// partial results are unwound (they are unreachable garbage by
+    /// design), one rung of relief runs — forced GC, then GC + computed-
+    /// cache shrink, then GC + emergency reorder — and the operation is
+    /// retried from its (handle-protected) operands; only when every rung
+    /// is spent does the exception propagate. Each rung fires a kPressure
+    /// event. Off by default: the disabled path is bit-identical in every
+    /// OpStats counter to a build without the governor.
+    struct PressureLadder {
+      bool enabled = false;
+      bool forced_gc = true;
+      bool shrink_cache = true;
+      /// Cache shrink halves cache_bits per rung but never below this.
+      unsigned min_cache_bits = 12;
+      /// Emergency reorder uses Config::reorder_method.
+      bool emergency_reorder = true;
+    };
+    PressureLadder pressure_ladder;
   };
 
   explicit Manager(unsigned num_vars);
@@ -457,10 +538,23 @@ class Manager {
     return static_cast<bool>(interrupt_check_);
   }
   /// Invoke the check now (no-op without one) — an extra poll point for
-  /// higher layers with long manager-free stretches.
+  /// higher layers with long manager-free stretches. Also a fault-injection
+  /// point: with a plan armed, a scheduled spurious interrupt fires here.
   void pollInterrupt() {
+    if (fault_armed_) faultPollTick();
     if (interrupt_check_) interrupt_check_();
   }
+  /// Install a deterministic fault plan (see FaultPlan); pass {} to disarm.
+  /// Schedules are consumed in sorted order against clocks that start at
+  /// zero when the plan is installed. Every recovery layer above — the
+  /// pressure ladder, the engines' M.O. fold, the job runner's retry
+  /// escalation — can be driven through its failure paths this way, on an
+  /// exact, replayable step count.
+  void setFaultPlan(FaultPlan plan);
+  bool hasFaultPlan() const noexcept { return fault_armed_; }
+  /// Faults fired since the last setFaultPlan (allocation failures plus
+  /// spurious interrupts).
+  std::uint64_t faultsInjected() const noexcept { return faults_injected_; }
   /// Node allocations between two interrupt polls (the poll granularity —
   /// and the cancel-latency unit — of a running apply chain).
   static constexpr std::uint32_t kInterruptStride = 1024;
@@ -660,7 +754,40 @@ class Manager {
   /// Forward an event to the installed sink (no-op without one). The
   /// `automatic` flag comes from auto_event_, set around maybeGc() work.
   void emitEvent(ManagerEvent::Kind kind, std::size_t before,
-                 std::size_t after, double seconds);
+                 std::size_t after, double seconds,
+                 PressureRung rung = PressureRung::kForcedGc);
+
+  // -- pressure governor & fault injection -------------------------------------
+  /// Run the `rung`-th enabled ladder rung (0-based escalation order);
+  /// false when the ladder is spent. Safe only at an operation boundary:
+  /// every live function must be reachable from a handle.
+  bool relieve(unsigned rung);
+  /// Fault clocks (manager.cpp); both throw when a scheduled point fires.
+  void faultAllocTick();
+  void faultPollTick();
+
+  /// Retry wrapper around a public operation body. With the ladder enabled
+  /// it catches NodeBudgetExceeded at the operation boundary — where the
+  /// operands are handle-protected and the failed attempt's partial results
+  /// are collectible garbage — runs one relief rung per attempt, and
+  /// re-runs the body. Nested public entries (compose inside permute, ...)
+  /// run bare: only the outermost operation owns the retry loop.
+  template <typename F>
+  auto withPressure(F&& f) {
+    if (!cfg_.pressure_ladder.enabled || in_pressure_op_) return f();
+    struct Scope {  // exception-safe reset of the outermost-op flag
+      bool& flag;
+      explicit Scope(bool& fl) : flag(fl) { flag = true; }
+      ~Scope() { flag = false; }
+    } scope(in_pressure_op_);
+    for (unsigned rung = 0;; ++rung) {
+      try {
+        return f();
+      } catch (const NodeBudgetExceeded&) {
+        if (!relieve(rung)) throw;
+      }
+    }
+  }
 
   // -- recursive kernels (raw edges; no handle churn) -------------------------
   Edge andRec(Edge f, Edge g);
@@ -706,6 +833,14 @@ class Manager {
   OpStats stats_;
   InterruptCheck interrupt_check_;
   std::uint32_t interrupt_tick_ = 0;  // allocations since the last poll
+  bool in_pressure_op_ = false;  // inside a withPressure retry loop
+  bool fault_armed_ = false;     // fault_plan_ has unconsumed points
+  FaultPlan fault_plan_;         // sorted schedules, consumed by the cursors
+  std::uint64_t fault_alloc_count_ = 0;  // allocations since plan install
+  std::uint64_t fault_poll_count_ = 0;   // interrupt polls since install
+  std::size_t fault_alloc_cursor_ = 0;
+  std::size_t fault_poll_cursor_ = 0;
+  std::uint64_t faults_injected_ = 0;
   EventSink* sink_ = nullptr;
   bool auto_event_ = false;  // inside maybeGc(): events are "automatic"
   Bdd* handles_ = nullptr;  // head of intrusive handle registry

@@ -13,7 +13,8 @@ Bdd Manager::cofactor(const Bdd& f, unsigned var, bool value) {
   ensureVar(var);
   // f|v=c is composition of the constant c for v.
   const Edge g = value ? kTrueEdge : kFalseEdge;
-  return make(composeRec(requireSameManager(f), var, g));
+  return withPressure(
+      [&] { return make(composeRec(requireSameManager(f), var, g)); });
 }
 
 // ---------------------------------------------------------------------------
@@ -59,9 +60,11 @@ Edge Manager::cofactor2Rec(Edge f, std::uint32_t var, Edge& hi) {
 std::pair<Bdd, Bdd> Manager::cofactor2(const Bdd& f, unsigned var) {
   ++stats_.top_ops;
   ensureVar(var);
-  Edge hi = kFalseEdge;
-  const Edge lo = cofactor2Rec(requireSameManager(f), var, hi);
-  return {make(lo), make(hi)};
+  return withPressure([&] {
+    Edge hi = kFalseEdge;
+    const Edge lo = cofactor2Rec(requireSameManager(f), var, hi);
+    return std::pair<Bdd, Bdd>{make(lo), make(hi)};
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -100,7 +103,8 @@ Bdd Manager::constrain(const Bdd& f, const Bdd& c) {
   if (ce == kFalseEdge) {
     throw std::invalid_argument("constrain with unsatisfiable care set");
   }
-  return make(constrainRec(requireSameManager(f), ce));
+  return withPressure(
+      [&] { return make(constrainRec(requireSameManager(f), ce)); });
 }
 
 // ---------------------------------------------------------------------------
@@ -151,7 +155,8 @@ Bdd Manager::restrict(const Bdd& f, const Bdd& c) {
   if (ce == kFalseEdge) {
     throw std::invalid_argument("restrict with unsatisfiable care set");
   }
-  return make(restrictRec(requireSameManager(f), ce));
+  return withPressure(
+      [&] { return make(restrictRec(requireSameManager(f), ce)); });
 }
 
 }  // namespace bfvr::bdd

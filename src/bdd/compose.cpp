@@ -38,7 +38,9 @@ Edge Manager::composeRec(Edge f, std::uint32_t var, Edge g) {
 Bdd Manager::compose(const Bdd& f, unsigned var, const Bdd& g) {
   ++stats_.top_ops;
   ensureVar(var);
-  return make(composeRec(requireSameManager(f), var, requireSameManager(g)));
+  return withPressure([&] {
+    return make(composeRec(requireSameManager(f), var, requireSameManager(g)));
+  });
 }
 
 namespace {
@@ -82,8 +84,13 @@ Bdd Manager::vectorCompose(const Bdd& f, std::span<const Bdd> map) {
   for (const Bdd& m : map) {
     if (!m.isNull()) requireSameManager(m);
   }
-  VectorComposer vc{*this, map, {}};
-  return vc.run(f);
+  // The retry boundary sits around the whole walk: the memo's Bdd handles
+  // unwind with the failed attempt, so relieve()'s GC reclaims them; the
+  // nested ite() calls see in_pressure_op_ and do not retry individually.
+  return withPressure([&] {
+    VectorComposer vc{*this, map, {}};
+    return vc.run(f);
+  });
 }
 
 Bdd Manager::permute(const Bdd& f, std::span<const unsigned> perm) {

@@ -42,6 +42,20 @@ const char* to_string(ManagerEvent::Kind k) noexcept {
       return "cache-resize";
     case ManagerEvent::Kind::kNodeBudget:
       return "node-budget";
+    case ManagerEvent::Kind::kPressure:
+      return "pressure";
+  }
+  return "?";
+}
+
+const char* to_string(PressureRung r) noexcept {
+  switch (r) {
+    case PressureRung::kForcedGc:
+      return "forced-gc";
+    case PressureRung::kCacheShrink:
+      return "cache-shrink";
+    case PressureRung::kReorder:
+      return "reorder";
   }
   return "?";
 }
@@ -247,13 +261,19 @@ Edge Manager::mkNode(std::uint32_t var, Edge high, Edge low) {
 }
 
 std::uint32_t Manager::allocNode() {
-  // Cooperative interrupt poll. Skipped while reordering: an adjacent-level
+  // Fault-injection point: an armed plan's allocation clock ticks on every
+  // allocation outside reordering (swap atomicity, as below). Also a
+  // cooperative interrupt poll. Skipped while reordering: an adjacent-level
   // swap must complete atomically (its invariants do not hold mid-swap);
   // the reordering loops poll between swaps instead (reorder.cpp).
-  if (interrupt_check_ && !reordering_ &&
-      ++interrupt_tick_ >= kInterruptStride) {
-    interrupt_tick_ = 0;
-    interrupt_check_();
+  if (!reordering_) {
+    if (fault_armed_) faultAllocTick();
+    if ((interrupt_check_ || fault_armed_) &&
+        ++interrupt_tick_ >= kInterruptStride) {
+      interrupt_tick_ = 0;
+      if (fault_armed_) faultPollTick();
+      if (interrupt_check_) interrupt_check_();
+    }
   }
   if (free_list_ != kNil) {
     const std::uint32_t idx = free_list_;
@@ -267,7 +287,7 @@ std::uint32_t Manager::allocNode() {
   // bounds the overshoot.
   if (!reordering_ && cfg_.max_nodes != 0 && nodes_.size() >= cfg_.max_nodes) {
     emitEvent(ManagerEvent::Kind::kNodeBudget, in_use_, cfg_.max_nodes, 0.0);
-    throw NodeBudgetExceeded(cfg_.max_nodes);
+    throw NodeBudgetExceeded(cfg_.max_nodes, in_use_);
   }
   nodes_.push_back(Node{});
   ++in_use_;
@@ -310,7 +330,7 @@ void Manager::resizeCache(unsigned bits) {
 }
 
 void Manager::emitEvent(ManagerEvent::Kind kind, std::size_t before,
-                        std::size_t after, double seconds) {
+                        std::size_t after, double seconds, PressureRung rung) {
   if (sink_ == nullptr) return;
   ManagerEvent e;
   e.kind = kind;
@@ -318,7 +338,100 @@ void Manager::emitEvent(ManagerEvent::Kind kind, std::size_t before,
   e.size_after = after;
   e.seconds = seconds;
   e.automatic = auto_event_;
+  e.rung = rung;
   sink_->onManagerEvent(e);
+}
+
+// ---------------------------------------------------------------------------
+// Pressure governor: the degradation ladder run when an operation hits the
+// node budget. Invoked from withPressure() between retries of the outermost
+// public operation — at that boundary all operands are handle-protected and
+// the failed attempt's partial results are unreferenced garbage, so a GC is
+// safe (mid-operation it would not be: recursive kernels hold raw Edges).
+// ---------------------------------------------------------------------------
+
+bool Manager::relieve(unsigned rung) {
+  const Config::PressureLadder& pl = cfg_.pressure_ladder;
+  // Materialize the enabled rungs in escalation order, then run the one
+  // requested. Skipping disabled rungs here keeps withPressure() oblivious
+  // to the configuration: it just counts retries.
+  PressureRung order[3];
+  unsigned n = 0;
+  if (pl.forced_gc) order[n++] = PressureRung::kForcedGc;
+  if (pl.shrink_cache && cfg_.cache_bits > pl.min_cache_bits) {
+    order[n++] = PressureRung::kCacheShrink;
+  }
+  if (pl.emergency_reorder) order[n++] = PressureRung::kReorder;
+  if (rung >= n) return false;  // ladder exhausted: let the exception escape
+  const PressureRung step = order[rung];
+  const std::size_t before = in_use_;
+  const Timer timer;
+  // Every rung starts with a GC: the failed attempt's garbage is often
+  // enough headroom by itself, and both heavier rungs want a clean table.
+  gc();
+  switch (step) {
+    case PressureRung::kForcedGc:
+      break;
+    case PressureRung::kCacheShrink: {
+      const unsigned bits = std::max(pl.min_cache_bits, cfg_.cache_bits - 1u);
+      resizeCache(bits);
+      break;
+    }
+    case PressureRung::kReorder:
+      reorder(cfg_.reorder_method);
+      break;
+  }
+  emitEvent(ManagerEvent::Kind::kPressure, before, in_use_, timer.seconds(),
+            step);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection. Two independent clocks — one per node
+// allocation, one per stride-1024 poll point — each with a sorted schedule
+// of ticks at which to throw. The clocks are separate from OpStats and tick
+// only when a plan is armed, so the disabled path is bit-identical.
+// ---------------------------------------------------------------------------
+
+void Manager::setFaultPlan(FaultPlan plan) {
+  std::sort(plan.alloc_failures.begin(), plan.alloc_failures.end());
+  std::sort(plan.spurious_interrupts.begin(), plan.spurious_interrupts.end());
+  fault_plan_ = std::move(plan);
+  fault_armed_ = !fault_plan_.empty();
+  fault_alloc_count_ = 0;
+  fault_poll_count_ = 0;
+  fault_alloc_cursor_ = 0;
+  fault_poll_cursor_ = 0;
+  faults_injected_ = 0;
+}
+
+void Manager::faultAllocTick() {
+  const std::uint64_t tick = ++fault_alloc_count_;
+  const auto& sched = fault_plan_.alloc_failures;
+  while (fault_alloc_cursor_ < sched.size() &&
+         sched[fault_alloc_cursor_] < tick) {
+    ++fault_alloc_cursor_;  // skip points already passed (e.g. re-armed plan)
+  }
+  if (fault_alloc_cursor_ < sched.size() &&
+      sched[fault_alloc_cursor_] == tick) {
+    ++fault_alloc_cursor_;
+    ++faults_injected_;
+    throw NodeBudgetExceeded(cfg_.max_nodes, in_use_, /*injected=*/true);
+  }
+}
+
+void Manager::faultPollTick() {
+  const std::uint64_t tick = ++fault_poll_count_;
+  const auto& sched = fault_plan_.spurious_interrupts;
+  while (fault_poll_cursor_ < sched.size() &&
+         sched[fault_poll_cursor_] < tick) {
+    ++fault_poll_cursor_;
+  }
+  if (fault_poll_cursor_ < sched.size() && sched[fault_poll_cursor_] == tick) {
+    ++fault_poll_cursor_;
+    ++faults_injected_;
+    throw Interrupted(Interrupted::Reason::kCancelled);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -209,43 +209,61 @@ Edge Manager::andExistsRec(Edge f, Edge g, Edge cube) {
 // Public wrappers
 // ---------------------------------------------------------------------------
 
+// Each wrapper retries under the pressure ladder (withPressure): at this
+// boundary the operands are handle-protected, so a failed attempt's partial
+// results are collectible garbage and the relieve() GC is safe.
+
 Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   ++stats_.top_ops;
-  return make(iteRec(requireSameManager(f), requireSameManager(g),
-                     requireSameManager(h)));
+  return withPressure([&] {
+    return make(iteRec(requireSameManager(f), requireSameManager(g),
+                       requireSameManager(h)));
+  });
 }
 
 Bdd Manager::andB(const Bdd& f, const Bdd& g) {
   ++stats_.top_ops;
-  return make(andRec(requireSameManager(f), requireSameManager(g)));
+  return withPressure([&] {
+    return make(andRec(requireSameManager(f), requireSameManager(g)));
+  });
 }
 
 Bdd Manager::orB(const Bdd& f, const Bdd& g) {
   ++stats_.top_ops;
-  return make(negate(
-      andRec(negate(requireSameManager(f)), negate(requireSameManager(g)))));
+  return withPressure([&] {
+    return make(negate(
+        andRec(negate(requireSameManager(f)), negate(requireSameManager(g)))));
+  });
 }
 
 Bdd Manager::xorB(const Bdd& f, const Bdd& g) {
   ++stats_.top_ops;
-  return make(xorRec(requireSameManager(f), requireSameManager(g)));
+  return withPressure([&] {
+    return make(xorRec(requireSameManager(f), requireSameManager(g)));
+  });
 }
 
 Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
   ++stats_.top_ops;
-  return make(existsRec(requireSameManager(f), requireSameManager(cube)));
+  return withPressure([&] {
+    return make(existsRec(requireSameManager(f), requireSameManager(cube)));
+  });
 }
 
 Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
   ++stats_.top_ops;
-  return make(
-      negate(existsRec(negate(requireSameManager(f)), requireSameManager(cube))));
+  return withPressure([&] {
+    return make(negate(
+        existsRec(negate(requireSameManager(f)), requireSameManager(cube))));
+  });
 }
 
 Bdd Manager::andExists(const Bdd& f, const Bdd& g, const Bdd& cube) {
   ++stats_.top_ops;
-  return make(andExistsRec(requireSameManager(f), requireSameManager(g),
-                           requireSameManager(cube)));
+  return withPressure([&] {
+    return make(andExistsRec(requireSameManager(f), requireSameManager(g),
+                             requireSameManager(cube)));
+  });
 }
 
 Bdd Manager::cube(std::span<const unsigned> vars) {

@@ -55,6 +55,19 @@ std::string eventJson(const bdd::ManagerEvent& e) {
       .add("size_after", static_cast<std::uint64_t>(e.size_after))
       .add("seconds", e.seconds)
       .add("automatic", e.automatic);
+  if (e.kind == bdd::ManagerEvent::Kind::kPressure) {
+    o.add("rung", to_string(e.rung));
+  }
+  return o.str();
+}
+
+std::string attemptJson(const JobAttempt& a) {
+  JsonObject o;
+  o.add("status", a.status).add("seconds", a.seconds);
+  if (!a.message.empty()) o.add("message", a.message);
+  if (!a.escalation.empty()) o.add("escalation", a.escalation);
+  if (a.resumed) o.add("resumed", true);
+  if (a.faults_injected != 0) o.add("faults_injected", a.faults_injected);
   return o.str();
 }
 
@@ -113,6 +126,7 @@ std::string jobsReportJson(const std::string& batch, unsigned workers,
   std::vector<std::string> rows;
   rows.reserve(jobs.size());
   std::size_t done = 0, timeout = 0, memout = 0, cancelled = 0, error = 0;
+  std::uint64_t retries = 0;
   for (const JobRecord& j : jobs) {
     JsonObject o;
     o.add("name", j.name)
@@ -129,7 +143,15 @@ std::string jobsReportJson(const std::string& batch, unsigned workers,
         .addRaw("ops", opStatsJson(j.ops))
         .add("cache_hit_rate", cacheHitRate(j.ops));
     if (!j.group.empty()) o.add("group", j.group).add("winner", j.winner);
-    if (!j.failure.empty()) o.add("failure", j.failure);
+    if (!j.message.empty()) o.add("message", j.message);
+    if (j.attempts.size() > 1) {
+      retries += j.attempts.size() - 1;
+      o.add("retries", static_cast<std::uint64_t>(j.attempts.size() - 1));
+      std::vector<std::string> atts;
+      atts.reserve(j.attempts.size());
+      for (const JobAttempt& a : j.attempts) atts.push_back(attemptJson(a));
+      o.addRaw("attempts", util::jsonArray(atts));
+    }
     if (!j.trace_json.empty()) o.addRaw("trace_report", j.trace_json);
     rows.push_back(o.str());
     if (j.status == "done") ++done;
@@ -148,6 +170,7 @@ std::string jobsReportJson(const std::string& batch, unsigned workers,
       .add("jobs_memout", static_cast<std::uint64_t>(memout))
       .add("jobs_cancelled", static_cast<std::uint64_t>(cancelled))
       .add("jobs_error", static_cast<std::uint64_t>(error))
+      .add("retries_used", retries)
       .addRaw("jobs", util::jsonArray(rows));
   return o.str();
 }

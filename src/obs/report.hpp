@@ -14,6 +14,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "obs/obs.hpp"
 
@@ -49,6 +50,17 @@ std::string reportJson(const RunMeta& meta, const RunTrace& trace);
 /// Aligned-column text rendering of the same report.
 std::string reportTable(const RunMeta& meta, const RunTrace& trace);
 
+/// One executed attempt of a retried job (mirror of run::AttemptRecord,
+/// kept as plain data so obs stays below run).
+struct JobAttempt {
+  std::string status;      ///< to_string(RunStatus) tag
+  std::string message;     ///< failure reason; empty if done
+  std::string escalation;  ///< retry step applied ("" for the first attempt)
+  double seconds = 0.0;
+  bool resumed = false;               ///< restarted from a checkpoint file
+  std::uint64_t faults_injected = 0;  ///< injected faults hit this attempt
+};
+
 /// One scheduled job of a batch/portfolio run — what the job runner knows
 /// after the worker finished (or failed, timed out, or was cancelled by a
 /// winning portfolio sibling). Plain data, so obs stays below run.
@@ -58,7 +70,9 @@ struct JobRecord {
   std::string order;
   std::string engine;
   std::string status = "done";  ///< to_string(RunStatus) tag
-  std::string failure;          ///< non-empty iff status == "error"
+  /// Why the job did not finish: exception text, budget/live-node counts
+  /// for memouts, the exceeded deadline for timeouts. Empty iff "done".
+  std::string message;
   unsigned worker = 0;          ///< pool worker index that ran the job
   double queue_seconds = 0.0;   ///< time spent waiting for a worker
   double seconds = 0.0;         ///< execution wall-clock (setup + engine)
@@ -66,6 +80,9 @@ struct JobRecord {
   double states = 0.0;
   std::size_t peak_live_nodes = 0;
   bdd::OpStats ops;
+  /// Per-attempt history; size > 1 only when a RetryPolicy re-ran the job
+  /// after memout attempts (the `attempts` array of the JSON record).
+  std::vector<JobAttempt> attempts;
   /// Portfolio bookkeeping: the race's group name (empty for plain jobs)
   /// and whether this variant was the race's first conclusive finisher.
   std::string group;

@@ -35,8 +35,15 @@ void runBfvBackend(sym::StateSpace& s, const ReachOptions& opts,
   Manager& m = s.manager();
   const std::vector<unsigned> params = simulationParams(s);
   internal::applyReorderPolicy(s, opts);
-  Bfv reached = Bfv::point(m, s.currentVars(), s.initialBits());
-  Bfv from = reached;
+  Bfv reached, from;
+  if (opts.resume != nullptr && opts.resume->reached_bfv.has_value()) {
+    r.iterations = opts.resume->iteration;
+    reached = *opts.resume->reached_bfv;
+    from = *opts.resume->from_bfv;
+  } else {
+    reached = Bfv::point(m, s.currentVars(), s.initialBits());
+    from = reached;
+  }
   for (;;) {
     ++r.iterations;
     tracer.beginIteration(r.iterations, [&] {
@@ -79,6 +86,18 @@ void runBfvBackend(sym::StateSpace& s, const ReachOptions& opts,
     internal::maybeStepReorder(m, opts, r.iterations);
     m.maybeGc();
     guard.sample();
+    if (internal::checkpointDue(opts, r.iterations)) {
+      io::Checkpoint c;
+      c.engine = "bfv";
+      c.kind = io::RootKind::kBfv;
+      c.iteration = r.iterations;
+      c.choice_vars.assign(s.currentVars().begin(), s.currentVars().end());
+      c.reached = reached.comps();
+      c.frontier = from.comps();
+      c.reached_empty = reached.isEmpty();
+      c.frontier_empty = from.isEmpty();
+      internal::writeCheckpoint(m, opts, std::move(c));
+    }
     if (opts.max_iterations != 0 && r.iterations >= opts.max_iterations) {
       break;
     }
@@ -98,8 +117,16 @@ void runCdecBackend(sym::StateSpace& s, const ReachOptions& opts,
   Manager& m = s.manager();
   const std::vector<unsigned> params = simulationParams(s);
   internal::applyReorderPolicy(s, opts);
-  Cdec reached = Cdec::fromBfv(Bfv::point(m, s.currentVars(), s.initialBits()));
-  Cdec from = reached;
+  Cdec reached, from;
+  if (opts.resume != nullptr && opts.resume->reached_cdec.has_value()) {
+    r.iterations = opts.resume->iteration;
+    reached = *opts.resume->reached_cdec;
+    from = *opts.resume->from_cdec;
+  } else {
+    reached =
+        Cdec::fromBfv(Bfv::point(m, s.currentVars(), s.initialBits()));
+    from = reached;
+  }
   for (;;) {
     ++r.iterations;
     tracer.beginIteration(r.iterations, [&] {
@@ -147,6 +174,18 @@ void runCdecBackend(sym::StateSpace& s, const ReachOptions& opts,
     internal::maybeStepReorder(m, opts, r.iterations);
     m.maybeGc();
     guard.sample();
+    if (internal::checkpointDue(opts, r.iterations)) {
+      io::Checkpoint c;
+      c.engine = "cdec";
+      c.kind = io::RootKind::kCdec;
+      c.iteration = r.iterations;
+      c.choice_vars.assign(s.currentVars().begin(), s.currentVars().end());
+      c.reached = reached.constraints();
+      c.frontier = from.constraints();
+      c.reached_empty = reached.isEmpty();
+      c.frontier_empty = from.isEmpty();
+      internal::writeCheckpoint(m, opts, std::move(c));
+    }
     if (opts.max_iterations != 0 && r.iterations >= opts.max_iterations) {
       break;
     }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "bfv/bfv.hpp"
 #include "cdec/cdec.hpp"
@@ -47,6 +48,19 @@ struct ReorderPolicy {
   bool group_state_pairs = true;
 };
 
+/// Mid-run state decoded from a checkpoint file (io::load, resumeReach).
+/// Engines read it as "the loop already completed `iteration` frontier
+/// steps with this reached set and this frontier" and continue from there.
+/// Exactly one representation is populated, matching the engine that wrote
+/// the checkpoint.
+struct ResumePoint {
+  unsigned iteration = 0;
+  Bdd reached_chi;  ///< TR/CBM/hybrid engines
+  Bdd from_chi;
+  std::optional<Bfv> reached_bfv, from_bfv;        ///< kBfv backend
+  std::optional<cdec::Cdec> reached_cdec, from_cdec;  ///< kCdec backend
+};
+
 struct ReachOptions {
   Budget budget;
   /// Selection heuristic (Fig. 1/2 "Selection Heuristic" box): simulate
@@ -68,10 +82,22 @@ struct ReachOptions {
   /// default: tracing adds a live-node census and a state count per
   /// iteration, which untraced runs must not pay.
   bool trace = false;
+  /// Snapshot the reached set + frontier to `checkpoint_path` (atomic:
+  /// tmp + rename, see io/checkpoint.hpp) after every `checkpoint_every`-th
+  /// frontier iteration. 0 or an empty path = never.
+  unsigned checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Continue from a decoded checkpoint instead of the initial state. Set
+  /// by resumeReach(); not owned, must outlive the run.
+  const ResumePoint* resume = nullptr;
 };
 
 struct ReachResult {
   RunStatus status = RunStatus::kDone;
+  /// Why the run did not complete — budget/live nodes for kMemOut, the
+  /// time budget or deadline for kTimeOut, the interrupt reason for
+  /// kCancelled. Empty for kDone.
+  std::string message;
   unsigned iterations = 0;
   double states = 0.0;  ///< number of reachable states (when completed)
   double seconds = 0.0;
@@ -112,5 +138,17 @@ ReachResult reachBfv(sym::StateSpace& s, const ReachOptions& opts = {});
 /// recursive-splitting transition-function image (split), based on the
 /// size of the from-set relative to the relation.
 ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts = {});
+
+/// Restart a checkpointed run: load `checkpoint_path` into the state
+/// space's manager (restoring the recorded variable order), rebuild the
+/// reached set and frontier, and continue the fixpoint with the engine that
+/// wrote the file. The state space must be built over the same circuit and
+/// initial order as the original run (same variable count; the checkpoint
+/// carries the order itself). The continued run's states/iterations/status
+/// are bit-identical to the uninterrupted run's: the reached-set sequence
+/// depends only on the (reached, frontier) pair the file captures exactly.
+/// Throws io::Error on a missing/corrupt/mismatched file.
+ReachResult resumeReach(sym::StateSpace& s, const std::string& checkpoint_path,
+                        const ReachOptions& opts = {});
 
 }  // namespace bfvr::reach

@@ -24,8 +24,15 @@ ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts) {
         const std::size_t tr_size = tr.sharedSize();
         guard.sample();
 
-        Bdd reached = sym::initialChar(s);
-        Bdd from = reached;
+        Bdd reached, from;
+        if (opts.resume != nullptr) {
+          r.iterations = opts.resume->iteration;
+          reached = opts.resume->reached_chi;
+          from = opts.resume->from_chi;
+        } else {
+          reached = sym::initialChar(s);
+          from = reached;
+        }
         for (;;) {
           ++r.iterations;
           tracer.beginIteration(r.iterations, [&] {
@@ -71,6 +78,14 @@ ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts) {
           internal::maybeStepReorder(m, opts, r.iterations);
           m.maybeGc();
           guard.sample();
+          if (internal::checkpointDue(opts, r.iterations)) {
+            io::Checkpoint c;
+            c.engine = "hybrid";
+            c.iteration = r.iterations;
+            c.reached = {reached};
+            c.frontier = {from};
+            internal::writeCheckpoint(m, opts, std::move(c));
+          }
           if (opts.max_iterations != 0 &&
               r.iterations >= opts.max_iterations) {
             break;

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "io/checkpoint.hpp"
 #include "obs/obs.hpp"
 #include "reach/engine.hpp"
 
@@ -25,7 +26,7 @@ class RunGuard {
     const std::size_t live = m_.liveNodeCount();
     if (live > peak_) peak_ = live;
     if (budget_.max_live_nodes != 0 && live > budget_.max_live_nodes) {
-      throw bdd::NodeBudgetExceeded(budget_.max_live_nodes);
+      throw bdd::NodeBudgetExceeded(budget_.max_live_nodes, live);
     }
     if (budget_.max_seconds > 0.0 && timer_.seconds() > budget_.max_seconds) {
       throw TimeBudgetExceeded{};
@@ -140,6 +141,22 @@ inline void maybeStepReorder(Manager& m, const ReachOptions& opts,
   }
 }
 
+/// Whether this iteration ends with a snapshot (ReachOptions::checkpoint_*).
+inline bool checkpointDue(const ReachOptions& opts, unsigned iteration) {
+  return opts.checkpoint_every != 0 && !opts.checkpoint_path.empty() &&
+         iteration % opts.checkpoint_every == 0;
+}
+
+/// Stamp the manager's current variable order onto the checkpoint and write
+/// it. Engines call this from the post-iteration safe point — after
+/// maybeStepReorder()/maybeGc() — so the recorded order is the one the next
+/// iteration would run with.
+inline void writeCheckpoint(Manager& m, const ReachOptions& opts,
+                            io::Checkpoint c) {
+  c.level2var = m.currentOrder();
+  io::save(opts.checkpoint_path, c);
+}
+
 /// Runs `body` (the iteration loop) and folds budget violations into the
 /// result's status; records time/peak/op metrics and, when tracing is on,
 /// attaches the per-iteration trace.
@@ -152,10 +169,13 @@ ReachResult runGuarded(Manager& m, const ReachOptions& opts, Body&& body) {
   try {
     body(r, guard, tracer);
     r.status = RunStatus::kDone;
-  } catch (const bdd::NodeBudgetExceeded&) {
+  } catch (const bdd::NodeBudgetExceeded& e) {
     r.status = RunStatus::kMemOut;
+    r.message = e.what();
   } catch (const TimeBudgetExceeded&) {
     r.status = RunStatus::kTimeOut;
+    r.message = "time budget " + std::to_string(opts.budget.max_seconds) +
+                "s exceeded";
   } catch (const bdd::Interrupted& e) {
     // Cooperative interrupt (Manager::setInterruptCheck): a job-runner
     // deadline maps to the paper's T.O. outcome, a portfolio cancellation
@@ -164,6 +184,7 @@ ReachResult runGuarded(Manager& m, const ReachOptions& opts, Body&& body) {
     r.status = e.reason() == bdd::Interrupted::Reason::kDeadline
                    ? RunStatus::kTimeOut
                    : RunStatus::kCancelled;
+    r.message = e.what();
   }
   r.seconds = guard.seconds();
   r.peak_live_nodes = guard.peak();

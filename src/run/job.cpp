@@ -3,11 +3,14 @@
 // every failure mode into a RunStatus (a runaway or crashing job must never
 // take the pool — or the process — down with it).
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "circuit/bench_io.hpp"
 #include "circuit/generators.hpp"
+#include "io/checkpoint.hpp"
 #include "run/run.hpp"
 #include "sym/space.hpp"
 #include "util/stats.hpp"
@@ -115,7 +118,16 @@ circuit::Netlist resolveCircuit(const std::string& spec) {
   throw std::invalid_argument("unknown generator kind: " + spec);
 }
 
-JobResult executeJob(const JobSpec& spec, const CancelToken* cancel) noexcept {
+namespace {
+
+/// One attempt on one fresh manager: deadline + cancellation wired to the
+/// interrupt hook, fault plan installed, engine dispatched (or resumed from
+/// a checkpoint when `try_resume` and the file exists). Never throws: every
+/// failure mode folds into the result status — which is what lets a worker
+/// release this attempt's manager (a stack object here, destroyed on scope
+/// exit whatever happened) and move on to the next queued job or retry.
+JobResult executeAttempt(const JobSpec& spec, const CancelToken* cancel,
+                         bool try_resume, AttemptRecord& rec) noexcept {
   JobResult out;
   const Timer timer;  // the deadline clock: covers setup AND engine
   try {
@@ -131,6 +143,7 @@ JobResult executeJob(const JobSpec& spec, const CancelToken* cancel) noexcept {
     }
     const circuit::Netlist n = resolveCircuit(spec.circuit);
     bdd::Manager m(0, spec.mgr);
+    if (!spec.faults.empty()) m.setFaultPlan(spec.faults);
     if (cancel != nullptr || spec.deadline_seconds > 0.0) {
       const double deadline = spec.deadline_seconds;
       m.setInterruptCheck([cancel, deadline, &timer] {
@@ -143,27 +156,104 @@ JobResult executeJob(const JobSpec& spec, const CancelToken* cancel) noexcept {
       });
     }
     sym::StateSpace s(m, n, circuit::makeOrder(n, spec.order));
-    out.reach = dispatchEngine(spec.engine, s, opts);
+    if (try_resume && !opts.checkpoint_path.empty()) {
+      try {
+        out.reach = reach::resumeReach(s, opts.checkpoint_path, opts);
+        rec.resumed = true;
+      } catch (const io::Error&) {
+        // No (or no usable) checkpoint yet: fall back to a fresh run.
+        out.reach = dispatchEngine(spec.engine, s, opts);
+      }
+    } else {
+      out.reach = dispatchEngine(spec.engine, s, opts);
+    }
     out.status = out.reach.status;
+    out.message = out.reach.message;
     // The reached set lives in this manager, which dies with the job: drop
     // the handles here, explicitly, rather than letting ~Manager orphan
     // them after the result already escaped the scope.
     out.reach.reached_bfv.reset();
     out.reach.reached_chi = bdd::Bdd();
-  } catch (const bdd::NodeBudgetExceeded&) {
+    rec.faults_injected = m.faultsInjected();
+  } catch (const bdd::NodeBudgetExceeded& e) {
     // Setup (netlist -> BDDs) blew the manager's hard node budget before
     // the engine's own boundary could catch it.
     out.status = RunStatus::kMemOut;
+    out.message = e.what();
   } catch (const bdd::Interrupted& e) {
     out.status = e.reason() == bdd::Interrupted::Reason::kDeadline
                      ? RunStatus::kTimeOut
                      : RunStatus::kCancelled;
+    out.message = e.what();
   } catch (const std::exception& e) {
     out.status = RunStatus::kError;
-    out.failure = e.what();
+    out.message = e.what();
   } catch (...) {
     out.status = RunStatus::kError;
-    out.failure = "unknown exception";
+    out.message = "unknown exception";
+  }
+  out.seconds = timer.seconds();
+  rec.status = out.status;
+  rec.message = out.message;
+  rec.seconds = out.seconds;
+  return out;
+}
+
+/// Apply the escalation step for the NEXT attempt (1-based `attempt` just
+/// finished) and return its tag for the attempt record.
+const char* escalate(JobSpec& spec, unsigned attempt) {
+  if (attempt == 1) {
+    spec.mgr.auto_reorder = true;
+    spec.mgr.pressure_ladder.enabled = true;
+    return "auto-reorder+ladder";
+  }
+  if (attempt == 2) {
+    spec.mgr.cache_bits = spec.mgr.cache_bits > 14u
+                              ? spec.mgr.cache_bits - 2u
+                              : std::min(12u, spec.mgr.cache_bits);
+    return "cache-shrink";
+  }
+  const double g = spec.retry.node_budget_growth;
+  const auto grow = [g](std::size_t v) {
+    return v == 0 ? v : static_cast<std::size_t>(static_cast<double>(v) * g);
+  };
+  spec.mgr.max_nodes = grow(spec.mgr.max_nodes);
+  spec.opts.budget.max_live_nodes = grow(spec.opts.budget.max_live_nodes);
+  return "raise-budget";
+}
+
+}  // namespace
+
+JobResult executeJob(const JobSpec& spec, const CancelToken* cancel) noexcept {
+  const Timer timer;
+  JobSpec cur = spec;
+  const unsigned max_attempts = std::max(1u, spec.retry.max_attempts);
+  std::string escalation;  // tag of the step applied before this attempt
+  JobResult out;
+  for (unsigned attempt = 1;; ++attempt) {
+    AttemptRecord rec;
+    rec.escalation = escalation;
+    std::vector<AttemptRecord> history = std::move(out.attempts);
+    out = executeAttempt(cur, cancel,
+                         attempt > 1 && cur.retry.resume_from_checkpoint, rec);
+    out.attempts = std::move(history);
+    out.attempts.push_back(std::move(rec));
+    // Only an out-of-nodes attempt is worth escalating: a timeout would
+    // burn the same wall-clock again, an error or a cancellation would
+    // repeat verbatim.
+    if (out.status != RunStatus::kMemOut || attempt >= max_attempts) break;
+    if (cancel != nullptr && cancel->cancelled()) break;
+    escalation = escalate(cur, attempt);
+    if (spec.retry.backoff_seconds > 0.0) {
+      // Exponential backoff, polled so a cancellation cuts the wait short.
+      const double wait = spec.retry.backoff_seconds *
+                          static_cast<double>(1u << (attempt - 1));
+      const Timer backoff;
+      while (backoff.seconds() < wait) {
+        if (cancel != nullptr && cancel->cancelled()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
   }
   out.seconds = timer.seconds();
   return out;

@@ -36,6 +36,17 @@ bool parseBool(const std::string& s) {
   throw std::invalid_argument("expected 0/1: " + s);
 }
 
+std::vector<std::uint64_t> parseU64List(const std::string& s) {
+  std::vector<std::uint64_t> out;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, ',')) {
+    if (!cur.empty()) out.push_back(std::stoull(cur));
+  }
+  if (out.empty()) throw std::invalid_argument("empty count list");
+  return out;
+}
+
 void applyKey(ManifestEntry& e, const std::string& key,
               const std::string& value) {
   JobSpec& j = e.spec;
@@ -65,6 +76,24 @@ void applyKey(ManifestEntry& e, const std::string& key,
     j.opts.trace = parseBool(value);
   } else if (key == "portfolio") {
     e.portfolio = parseEngineList(value);
+  } else if (key == "ladder") {
+    j.mgr.pressure_ladder.enabled = parseBool(value);
+  } else if (key == "cache-bits") {
+    j.mgr.cache_bits = static_cast<unsigned>(std::stoul(value));
+  } else if (key == "retries") {
+    j.retry.max_attempts = static_cast<unsigned>(std::stoul(value));
+  } else if (key == "backoff") {
+    j.retry.backoff_seconds = std::stod(value);
+  } else if (key == "budget-growth") {
+    j.retry.node_budget_growth = std::stod(value);
+  } else if (key == "checkpoint-every") {
+    j.opts.checkpoint_every = static_cast<unsigned>(std::stoul(value));
+  } else if (key == "checkpoint-path") {
+    j.opts.checkpoint_path = value;
+  } else if (key == "fault-allocs") {
+    j.faults.alloc_failures = parseU64List(value);
+  } else if (key == "fault-polls") {
+    j.faults.spurious_interrupts = parseU64List(value);
   } else {
     throw std::invalid_argument("unknown key: " + key);
   }

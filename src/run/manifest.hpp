@@ -22,6 +22,18 @@
 //   trace          0/1: record the per-iteration obs trace
 //   portfolio      comma-separated engine list — expands this line into a
 //                  portfolio race instead of a single job
+//   ladder         0/1: Manager::Config::pressure_ladder.enabled
+//   cache-bits     log2 computed-cache slots (Manager::Config::cache_bits)
+//   retries        RetryPolicy::max_attempts (total attempts; 1 = none)
+//   backoff        RetryPolicy::backoff_seconds (exponential per retry)
+//   budget-growth  RetryPolicy::node_budget_growth
+//   checkpoint-every  snapshot each N iterations (ReachOptions)
+//   checkpoint-path   snapshot file (atomic tmp+rename; retries resume
+//                     from it)
+//   fault-allocs   comma-separated allocation counts at which the fault
+//                  plan injects an allocation failure (FaultPlan)
+//   fault-polls    comma-separated poll counts at which it injects a
+//                  spurious interrupt
 #pragma once
 
 #include <iosfwd>

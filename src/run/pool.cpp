@@ -3,6 +3,12 @@
 // executeJob). Results travel by future; an optional on_done callback runs
 // on the worker thread first, so a portfolio controller can cancel the
 // losers the instant a winner concludes.
+//
+// Fault containment: executeJob is noexcept and every attempt's Manager is
+// a stack object inside the attempt, so an interrupted or failed attempt —
+// including an allocation failure injected mid-GC by a FaultPlan — always
+// releases its manager on scope exit and the worker moves on to the next
+// queued job with nothing leaked and nothing poisoned.
 #include "run/run.hpp"
 #include "util/stats.hpp"
 

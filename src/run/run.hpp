@@ -74,6 +74,30 @@ const char* to_string(EngineKind e) noexcept;
 /// Inverse of to_string; throws std::invalid_argument on an unknown tag.
 EngineKind parseEngineKind(const std::string& s);
 
+/// Retry escalation for jobs that run out of nodes. Attempt 1 runs the
+/// spec as given; when it ends kMemOut (and only then — a timeout or an
+/// error would fail the same way again) the job is re-run on a fresh
+/// manager with the next escalation applied cumulatively:
+///
+///   attempt 2: enable auto-reorder and the manager's pressure ladder
+///   attempt 3: shrink the computed cache (cache_bits - 2, floor 12)
+///   attempt 4+: raise the node budgets by `node_budget_growth` (compounds)
+///
+/// When the spec checkpoints (ReachOptions::checkpoint_*), every retry
+/// resumes from the latest snapshot instead of restarting the fixpoint —
+/// the escalation path the paper's long-running circuits want.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = never retry.
+  unsigned max_attempts = 1;
+  /// Sleep before attempt k: backoff_seconds * 2^(k-2) (exponential).
+  /// Cancellation is honoured during the wait.
+  double backoff_seconds = 0.0;
+  /// Budget multiplier of the raise-budget escalation step.
+  double node_budget_growth = 2.0;
+  /// Resume retries from ReachOptions::checkpoint_path when it exists.
+  bool resume_from_checkpoint = true;
+};
+
 /// Everything needed to run one reachability job on a fresh manager.
 struct JobSpec {
   /// Report key; defaults to "<circuit>/<engine>" when empty.
@@ -94,8 +118,30 @@ struct JobSpec {
   /// and also folded into the engine budget so tiny jobs that never hit a
   /// poll point still observe it.
   double deadline_seconds = 0.0;
+  /// Out-of-memory retry escalation (default: no retries).
+  RetryPolicy retry;
+  /// Deterministic fault plan installed on each attempt's fresh manager
+  /// (empty = none). Attempt clocks restart per attempt, so a plan that
+  /// fires on attempt 1 fires identically on attempt 2 unless the
+  /// escalation changed the allocation sequence.
+  bdd::FaultPlan faults;
 
   std::string displayName() const;
+};
+
+/// One executed attempt of a job (JobResult::attempts).
+struct AttemptRecord {
+  RunStatus status = RunStatus::kError;
+  /// Failure reason (ReachResult::message / exception text); empty if done.
+  std::string message;
+  double seconds = 0.0;
+  /// Escalation applied to this attempt: "" for the first, then
+  /// "auto-reorder+ladder", "cache-shrink", "raise-budget".
+  std::string escalation;
+  /// Whether this attempt resumed from a checkpoint file.
+  bool resumed = false;
+  /// Faults the manager injected during this attempt.
+  std::uint64_t faults_injected = 0;
 };
 
 /// Outcome of one job. The reached set itself does not survive the job
@@ -103,14 +149,25 @@ struct JobSpec {
 /// consumers get the stats, status and optional trace.
 struct JobResult {
   RunStatus status = RunStatus::kError;
-  /// Exception text when status == kError (bad circuit spec, parse error).
-  std::string failure;
+  /// Why the job did not complete: exception text for kError, budget and
+  /// live-node count for kMemOut, time budget/deadline for kTimeOut, the
+  /// interrupt reason for kCancelled. Empty for kDone.
+  std::string message;
   /// Engine metrics; default-constructed when setup failed before the
-  /// engine ran (iterations == 0, states == 0).
+  /// engine ran (iterations == 0, states == 0). From the final attempt.
   reach::ReachResult reach;
-  double seconds = 0.0;        ///< execution wall-clock, setup included
+  /// One record per executed attempt (size >= 1; > 1 only under a
+  /// RetryPolicy after kMemOut attempts).
+  std::vector<AttemptRecord> attempts;
+  double seconds = 0.0;        ///< execution wall-clock, all attempts
   double queue_seconds = 0.0;  ///< time the job waited for a free worker
   unsigned worker = 0;         ///< index of the worker that ran it
+
+  /// Retries consumed (attempts beyond the first).
+  unsigned retriesUsed() const noexcept {
+    return attempts.empty() ? 0
+                            : static_cast<unsigned>(attempts.size()) - 1;
+  }
 };
 
 /// Materialize a JobSpec's circuit: parse the `.bench` file, or build the

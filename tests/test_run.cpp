@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <string>
 #include <thread>
 
 #include "run/manifest.hpp"
@@ -148,12 +150,12 @@ TEST(RunJob, BadSpecsFoldToErrorStatus) {
   spec.circuit = "gen:nosuchkind:3";
   JobResult r = executeJob(spec);
   EXPECT_EQ(r.status, RunStatus::kError);
-  EXPECT_FALSE(r.failure.empty());
+  EXPECT_FALSE(r.message.empty());
 
   spec.circuit = "/nonexistent/path.bench";
   r = executeJob(spec);
   EXPECT_EQ(r.status, RunStatus::kError);
-  EXPECT_FALSE(r.failure.empty());
+  EXPECT_FALSE(r.message.empty());
 }
 
 TEST(RunJob, TinyManagerBudgetIsMemOut) {
@@ -163,6 +165,22 @@ TEST(RunJob, TinyManagerBudgetIsMemOut) {
   spec.mgr.max_nodes = 64;  // setup itself blows this
   const JobResult r = executeJob(spec);
   EXPECT_EQ(r.status, RunStatus::kMemOut);
+  // The failure reason is reported, not swallowed: budget and node count.
+  EXPECT_FALSE(r.message.empty());
+  EXPECT_NE(r.message.find("nodes"), std::string::npos) << r.message;
+  ASSERT_EQ(r.attempts.size(), 1U);
+  EXPECT_EQ(r.attempts[0].status, RunStatus::kMemOut);
+  EXPECT_EQ(r.retriesUsed(), 0U);
+}
+
+TEST(RunJob, TimeOutCarriesAMessage) {
+  JobSpec spec;
+  spec.circuit = "gen:counter:26:67108864";
+  spec.engine = EngineKind::kTr;
+  spec.deadline_seconds = 0.2;
+  const JobResult r = executeJob(spec);
+  ASSERT_EQ(r.status, RunStatus::kTimeOut);
+  EXPECT_FALSE(r.message.empty());
 }
 
 TEST(RunJob, OpCountsMatchDirectRun) {
@@ -205,7 +223,7 @@ TEST(RunPool, RunsJobsAcrossWorkers) {
   }
   for (auto& f : futs) {
     const JobResult r = f.get();
-    EXPECT_EQ(r.status, RunStatus::kDone) << r.failure;
+    EXPECT_EQ(r.status, RunStatus::kDone) << r.message;
     EXPECT_LT(r.worker, 2U);
     EXPECT_GE(r.queue_seconds, 0.0);
   }
@@ -313,6 +331,159 @@ TEST(RunManifest, ParsesShippedSmokeManifest) {
   EXPECT_EQ(entries[0].spec.name, "smoke-johnson8");
   EXPECT_EQ(entries[1].spec.engine, EngineKind::kTr);
   EXPECT_EQ(entries[1].spec.deadline_seconds, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Retry escalation, fault plans and checkpoint-resuming retries.
+// ---------------------------------------------------------------------------
+
+/// A budget that a plain run (no GC pressure relief, garbage accumulating
+/// in the table) blows, but a governed/escalated run fits: 1.5x the
+/// reference run's live-node peak.
+std::size_t tightBudgetFor(const char* circuit) {
+  JobSpec probe;
+  probe.circuit = circuit;
+  probe.engine = EngineKind::kBfv;
+  const JobResult ref = executeJob(probe);
+  EXPECT_EQ(ref.status, RunStatus::kDone);
+  return ref.reach.peak_live_nodes * 3 / 2;
+}
+
+TEST(RunRetry, EscalationClimbsTheLadderToSuccess) {
+  const char* circuit = "gen:counter:8:200";
+  JobSpec spec;
+  spec.circuit = circuit;
+  spec.engine = EngineKind::kBfv;
+  spec.mgr.max_nodes = tightBudgetFor(circuit);
+
+  // Sanity: without retries, the tight budget is fatal.
+  const JobResult plain = executeJob(spec);
+  ASSERT_EQ(plain.status, RunStatus::kMemOut) << plain.message;
+
+  spec.retry.max_attempts = 6;
+  const JobResult r = executeJob(spec);
+  ASSERT_EQ(r.status, RunStatus::kDone) << r.message;
+  EXPECT_EQ(r.reach.states, 200.0);
+  EXPECT_TRUE(r.message.empty());
+  ASSERT_GE(r.attempts.size(), 2U);
+  EXPECT_GE(r.retriesUsed(), 1U);
+  // Escalation steps are applied cumulatively, in the documented order,
+  // and every attempt but the last ended out-of-nodes.
+  const char* expected[] = {"", "auto-reorder+ladder", "cache-shrink",
+                            "raise-budget", "raise-budget", "raise-budget"};
+  for (std::size_t i = 0; i < r.attempts.size(); ++i) {
+    EXPECT_EQ(r.attempts[i].escalation, expected[i]) << "attempt " << i;
+    EXPECT_EQ(r.attempts[i].status, i + 1 == r.attempts.size()
+                                        ? RunStatus::kDone
+                                        : RunStatus::kMemOut)
+        << "attempt " << i;
+  }
+}
+
+TEST(RunRetry, ResumesFromTheLatestCheckpoint) {
+  const char* circuit = "gen:counter:8:200";
+  const std::string path = ::testing::TempDir() + "bfvr_retry_resume.bin";
+  std::remove(path.c_str());
+  JobSpec spec;
+  spec.circuit = circuit;
+  spec.engine = EngineKind::kBfv;
+  spec.mgr.max_nodes = tightBudgetFor(circuit);
+  spec.retry.max_attempts = 6;
+  spec.opts.checkpoint_every = 1;
+  spec.opts.checkpoint_path = path;
+
+  const JobResult r = executeJob(spec);
+  ASSERT_EQ(r.status, RunStatus::kDone) << r.message;
+  EXPECT_EQ(r.reach.states, 200.0);
+  ASSERT_GE(r.attempts.size(), 2U);
+  // The first attempt got far enough to snapshot, so at least one retry
+  // restarted from the file rather than from the initial state.
+  bool any_resumed = false;
+  for (const AttemptRecord& a : r.attempts) any_resumed |= a.resumed;
+  EXPECT_TRUE(any_resumed);
+  std::remove(path.c_str());
+}
+
+TEST(RunRetry, NoRetryOnTimeouts) {
+  JobSpec spec;
+  spec.circuit = "gen:counter:26:67108864";
+  spec.engine = EngineKind::kTr;
+  spec.deadline_seconds = 0.2;
+  spec.retry.max_attempts = 4;  // must be ignored: a timeout repeats
+  const JobResult r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kTimeOut);
+  EXPECT_EQ(r.attempts.size(), 1U);
+}
+
+TEST(RunFaults, InjectedAllocationFailureFoldsToMemOut) {
+  JobSpec spec;
+  spec.circuit = "gen:counter:8:200";
+  spec.engine = EngineKind::kBfv;
+  spec.faults.alloc_failures = {2000};  // mid-run, well past setup
+  const JobResult r = executeJob(spec);
+  ASSERT_EQ(r.status, RunStatus::kMemOut);
+  EXPECT_NE(r.message.find("injected"), std::string::npos) << r.message;
+  ASSERT_EQ(r.attempts.size(), 1U);
+  EXPECT_EQ(r.attempts[0].faults_injected, 1U);
+}
+
+TEST(RunFaults, WorkerSurvivesInjectedFaultsAndRunsTheNextJob) {
+  // Regression: a failed or interrupted attempt must release its manager
+  // and leave the worker able to complete subsequent jobs.
+  WorkerPool pool(1);
+
+  JobSpec crash;
+  crash.circuit = "gen:counter:8:200";
+  crash.engine = EngineKind::kBfv;
+  crash.faults.alloc_failures = {2000};
+  std::future<JobResult> f1 = pool.submit(crash);
+
+  JobSpec interrupt;  // spurious interrupt at a GC/poll boundary
+  interrupt.circuit = "gen:counter:8:200";
+  interrupt.engine = EngineKind::kBfv;
+  interrupt.faults.spurious_interrupts = {2};
+  std::future<JobResult> f2 = pool.submit(interrupt);
+
+  JobSpec clean;
+  clean.circuit = "gen:johnson:8";
+  clean.engine = EngineKind::kBfv;
+  std::future<JobResult> f3 = pool.submit(clean);
+
+  const JobResult r1 = f1.get();
+  EXPECT_EQ(r1.status, RunStatus::kMemOut);
+  EXPECT_EQ(r1.attempts[0].faults_injected, 1U);
+  const JobResult r2 = f2.get();
+  EXPECT_EQ(r2.status, RunStatus::kCancelled);
+  EXPECT_EQ(r2.attempts[0].faults_injected, 1U);
+  // The same (sole) worker completes the clean job afterwards.
+  const JobResult r3 = f3.get();
+  EXPECT_EQ(r3.status, RunStatus::kDone) << r3.message;
+  EXPECT_EQ(r3.reach.states, 16.0);
+  EXPECT_EQ(r1.worker, 0U);
+  EXPECT_EQ(r3.worker, 0U);
+}
+
+TEST(RunManifest, ParsesRobustnessKeys) {
+  const std::vector<ManifestEntry> entries = parseManifestString(
+      "circuit=gen:johnson:8 ladder=1 cache-bits=16 retries=4 backoff=0.5 "
+      "budget-growth=3 checkpoint-every=5 checkpoint-path=ck.bin "
+      "fault-allocs=10,20 fault-polls=7\n");
+  ASSERT_EQ(entries.size(), 1U);
+  const JobSpec& j = entries[0].spec;
+  EXPECT_TRUE(j.mgr.pressure_ladder.enabled);
+  EXPECT_EQ(j.mgr.cache_bits, 16U);
+  EXPECT_EQ(j.retry.max_attempts, 4U);
+  EXPECT_EQ(j.retry.backoff_seconds, 0.5);
+  EXPECT_EQ(j.retry.node_budget_growth, 3.0);
+  EXPECT_EQ(j.opts.checkpoint_every, 5U);
+  EXPECT_EQ(j.opts.checkpoint_path, "ck.bin");
+  EXPECT_EQ(j.faults.alloc_failures,
+            (std::vector<std::uint64_t>{10, 20}));
+  EXPECT_EQ(j.faults.spurious_interrupts, (std::vector<std::uint64_t>{7}));
+  EXPECT_THROW(parseManifestString("circuit=a.bench fault-allocs=\n"),
+               std::runtime_error);
+  EXPECT_THROW(parseManifestString("circuit=a.bench ladder=2\n"),
+               std::runtime_error);
 }
 
 TEST(RunEngineKind, RoundTripsAllTags) {

@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""CI perf smoke: guard recursive_steps against a committed baseline.
+"""CI perf smoke: guard recursive_steps and peak_live_nodes against a
+committed baseline.
 
 Usage: perf_smoke.py <current.json> <baseline.json> [--tolerance 0.10]
 
 Both files are BENCH_quantsched.json-shaped arrays of run objects. Rows are
 matched on (circuit, order, engine, schedule) and compared on
 `recursive_steps` — the deterministic work metric, immune to CI-runner noise
-(wall time on shared runners swings far more than 10%). The check fails if
-any matched row regresses by more than the tolerance, or if a baseline row
-disappears; new rows are reported but allowed, so adding circuits to the
-bench does not require a lockstep baseline update.
+(wall time on shared runners swings far more than 10%) — and on
+`peak_live_nodes`, the memory-pressure metric the governor PR exists to
+protect (a creeping peak silently erodes every node-budget headroom the
+retry ladder depends on). The check fails if any matched row regresses by
+more than the tolerance on either metric, or if a baseline row disappears;
+new rows are reported but allowed, so adding circuits to the bench does not
+require a lockstep baseline update.
 
 Update the baseline (after a deliberate algorithmic change) with:
     ./build/bench/bench_quantsched --quick --trace \
@@ -33,13 +37,17 @@ def key(row):
     )
 
 
+METRICS = ("recursive_steps", "peak_live_nodes")
+
+
 def load(path):
     with open(path) as f:
         rows = json.load(f)
     out = {}
     for row in rows:
-        if "recursive_steps" in row:
-            out[key(row)] = row["recursive_steps"]
+        metrics = {m: row[m] for m in METRICS if m in row}
+        if metrics:
+            out[key(row)] = metrics
     return out
 
 
@@ -57,25 +65,30 @@ def main():
         return 1
 
     failed = False
-    for k, base_steps in sorted(base.items()):
+    for k, base_metrics in sorted(base.items()):
         label = "/".join(str(p) for p in k)
         if k not in cur:
             print(f"FAIL {label}: row missing from current run")
             failed = True
             continue
-        cur_steps = cur[k]
-        ratio = cur_steps / base_steps if base_steps else float("inf")
-        verdict = "ok"
-        if ratio > 1.0 + args.tolerance:
-            verdict = "FAIL"
-            failed = True
-        print(
-            f"{verdict:4s} {label}: recursive_steps {cur_steps} vs "
-            f"baseline {base_steps} ({(ratio - 1.0) * 100:+.1f}%)"
-        )
+        for metric, base_val in sorted(base_metrics.items()):
+            if metric not in cur[k]:
+                print(f"FAIL {label}: {metric} missing from current run")
+                failed = True
+                continue
+            cur_val = cur[k][metric]
+            ratio = cur_val / base_val if base_val else float("inf")
+            verdict = "ok"
+            if ratio > 1.0 + args.tolerance:
+                verdict = "FAIL"
+                failed = True
+            print(
+                f"{verdict:4s} {label}: {metric} {cur_val} vs "
+                f"baseline {base_val} ({(ratio - 1.0) * 100:+.1f}%)"
+            )
     for k in sorted(set(cur) - set(base)):
         label = "/".join(str(p) for p in k)
-        print(f"new  {label}: recursive_steps {cur[k]} (not in baseline)")
+        print(f"new  {label}: {cur[k]} (not in baseline)")
 
     if failed:
         print(f"\nperf smoke failed (tolerance {args.tolerance:.0%}); "
