@@ -1,0 +1,228 @@
+// Client CLI of the reachability service: push a manifest of jobs to a
+// running bfv_serve as one tenant, stream results, and print the same
+// per-job table and status roll-up as the batch runner.
+//
+//   bfv_client --connect SPEC --tenant NAME [manifest]
+//              [--window N] [--stats] [--shutdown[=drain|now]] [--quiet]
+//              [--strict]
+//
+//   --connect SPEC    unix:PATH or tcp:HOST:PORT (required)
+//   --tenant NAME     tenant to submit as (required)
+//   manifest          manifest file of jobs to submit (omit with --stats /
+//                     --shutdown for control-only invocations)
+//   --window N        max submissions awaiting admission at once
+//                     (default 8; bounds client-side memory, exercises the
+//                     server's fair queue rather than its accept path)
+//   --stats           fetch and print the server metrics JSON
+//   --shutdown[=drain|now]  ask the server to stop (default drain)
+//   --quiet           suppress per-job rows (roll-up still prints)
+//   --strict          exit 1 also on memout/timeout jobs
+//
+// Exit status: 0 when every submitted job completed "done" (or with
+// --strict, no job erred/memout/timeout and none were rejected); 1
+// otherwise, or on any connection/protocol failure.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svc/client.hpp"
+
+using namespace bfvr;
+
+namespace {
+
+struct Args {
+  std::string connect;
+  std::string tenant;
+  std::string manifest;
+  unsigned window = 8;
+  bool stats = false;
+  bool do_shutdown = false;
+  bool drain = true;
+  bool quiet = false;
+  bool strict = false;
+};
+
+bool parseArgs(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      a.connect = argv[++i];
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      a.tenant = argv[++i];
+    } else if (arg == "--window" && i + 1 < argc) {
+      a.window = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--stats") {
+      a.stats = true;
+    } else if (arg == "--shutdown" || arg == "--shutdown=drain") {
+      a.do_shutdown = true;
+    } else if (arg == "--shutdown=now") {
+      a.do_shutdown = true;
+      a.drain = false;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else if (arg == "--strict") {
+      a.strict = true;
+    } else if (!arg.empty() && arg[0] != '-' && a.manifest.empty()) {
+      a.manifest = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (a.connect.empty() || a.tenant.empty()) return false;
+  return !a.manifest.empty() || a.stats || a.do_shutdown;
+}
+
+/// Raw manifest lines (comments/blanks stripped) — submitted verbatim, so
+/// the server's parser is the one source of truth for the grammar.
+std::vector<std::string> manifestLines(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) throw std::runtime_error("cannot open " + path);
+  std::vector<std::string> out;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    std::string line(buf);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r' ||
+                             line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    out.push_back(std::move(line));
+  }
+  std::fclose(f);
+  return out;
+}
+
+struct JobView {
+  std::string line;
+  bool finished = false;
+  svc::JobDone done;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: %s --connect unix:PATH|tcp:HOST:PORT --tenant NAME "
+                 "[manifest] [--window N] [--stats] [--shutdown[=drain|now]] "
+                 "[--quiet] [--strict]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    svc::Client client(args.connect, args.tenant);
+    bool ok = true;
+    std::size_t done = 0, memout = 0, timeout = 0, cancelled = 0, error = 0,
+                rejected = 0, evictions = 0;
+
+    if (!args.manifest.empty()) {
+      const std::vector<std::string> lines = manifestLines(args.manifest);
+      std::map<std::uint64_t, JobView> jobs;  // by server job id
+      std::size_t sent = 0, admitted_or_rejected = 0, finished = 0;
+      std::map<std::uint64_t, std::string> pending;  // tag -> line
+      const auto handle = [&](const svc::Event& ev) {
+        if (const auto* acc = std::get_if<svc::Accepted>(&ev)) {
+          auto it = pending.find(acc->tag);
+          if (it != pending.end()) {
+            jobs[acc->job].line = it->second;
+            pending.erase(it);
+          }
+          ++admitted_or_rejected;
+        } else if (const auto* rej = std::get_if<svc::Rejected>(&ev)) {
+          auto it = pending.find(rej->tag);
+          std::fprintf(stderr, "rejected: %s (%s)\n",
+                       it != pending.end() ? it->second.c_str() : "?",
+                       rej->reason.c_str());
+          if (it != pending.end()) pending.erase(it);
+          ++admitted_or_rejected;
+          ++rejected;
+          ok = false;
+        } else if (const auto* evd = std::get_if<svc::JobEvicted>(&ev)) {
+          ++evictions;
+          if (!args.quiet) {
+            std::printf("job %llu evicted from w%u at iteration %llu\n",
+                        static_cast<unsigned long long>(evd->job),
+                        evd->worker,
+                        static_cast<unsigned long long>(evd->iteration));
+          }
+        } else if (const auto* jd = std::get_if<svc::JobDone>(&ev)) {
+          JobView& v = jobs[jd->job];
+          v.finished = true;
+          v.done = *jd;
+          ++finished;
+          if (jd->status == "done") ++done;
+          else if (jd->status == "M.O.") ++memout;
+          else if (jd->status == "T.O.") ++timeout;
+          else if (jd->status == "cancelled") ++cancelled;
+          else ++error;
+          if (!args.quiet) {
+            std::printf("%-40s %-9s %8.3fs %6llu iters  w%u%s%s\n",
+                        v.line.substr(0, 40).c_str(), jd->status.c_str(),
+                        jd->seconds,
+                        static_cast<unsigned long long>(jd->iterations),
+                        jd->worker, jd->resumed ? "  resumed" : "",
+                        jd->evictions > 0 ? "  (evicted)" : "");
+          }
+        } else if (const auto* we = std::get_if<svc::WireError>(&ev)) {
+          std::fprintf(stderr, "server error: %s\n", we->message.c_str());
+          ok = false;
+        }
+        // JobStarted / IterationUpdate / StatsReply: progress noise here.
+      };
+      while (finished < jobs.size() || sent < lines.size() ||
+             admitted_or_rejected < sent) {
+        // Keep up to `window` submissions in flight, then drain one event.
+        while (sent < lines.size() &&
+               sent - admitted_or_rejected < args.window) {
+          pending[client.submit(lines[sent])] = lines[sent];
+          ++sent;
+        }
+        std::optional<svc::Event> ev = client.next();
+        if (!ev.has_value()) {
+          throw svc::Error("server closed the connection mid-batch");
+        }
+        handle(*ev);
+      }
+      std::printf(
+          "%zu jobs as tenant %s: %zu done, %zu memout, %zu timeout, "
+          "%zu cancelled, %zu error, %zu rejected; %zu eviction%s\n",
+          lines.size(), args.tenant.c_str(), done, memout, timeout, cancelled,
+          error, rejected, evictions, evictions == 1 ? "" : "s");
+    }
+
+    if (args.stats) {
+      client.queryStats();
+      for (;;) {
+        std::optional<svc::Event> ev = client.next();
+        if (!ev.has_value()) throw svc::Error("connection closed on stats");
+        if (const auto* reply = std::get_if<svc::StatsReply>(&*ev)) {
+          std::printf("%s\n", reply->json.c_str());
+          break;
+        }
+      }
+    }
+
+    if (args.do_shutdown) client.shutdownServer(args.drain);
+    client.bye();
+
+    if (error > 0 || rejected > 0) ok = false;
+    if (args.strict && (memout > 0 || timeout > 0 || cancelled > 0)) {
+      ok = false;
+    }
+    if (!args.strict) {
+      // Non-strict mirrors bfv_run: resource-model statuses are outcomes,
+      // not failures.
+      ok = ok && error == 0;
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bfv_client: %s\n", e.what());
+    return 1;
+  }
+}

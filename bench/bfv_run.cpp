@@ -5,7 +5,7 @@
 // traced) into one JOBS_<name>.json report.
 //
 //   bfv_run <manifest> [--workers N] [--portfolio e1,e2,...] [--deadline S]
-//           [--trace] [--jobs[=path]] [--quiet]
+//           [--trace] [--jobs[=path]] [--quiet] [--strict]
 //
 //   --workers N        pool size (default 1: deterministic, bit-identical
 //                      op counts to running the engines directly)
@@ -16,10 +16,14 @@
 //   --jobs[=path]      write the aggregated JSON report (default path
 //                      JOBS_<manifest-stem>.json)
 //   --quiet            suppress the per-job table rows
+//   --strict           also fail (exit 1) on memout / timeout jobs — for
+//                      CI gates where a budget trip is a regression, not
+//                      an expected outcome
 //
 // Exit status: 0 when every job ended in a resource-model status (done /
 // T.O. / M.O. / cancelled); 1 when any job errored (bad circuit spec,
-// unreadable file) or the manifest/report itself failed.
+// unreadable file), when --strict and any job ran out of nodes or time,
+// or when the manifest/report itself failed.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -43,6 +47,7 @@ struct Args {
   double default_deadline = 0.0;
   bool force_trace = false;
   bool quiet = false;
+  bool strict = false;
   std::string jobs_path;  // empty = no report
 };
 
@@ -81,6 +86,8 @@ bool parseArgs(int argc, char** argv, Args& a) {
       a.force_trace = true;
     } else if (arg == "--quiet") {
       a.quiet = true;
+    } else if (arg == "--strict") {
+      a.strict = true;
     } else if (arg == "--jobs") {
       a.jobs_path = "<default>";
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -161,7 +168,8 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: %s <manifest> [--workers N] [--portfolio e1,e2,...] "
-                 "[--deadline S] [--trace] [--jobs[=path]] [--quiet]\n",
+                 "[--deadline S] [--trace] [--jobs[=path]] [--quiet] "
+                 "[--strict]\n",
                  argv[0]);
     return 2;
   }
@@ -258,6 +266,12 @@ int main(int argc, char** argv) {
   for (const obs::JobRecord& rec : records) {
     if (rec.status == "error") {
       std::fprintf(stderr, "job %s failed: %s\n", rec.name.c_str(),
+                   rec.message.c_str());
+      ok = false;
+    } else if (args.strict &&
+               (rec.status == "M.O." || rec.status == "T.O.")) {
+      std::fprintf(stderr, "job %s exceeded its budget (%s): %s\n",
+                   rec.name.c_str(), rec.status.c_str(),
                    rec.message.c_str());
       ok = false;
     }

@@ -1,0 +1,119 @@
+// Reachability-as-a-service daemon: a long-lived multi-tenant job server
+// over the framed binary protocol (src/svc). Clients connect with
+// bfv_client (or the svc::Client library), submit manifest-format job
+// lines, and stream back iteration progress and final results; the server
+// schedules across tenants with smooth weighted round-robin under
+// per-tenant budgets, reuses warm per-worker managers, and evicts/migrates
+// jobs via checkpoints.
+//
+//   bfv_serve [--listen SPEC] [--workers N] [--tenants FILE] [--spool DIR]
+//             [--checkpoint-every K] [--no-warm] [--no-stream]
+//             [--report[=path]] [--name TAG]
+//
+//   --listen SPEC        unix:PATH (default unix:bfv_serve.sock) or
+//                        tcp:HOST:PORT
+//   --workers N          worker pool size (default 4)
+//   --tenants FILE       tenant policy file, one
+//                        name:weight[:max_running[:max_queued[:max_nodes
+//                        [:max_seconds]]]] per line
+//   --spool DIR          directory for eviction checkpoints (default .)
+//   --checkpoint-every K snapshot cadence imposed on jobs for evictability
+//                        (default 1; 0 = only jobs that opt in)
+//   --no-warm            fresh manager per job (disable reset-not-destroy)
+//   --no-stream          do not stream per-iteration updates
+//   --report[=path]      write SVC_<name>.json at shutdown
+//   --name TAG           server tag (default bfv_serve)
+//
+// Runs until a client sends Shutdown (bfv_client --shutdown). Exit 0 on a
+// clean stop, 1 on a startup failure.
+#include <cstdio>
+#include <string>
+
+#include "svc/server.hpp"
+
+using namespace bfvr;
+
+namespace {
+
+struct Args {
+  svc::Server::Options opts;
+  bool ok = true;
+};
+
+Args parseArgs(int argc, char** argv) {
+  Args a;
+  a.opts.endpoint = "unix:bfv_serve.sock";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        a.ok = false;
+        return "";
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--listen") {
+        a.opts.endpoint = value("--listen");
+      } else if (arg == "--workers") {
+        a.opts.workers = static_cast<unsigned>(std::stoul(value("--workers")));
+      } else if (arg == "--tenants") {
+        a.opts.tenants = svc::parseTenantsFile(value("--tenants"));
+      } else if (arg == "--spool") {
+        a.opts.spool_dir = value("--spool");
+      } else if (arg == "--checkpoint-every") {
+        a.opts.checkpoint_every =
+            static_cast<unsigned>(std::stoul(value("--checkpoint-every")));
+      } else if (arg == "--no-warm") {
+        a.opts.warm_managers = false;
+      } else if (arg == "--no-stream") {
+        a.opts.stream_iterations = false;
+      } else if (arg == "--report") {
+        a.opts.report_path = "<default>";
+      } else if (arg.rfind("--report=", 0) == 0) {
+        a.opts.report_path = arg.substr(9);
+      } else if (arg == "--name") {
+        a.opts.name = value("--name");
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        a.ok = false;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", arg.c_str(), e.what());
+      a.ok = false;
+    }
+    if (!a.ok) break;
+  }
+  if (a.opts.report_path == "<default>") {
+    a.opts.report_path = "SVC_" + a.opts.name + ".json";
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  if (!args.ok) {
+    std::fprintf(stderr,
+                 "usage: %s [--listen unix:PATH|tcp:HOST:PORT] [--workers N] "
+                 "[--tenants FILE] [--spool DIR] [--checkpoint-every K] "
+                 "[--no-warm] [--no-stream] [--report[=path]] [--name TAG]\n",
+                 argv[0]);
+    return 1;
+  }
+  try {
+    svc::Server server(args.opts);
+    std::printf("%s listening on %s (%u workers, %zu tenants)\n",
+                args.opts.name.c_str(), args.opts.endpoint.c_str(),
+                args.opts.workers, args.opts.tenants.size());
+    std::fflush(stdout);
+    server.run();
+    std::printf("%s stopped\n", args.opts.name.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bfv_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -504,6 +504,24 @@ class Manager {
   void maybeGc();
   /// Nodes currently allocated and not on the free list (live + garbage).
   std::size_t inUseNodes() const noexcept { return in_use_; }
+  /// Reset-not-destroy, for warm reuse of a manager across jobs (the
+  /// serving layer's per-worker manager cache). Uninstalls the interrupt
+  /// check, fault plan, event sink and reorder groups, collects everything,
+  /// and — when nothing is live — returns the manager to the pristine
+  /// zero-variable state while KEEPING the node store and computed-cache
+  /// allocations, so the next job skips the cold-start of growing them.
+  /// Counters, peaks, GC/reorder thresholds and the variable order all
+  /// reset, so a job on a reused manager is bit-identical to one on a
+  /// fresh manager with the same config. Returns false — leaving the
+  /// manager untouched apart from the uninstalled hooks and the GC — when
+  /// live handles still reference nodes (the caller leaked; destroy the
+  /// manager instead).
+  bool resetForReuse();
+  /// Swap in a new configuration. Only legal on a pristine manager (zero
+  /// variables, no live handles — i.e. right after a successful
+  /// resetForReuse() or on a freshly constructed Manager(0)); returns
+  /// false otherwise. Resizes the computed cache when cache_bits differs.
+  bool reconfigure(const Config& cfg);
   /// Exact number of nodes reachable from live handles (runs a mark pass).
   std::size_t liveNodeCount();
   /// High-water mark of inUseNodes() since construction / resetPeak().

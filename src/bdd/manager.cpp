@@ -508,6 +508,43 @@ void Manager::gc() {
   emitEvent(ManagerEvent::Kind::kGc, before, in_use_, timer.seconds());
 }
 
+bool Manager::resetForReuse() {
+  interrupt_check_ = {};
+  interrupt_tick_ = 0;
+  setFaultPlan({});
+  sink_ = nullptr;
+  clearVarGroups();
+  if (handles_ != nullptr) return false;  // caller leaked live handles
+  gc();  // sweeps every node (nothing is marked) and clears the cache keys
+  if (in_use_ != 1) return false;  // only the terminal may survive
+  // Back to the zero-variable state of Manager(0, cfg): the per-variable
+  // subtables and the order maps go, the node store and cache keep their
+  // allocations (free_list_ already threads every swept slot).
+  num_vars_ = 0;
+  var2level_.clear();
+  level2var_.clear();
+  group_of_var_.clear();
+  next_group_ = 0;
+  subtables_.clear();
+  gc_threshold_ = cfg_.gc_threshold;
+  next_reorder_at_ = cfg_.reorder_threshold;
+  cache_gen_ = 1;
+  cache_gen_tick_ = 0;
+  stats_ = OpStats{};
+  peak_nodes_ = in_use_;
+  return true;
+}
+
+bool Manager::reconfigure(const Config& cfg) {
+  if (num_vars_ != 0 || in_use_ != 1 || handles_ != nullptr) return false;
+  const unsigned had_bits = cfg_.cache_bits;
+  cfg_ = cfg;
+  gc_threshold_ = cfg_.gc_threshold;
+  next_reorder_at_ = cfg_.reorder_threshold;
+  if (cfg_.cache_bits != had_bits) resizeCache(cfg_.cache_bits);
+  return true;
+}
+
 void Manager::maybeGc() {
   // The engines' per-iteration safe point doubles as an interrupt poll, so
   // cancellation latency is bounded by one iteration even when the

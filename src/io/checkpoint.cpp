@@ -168,7 +168,7 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
 // save / load
 // ---------------------------------------------------------------------------
 
-void save(const std::string& path, const Checkpoint& c) {
+std::vector<std::uint8_t> encode(const Checkpoint& c) {
   if (c.engine.size() > 255) throw Error("checkpoint: engine tag too long");
   // Find the manager behind the roots (level2var alone does not carry it).
   const Manager* mgr = nullptr;
@@ -212,6 +212,11 @@ void save(const std::string& path, const Checkpoint& c) {
   put32(file, crc32(payload.data(), payload.size()));
   put64(file, payload.size());
   file.insert(file.end(), payload.begin(), payload.end());
+  return file;
+}
+
+void save(const std::string& path, const Checkpoint& c) {
+  const std::vector<std::uint8_t> file = encode(c);
 
   // Atomic publish: write the sibling tmp file, then rename over the
   // destination. A crash mid-write leaves the old checkpoint intact.
@@ -229,26 +234,22 @@ void save(const std::string& path, const Checkpoint& c) {
   }
 }
 
-Checkpoint load(const std::string& path, Manager& m) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("checkpoint: cannot open " + path);
-  std::vector<std::uint8_t> file((std::istreambuf_iterator<char>(in)),
-                                 std::istreambuf_iterator<char>());
-  if (file.size() < 24) throw Error("checkpoint: file too short");
-  if (!std::equal(kMagic, kMagic + sizeof(kMagic), file.begin())) {
+Checkpoint decode(const std::uint8_t* data, std::size_t n, Manager& m) {
+  if (n < 24) throw Error("checkpoint: file too short");
+  if (!std::equal(kMagic, kMagic + sizeof(kMagic), data)) {
     throw Error("checkpoint: bad magic");
   }
-  Reader hdr{file.data() + 8, file.size() - 8};
+  Reader hdr{data + 8, n - 8};
   const std::uint32_t version = hdr.get32();
   if (version != kCheckpointVersion) {
     throw Error("checkpoint: unsupported version " + std::to_string(version));
   }
   const std::uint32_t want_crc = hdr.get32();
   const std::uint64_t payload_size = hdr.get64();
-  if (payload_size != file.size() - 24) {
+  if (payload_size != n - 24) {
     throw Error("checkpoint: payload size mismatch");
   }
-  const std::uint8_t* payload = file.data() + 24;
+  const std::uint8_t* payload = data + 24;
   if (crc32(payload, payload_size) != want_crc) {
     throw Error("checkpoint: CRC mismatch (corrupt file)");
   }
@@ -306,6 +307,14 @@ Checkpoint load(const std::string& path, Manager& m) {
   readRoots(c.frontier);
   if (r.pos != r.n) throw Error("checkpoint: trailing bytes");
   return c;
+}
+
+Checkpoint load(const std::string& path, Manager& m) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("checkpoint: cannot open " + path);
+  std::vector<std::uint8_t> file((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return decode(file.data(), file.size(), m);
 }
 
 }  // namespace bfvr::io

@@ -70,13 +70,24 @@ struct Checkpoint {
   std::vector<Bdd> frontier;
 };
 
+/// Serialize `c` to a self-contained byte image — the exact bytes save()
+/// writes (magic, version, CRC, payload), so an image can travel over a
+/// wire or sit in memory as a job-migration unit and still round-trip
+/// through decode() on the far side. All non-null roots must belong to one
+/// manager. Throws io::Error on failure.
+std::vector<std::uint8_t> encode(const Checkpoint& c);
+
+/// Inverse of encode(): verify magic/version/CRC, restore the recorded
+/// variable order into `m` (whose numVars() must match) and decode the DAG
+/// into it. Throws io::Error on any mismatch or malformed input.
+Checkpoint decode(const std::uint8_t* data, std::size_t n, Manager& m);
+
 /// Serialize `c` to `path` (atomically, via "<path>.tmp" + rename). All
 /// non-null roots must belong to one manager. Throws io::Error on failure.
 void save(const std::string& path, const Checkpoint& c);
 
-/// Read `path`, verify magic/version/CRC, restore the recorded variable
-/// order into `m` (whose numVars() must match) and decode the DAG into it.
-/// Throws io::Error on any mismatch or malformed input.
+/// Read `path` and decode() it. Throws io::Error on any mismatch or
+/// malformed input.
 Checkpoint load(const std::string& path, Manager& m);
 
 /// CRC-32 (IEEE 802.3, reflected) — exposed for tests and tooling.

@@ -235,4 +235,65 @@ std::string reportTable(const RunMeta& meta, const RunTrace& trace) {
   return out;
 }
 
+std::string svcReportJson(const SvcServerStats& server,
+                          std::span<const SvcTenantStats> tenants) {
+  // Totals across tenants; "jobs_done" and "leaked_nodes" are grepped by
+  // the soak harness — keep the keys stable.
+  std::uint64_t submitted = 0, rejected = 0, done = 0, timeout = 0,
+                memout = 0, cancelled = 0, error = 0, evictions = 0,
+                resumes = 0;
+  for (const SvcTenantStats& t : tenants) {
+    submitted += t.submitted;
+    rejected += t.rejected;
+    done += t.done;
+    timeout += t.timeout;
+    memout += t.memout;
+    cancelled += t.cancelled;
+    error += t.error;
+    evictions += t.evictions;
+    resumes += t.resumes;
+  }
+  std::vector<std::string> rows;
+  rows.reserve(tenants.size());
+  for (const SvcTenantStats& t : tenants) {
+    util::JsonObject o;
+    o.add("tenant", t.name)
+        .add("weight", t.weight)
+        .add("submitted", t.submitted)
+        .add("rejected", t.rejected)
+        .add("done", t.done)
+        .add("timeout", t.timeout)
+        .add("memout", t.memout)
+        .add("cancelled", t.cancelled)
+        .add("error", t.error)
+        .add("evictions", t.evictions)
+        .add("resumes", t.resumes)
+        .add("queue_seconds", t.queue_seconds)
+        .add("exec_seconds", t.exec_seconds);
+    rows.push_back(o.str());
+  }
+  util::JsonObject root;
+  root.add("server", server.name)
+      .add("endpoint", server.endpoint)
+      .add("workers", server.workers)
+      .add("seconds", server.seconds)
+      .add("sessions", server.sessions)
+      .add("dispatches", server.dispatches)
+      .add("jobs_submitted", submitted)
+      .add("jobs_rejected", rejected)
+      .add("jobs_done", done)
+      .add("jobs_timeout", timeout)
+      .add("jobs_memout", memout)
+      .add("jobs_cancelled", cancelled)
+      .add("jobs_error", error)
+      .add("evictions", evictions)
+      .add("resumes", resumes)
+      .add("warm_hits", server.warm_hits)
+      .add("warm_misses", server.warm_misses)
+      .add("resets_failed", server.resets_failed)
+      .add("leaked_nodes", server.leaked_nodes)
+      .addRaw("tenants", util::jsonArray(rows));
+  return root.str();
+}
+
 }  // namespace bfvr::obs

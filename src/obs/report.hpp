@@ -100,4 +100,48 @@ std::string jobsReportJson(const std::string& batch, unsigned workers,
                            double total_seconds,
                            std::span<const JobRecord> jobs);
 
+/// Per-tenant counters of a serving run (src/svc). Plain data, so obs
+/// stays below svc the same way it stays below run.
+struct SvcTenantStats {
+  std::string name;
+  unsigned weight = 1;
+  std::uint64_t submitted = 0;  ///< submissions received (admitted or not)
+  std::uint64_t rejected = 0;   ///< refused by admission control
+  std::uint64_t done = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t memout = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t error = 0;
+  std::uint64_t evictions = 0;  ///< suspend-to-checkpoint events
+  std::uint64_t resumes = 0;    ///< jobs restarted from an eviction image
+  double queue_seconds = 0.0;   ///< total time jobs waited for a worker
+  double exec_seconds = 0.0;    ///< total execution wall-clock
+
+  /// Jobs that reached a terminal status.
+  std::uint64_t finished() const noexcept {
+    return done + timeout + memout + cancelled + error;
+  }
+};
+
+/// Server-level counters of a serving run.
+struct SvcServerStats {
+  std::string name;
+  std::string endpoint;
+  unsigned workers = 0;
+  double seconds = 0.0;           ///< server uptime
+  std::uint64_t sessions = 0;     ///< client sessions accepted
+  std::uint64_t dispatches = 0;   ///< jobs handed to the worker pool
+  std::uint64_t warm_hits = 0;    ///< jobs served a reused warm manager
+  std::uint64_t warm_misses = 0;  ///< jobs that built a fresh manager
+  std::uint64_t resets_failed = 0;  ///< managers destroyed after a job leak
+  std::uint64_t leaked_nodes = 0;   ///< live nodes those leaks orphaned
+};
+
+/// The SVC_<name>.json payload: server meta + totals ("jobs_done",
+/// "leaked_nodes", ...) + a `tenants` array of per-tenant objects. The
+/// soak harness greps the totals, so their keys are part of the report's
+/// contract.
+std::string svcReportJson(const SvcServerStats& server,
+                          std::span<const SvcTenantStats> tenants);
+
 }  // namespace bfvr::obs

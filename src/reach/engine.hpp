@@ -15,7 +15,10 @@
 // size of the final reached set in both representations.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "bfv/bfv.hpp"
@@ -82,6 +85,14 @@ struct ReachOptions {
   /// default: tracing adds a live-node census and a state count per
   /// iteration, which untraced runs must not pay.
   bool trace = false;
+  /// Per-iteration streaming hook: invoked right after every completed
+  /// frontier iteration with that iteration's record — the serving layer
+  /// forwards these to clients as the run progresses. Independent of
+  /// `trace`, but enables the same per-iteration census cost (live-node
+  /// count + state count) that tracing pays. The callback runs on the
+  /// engine's thread; it must not throw and must not call back into the
+  /// manager (exceptions are swallowed defensively).
+  std::function<void(const obs::IterationRecord&)> on_iteration;
   /// Snapshot the reached set + frontier to `checkpoint_path` (atomic:
   /// tmp + rename, see io/checkpoint.hpp) after every `checkpoint_every`-th
   /// frontier iteration. 0 or an empty path = never.
@@ -149,6 +160,13 @@ ReachResult reachHybrid(sym::StateSpace& s, const ReachOptions& opts = {});
 /// depends only on the (reached, frontier) pair the file captures exactly.
 /// Throws io::Error on a missing/corrupt/mismatched file.
 ReachResult resumeReach(sym::StateSpace& s, const std::string& checkpoint_path,
+                        const ReachOptions& opts = {});
+
+/// Same restart from an in-memory checkpoint image (the bytes io::encode
+/// produces / io::save writes) — the job-migration path of the serving
+/// layer, where an evicted job's snapshot travels between workers without
+/// touching the filesystem. Throws io::Error on a corrupt/mismatched image.
+ReachResult resumeReach(sym::StateSpace& s, std::span<const std::uint8_t> image,
                         const ReachOptions& opts = {});
 
 }  // namespace bfvr::reach

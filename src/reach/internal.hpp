@@ -51,11 +51,17 @@ class RunGuard {
 class Tracer {
  public:
   Tracer(Manager& m, const ReachOptions& opts, RunGuard& guard)
-      : m_(m), guard_(guard), enabled_(opts.trace) {
-    if (enabled_) recorder_.emplace(m, trace_.events);
+      : m_(m),
+        guard_(guard),
+        record_(opts.trace),
+        stream_(opts.on_iteration ? &opts.on_iteration : nullptr) {
+    if (record_) recorder_.emplace(m, trace_.events);
   }
 
-  bool enabled() const noexcept { return enabled_; }
+  /// True when iteration records are being built at all — for the result's
+  /// trace (ReachOptions::trace), for live streaming (on_iteration), or
+  /// both. The per-iteration census cost applies in every enabled case.
+  bool enabled() const noexcept { return record_ || stream_ != nullptr; }
 
   /// Scoped phase attribution; a no-op scope when disabled.
   obs::PhaseTimer::Scope phase(obs::Phase p) {
@@ -85,6 +91,8 @@ class Tracer {
   }
 
   /// Close the current record: phase split, counter deltas and node census.
+  /// Streams the record (ReachOptions::on_iteration) before appending it to
+  /// the trace, so a client sees the iteration as soon as it completes.
   void endIteration() {
     if (!enabled()) return;
     cur_.phase_seconds = timer_.totals().since(iter_phases_);
@@ -92,14 +100,22 @@ class Tracer {
     const std::size_t live = m_.liveNodeCount();
     cur_.live_nodes = live;
     cur_.peak_nodes = std::max(guard_.peak(), live);
-    trace_.iterations.push_back(cur_);
+    if (stream_ != nullptr) {
+      try {
+        (*stream_)(cur_);
+      } catch (...) {
+        // A streaming failure (dead client, full pipe) must not abort the
+        // run; the consumer notices through its own channel.
+      }
+    }
+    if (record_) trace_.iterations.push_back(cur_);
   }
 
   /// Attach the collected trace to the result (uninstalling the event
   /// recorder first). Called once, after the iteration loop ends — normally
   /// or by budget exception.
   void finish(ReachResult& r) {
-    if (!enabled()) return;
+    if (!record_) return;
     trace_.phase_totals = timer_.totals();
     recorder_.reset();
     r.trace.emplace(std::move(trace_));
@@ -109,7 +125,8 @@ class Tracer {
  private:
   Manager& m_;
   RunGuard& guard_;
-  bool enabled_;
+  bool record_;
+  const std::function<void(const obs::IterationRecord&)>* stream_;
   obs::PhaseTimer timer_;
   obs::RunTrace trace_;
   std::optional<obs::ScopedEventRecorder> recorder_;

@@ -12,11 +12,11 @@
 
 namespace bfvr::reach {
 
-ReachResult resumeReach(sym::StateSpace& s, const std::string& checkpoint_path,
-                        const ReachOptions& opts) {
-  Manager& m = s.manager();
-  const io::Checkpoint c = io::load(checkpoint_path, m);
+namespace {
 
+ReachResult resumeFrom(sym::StateSpace& s, const io::Checkpoint& c,
+                       const ReachOptions& opts) {
+  Manager& m = s.manager();
   ResumePoint rp;
   rp.iteration = c.iteration;
   ReachOptions o = opts;
@@ -67,6 +67,19 @@ ReachResult resumeReach(sym::StateSpace& s, const std::string& checkpoint_path,
     }
   }
   throw io::Error("checkpoint: unknown root kind");
+}
+
+}  // namespace
+
+ReachResult resumeReach(sym::StateSpace& s, const std::string& checkpoint_path,
+                        const ReachOptions& opts) {
+  return resumeFrom(s, io::load(checkpoint_path, s.manager()), opts);
+}
+
+ReachResult resumeReach(sym::StateSpace& s, std::span<const std::uint8_t> image,
+                        const ReachOptions& opts) {
+  return resumeFrom(s, io::decode(image.data(), image.size(), s.manager()),
+                    opts);
 }
 
 }  // namespace bfvr::reach

@@ -120,16 +120,19 @@ circuit::Netlist resolveCircuit(const std::string& spec) {
 
 namespace {
 
-/// One attempt on one fresh manager: deadline + cancellation wired to the
-/// interrupt hook, fault plan installed, engine dispatched (or resumed from
-/// a checkpoint when `try_resume` and the file exists). Never throws: every
-/// failure mode folds into the result status — which is what lets a worker
-/// release this attempt's manager (a stack object here, destroyed on scope
-/// exit whatever happened) and move on to the next queued job or retry.
+/// One attempt on one manager — fresh, or acquired warm from the worker's
+/// ManagerCache: deadline + cancellation wired to the interrupt hook, fault
+/// plan installed, engine dispatched (or resumed from an in-memory image /
+/// a checkpoint file when one is available). Never throws: every failure
+/// mode folds into the result status — which is what lets a worker release
+/// this attempt's manager (scoped here, released whatever happened) and
+/// move on to the next queued job or retry.
 JobResult executeAttempt(const JobSpec& spec, const CancelToken* cancel,
-                         bool try_resume, AttemptRecord& rec) noexcept {
+                         bool try_resume, ManagerCache* warm,
+                         AttemptRecord& rec) noexcept {
   JobResult out;
   const Timer timer;  // the deadline clock: covers setup AND engine
+  std::unique_ptr<bdd::Manager> owned;
   try {
     reach::ReachOptions opts = spec.opts;
     if (spec.deadline_seconds > 0.0) {
@@ -142,7 +145,9 @@ JobResult executeAttempt(const JobSpec& spec, const CancelToken* cancel,
               : spec.deadline_seconds;
     }
     const circuit::Netlist n = resolveCircuit(spec.circuit);
-    bdd::Manager m(0, spec.mgr);
+    owned = warm != nullptr ? warm->acquire(spec.mgr)
+                            : std::make_unique<bdd::Manager>(0, spec.mgr);
+    bdd::Manager& m = *owned;
     if (!spec.faults.empty()) m.setFaultPlan(spec.faults);
     if (cancel != nullptr || spec.deadline_seconds > 0.0) {
       const double deadline = spec.deadline_seconds;
@@ -155,23 +160,37 @@ JobResult executeAttempt(const JobSpec& spec, const CancelToken* cancel,
         }
       });
     }
-    sym::StateSpace s(m, n, circuit::makeOrder(n, spec.order));
-    if (try_resume && !opts.checkpoint_path.empty()) {
-      try {
-        out.reach = reach::resumeReach(s, opts.checkpoint_path, opts);
-        rec.resumed = true;
-      } catch (const io::Error&) {
-        // No (or no usable) checkpoint yet: fall back to a fresh run.
+    // Scoped so the state space's handles die before the manager is
+    // released to the warm cache below.
+    {
+      sym::StateSpace s(m, n, circuit::makeOrder(n, spec.order));
+      if (spec.resume_image != nullptr && !spec.resume_image->empty()) {
+        // Migration resume: the image was captured when this job was
+        // evicted from another worker.
+        try {
+          out.reach = reach::resumeReach(
+              s, std::span<const std::uint8_t>(*spec.resume_image), opts);
+          rec.resumed = true;
+        } catch (const io::Error&) {
+          out.reach = dispatchEngine(spec.engine, s, opts);
+        }
+      } else if (try_resume && !opts.checkpoint_path.empty()) {
+        try {
+          out.reach = reach::resumeReach(s, opts.checkpoint_path, opts);
+          rec.resumed = true;
+        } catch (const io::Error&) {
+          // No (or no usable) checkpoint yet: fall back to a fresh run.
+          out.reach = dispatchEngine(spec.engine, s, opts);
+        }
+      } else {
         out.reach = dispatchEngine(spec.engine, s, opts);
       }
-    } else {
-      out.reach = dispatchEngine(spec.engine, s, opts);
     }
     out.status = out.reach.status;
     out.message = out.reach.message;
-    // The reached set lives in this manager, which dies with the job: drop
-    // the handles here, explicitly, rather than letting ~Manager orphan
-    // them after the result already escaped the scope.
+    // The reached set lives in this manager, which dies (or is reset for
+    // reuse) with the job: drop the handles here, explicitly, rather than
+    // letting the release orphan them after the result already escaped.
     out.reach.reached_bfv.reset();
     out.reach.reached_chi = bdd::Bdd();
     rec.faults_injected = m.faultsInjected();
@@ -192,6 +211,11 @@ JobResult executeAttempt(const JobSpec& spec, const CancelToken* cancel,
     out.status = RunStatus::kError;
     out.message = "unknown exception";
   }
+  // Hand the attempt's manager back to the warm cache (reset-not-destroy);
+  // without a cache the unique_ptr destroys it right here, exactly like
+  // the old stack object did.
+  if (warm != nullptr) warm->release(std::move(owned));
+  owned.reset();
   out.seconds = timer.seconds();
   rec.status = out.status;
   rec.message = out.message;
@@ -224,7 +248,8 @@ const char* escalate(JobSpec& spec, unsigned attempt) {
 
 }  // namespace
 
-JobResult executeJob(const JobSpec& spec, const CancelToken* cancel) noexcept {
+JobResult executeJob(const JobSpec& spec, const CancelToken* cancel,
+                     ManagerCache* warm) noexcept {
   const Timer timer;
   JobSpec cur = spec;
   const unsigned max_attempts = std::max(1u, spec.retry.max_attempts);
@@ -235,7 +260,8 @@ JobResult executeJob(const JobSpec& spec, const CancelToken* cancel) noexcept {
     rec.escalation = escalation;
     std::vector<AttemptRecord> history = std::move(out.attempts);
     out = executeAttempt(cur, cancel,
-                         attempt > 1 && cur.retry.resume_from_checkpoint, rec);
+                         attempt > 1 && cur.retry.resume_from_checkpoint, warm,
+                         rec);
     out.attempts = std::move(history);
     out.attempts.push_back(std::move(rec));
     // Only an out-of-nodes attempt is worth escalating: a timeout would

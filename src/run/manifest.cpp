@@ -8,13 +8,52 @@ namespace bfvr::run {
 
 namespace {
 
+/// Strict numeric parses: the std::sto* family throws bare "stoul"-style
+/// messages and accepts trailing junk ("3x" parses as 3); manifest errors
+/// must instead name exactly what was wrong with the value.
+std::uint64_t parseU64(const std::string& s) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("expected a number, got '" + s + "'");
+  }
+  if (pos != s.size() || s[0] == '-') {
+    throw std::invalid_argument("expected a number, got '" + s + "'");
+  }
+  return v;
+}
+
+double parseF64(const std::string& s) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("expected a number, got '" + s + "'");
+  }
+  if (pos != s.size()) {
+    throw std::invalid_argument("expected a number, got '" + s + "'");
+  }
+  return v;
+}
+
+unsigned parseU32(const std::string& s) {
+  const std::uint64_t v = parseU64(s);
+  if (v > 0xFFFFFFFFull) {
+    throw std::invalid_argument("value out of range: '" + s + "'");
+  }
+  return static_cast<unsigned>(v);
+}
+
 circuit::OrderSpec parseOrder(const std::string& s) {
   if (s == "natural") return {circuit::OrderKind::kNatural, 0};
   if (s == "topo") return {circuit::OrderKind::kTopo, 0};
   if (s == "reverse") return {circuit::OrderKind::kReverse, 0};
   if (s == "random") return {circuit::OrderKind::kRandom, 0};
   if (s.rfind("random:", 0) == 0) {
-    return {circuit::OrderKind::kRandom, std::stoull(s.substr(7))};
+    return {circuit::OrderKind::kRandom, parseU64(s.substr(7))};
   }
   throw std::invalid_argument("unknown order: " + s);
 }
@@ -41,61 +80,73 @@ std::vector<std::uint64_t> parseU64List(const std::string& s) {
   std::string cur;
   std::istringstream in(s);
   while (std::getline(in, cur, ',')) {
-    if (!cur.empty()) out.push_back(std::stoull(cur));
+    if (!cur.empty()) out.push_back(parseU64(cur));
   }
   if (out.empty()) throw std::invalid_argument("empty count list");
   return out;
 }
 
+/// Internal marker so the unknown-key diagnostic is not double-prefixed
+/// with the "key '...'" context applyKey adds to value errors.
+struct UnknownKey {};
+
 void applyKey(ManifestEntry& e, const std::string& key,
               const std::string& value) {
   JobSpec& j = e.spec;
-  if (key == "circuit") {
-    j.circuit = value;
-  } else if (key == "name") {
-    j.name = value;
-  } else if (key == "engine") {
-    j.engine = parseEngineKind(value);
-  } else if (key == "order") {
-    j.order = parseOrder(value);
-  } else if (key == "deadline") {
-    j.deadline_seconds = std::stod(value);
-  } else if (key == "seconds") {
-    j.opts.budget.max_seconds = std::stod(value);
-  } else if (key == "nodes") {
-    j.opts.budget.max_live_nodes = std::stoull(value);
-  } else if (key == "max-nodes") {
-    j.mgr.max_nodes = std::stoull(value);
-  } else if (key == "iters") {
-    j.opts.max_iterations = static_cast<unsigned>(std::stoul(value));
-  } else if (key == "reorder-every") {
-    j.opts.reorder.every = static_cast<unsigned>(std::stoul(value));
-  } else if (key == "auto-reorder") {
-    j.mgr.auto_reorder = parseBool(value);
-  } else if (key == "trace") {
-    j.opts.trace = parseBool(value);
-  } else if (key == "portfolio") {
-    e.portfolio = parseEngineList(value);
-  } else if (key == "ladder") {
-    j.mgr.pressure_ladder.enabled = parseBool(value);
-  } else if (key == "cache-bits") {
-    j.mgr.cache_bits = static_cast<unsigned>(std::stoul(value));
-  } else if (key == "retries") {
-    j.retry.max_attempts = static_cast<unsigned>(std::stoul(value));
-  } else if (key == "backoff") {
-    j.retry.backoff_seconds = std::stod(value);
-  } else if (key == "budget-growth") {
-    j.retry.node_budget_growth = std::stod(value);
-  } else if (key == "checkpoint-every") {
-    j.opts.checkpoint_every = static_cast<unsigned>(std::stoul(value));
-  } else if (key == "checkpoint-path") {
-    j.opts.checkpoint_path = value;
-  } else if (key == "fault-allocs") {
-    j.faults.alloc_failures = parseU64List(value);
-  } else if (key == "fault-polls") {
-    j.faults.spurious_interrupts = parseU64List(value);
-  } else {
-    throw std::invalid_argument("unknown key: " + key);
+  try {
+    if (key == "circuit") {
+      j.circuit = value;
+    } else if (key == "name") {
+      j.name = value;
+    } else if (key == "engine") {
+      j.engine = parseEngineKind(value);
+    } else if (key == "order") {
+      j.order = parseOrder(value);
+    } else if (key == "deadline") {
+      j.deadline_seconds = parseF64(value);
+    } else if (key == "seconds") {
+      j.opts.budget.max_seconds = parseF64(value);
+    } else if (key == "nodes") {
+      j.opts.budget.max_live_nodes = parseU64(value);
+    } else if (key == "max-nodes") {
+      j.mgr.max_nodes = parseU64(value);
+    } else if (key == "iters") {
+      j.opts.max_iterations = parseU32(value);
+    } else if (key == "reorder-every") {
+      j.opts.reorder.every = parseU32(value);
+    } else if (key == "auto-reorder") {
+      j.mgr.auto_reorder = parseBool(value);
+    } else if (key == "trace") {
+      j.opts.trace = parseBool(value);
+    } else if (key == "portfolio") {
+      e.portfolio = parseEngineList(value);
+    } else if (key == "ladder") {
+      j.mgr.pressure_ladder.enabled = parseBool(value);
+    } else if (key == "cache-bits") {
+      j.mgr.cache_bits = parseU32(value);
+    } else if (key == "retries") {
+      j.retry.max_attempts = parseU32(value);
+    } else if (key == "backoff") {
+      j.retry.backoff_seconds = parseF64(value);
+    } else if (key == "budget-growth") {
+      j.retry.node_budget_growth = parseF64(value);
+    } else if (key == "checkpoint-every") {
+      j.opts.checkpoint_every = parseU32(value);
+    } else if (key == "checkpoint-path") {
+      j.opts.checkpoint_path = value;
+    } else if (key == "fault-allocs") {
+      j.faults.alloc_failures = parseU64List(value);
+    } else if (key == "fault-polls") {
+      j.faults.spurious_interrupts = parseU64List(value);
+    } else {
+      throw UnknownKey{};
+    }
+  } catch (const UnknownKey&) {
+    throw std::invalid_argument("unknown key '" + key + "'");
+  } catch (const std::exception& ex) {
+    // Name the offending key alongside the value diagnostic, so a bad
+    // entry in a thousand-line sweep manifest is a one-glance fix.
+    throw std::invalid_argument("key '" + key + "': " + ex.what());
   }
 }
 

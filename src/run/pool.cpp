@@ -5,25 +5,70 @@
 // losers the instant a winner concludes.
 //
 // Fault containment: executeJob is noexcept and every attempt's Manager is
-// a stack object inside the attempt, so an interrupted or failed attempt —
-// including an allocation failure injected mid-GC by a FaultPlan — always
-// releases its manager on scope exit and the worker moves on to the next
-// queued job with nothing leaked and nothing poisoned.
+// scoped to the attempt, so an interrupted or failed attempt — including an
+// allocation failure injected mid-GC by a FaultPlan — always releases its
+// manager on scope exit and the worker moves on to the next queued job with
+// nothing leaked and nothing poisoned. With warm_managers the release goes
+// through the worker's ManagerCache instead of the destructor: a clean
+// manager is reset and kept for the next job, a dirty one is destroyed and
+// its leak counted.
+#include <algorithm>
+
 #include "run/run.hpp"
 #include "util/stats.hpp"
 
 namespace bfvr::run {
+
+std::unique_ptr<bdd::Manager> ManagerCache::acquire(
+    const bdd::Manager::Config& cfg) {
+  if (cached_ != nullptr && cached_->reconfigure(cfg)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(cached_);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  cached_.reset();
+  return std::make_unique<bdd::Manager>(0, cfg);
+}
+
+void ManagerCache::release(std::unique_ptr<bdd::Manager> m) {
+  if (m == nullptr) return;
+  if (m->resetForReuse()) {
+    cached_ = std::move(m);
+    return;
+  }
+  // The job leaked handles (or nodes): this manager cannot be reused. The
+  // terminal is manager-owned, so live - 1 is the leak the job caused.
+  resets_failed_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t live = m->liveNodeCount();
+  leaked_nodes_.fetch_add(live > 0 ? live - 1 : 0, std::memory_order_relaxed);
+}
+
+ManagerCache::Stats ManagerCache::stats() const noexcept {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.resets_failed = resets_failed_.load(std::memory_order_relaxed);
+  s.leaked_nodes = leaked_nodes_.load(std::memory_order_relaxed);
+  return s;
+}
 
 struct WorkerPool::Queued {
   JobSpec spec;
   std::shared_ptr<CancelToken> cancel;
   std::function<void(const JobResult&)> on_done;
   std::promise<JobResult> promise;
+  unsigned avoid_worker = kAnyWorker;
   Timer queued;  // starts at submit(); read when a worker picks the job up
 };
 
-WorkerPool::WorkerPool(unsigned workers) {
+WorkerPool::WorkerPool(unsigned workers, bool warm_managers) {
   const unsigned n = workers == 0 ? 1 : workers;
+  if (warm_managers) {
+    caches_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      caches_.push_back(std::make_unique<ManagerCache>());
+    }
+  }
   threads_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { workerMain(i); });
@@ -41,12 +86,15 @@ WorkerPool::~WorkerPool() {
 
 std::future<JobResult> WorkerPool::submit(
     JobSpec spec, std::shared_ptr<CancelToken> cancel,
-    std::function<void(const JobResult&)> on_done) {
+    std::function<void(const JobResult&)> on_done, unsigned avoid_worker) {
   auto q = std::make_unique<Queued>();
   q->spec = std::move(spec);
   q->cancel = std::move(cancel);
   q->on_done = std::move(on_done);
+  // A 1-worker pool has nowhere else to place the job.
+  q->avoid_worker = threads_.size() > 1 ? avoid_worker : kAnyWorker;
   std::future<JobResult> fut = q->promise.get_future();
+  const bool steered = q->avoid_worker != kAnyWorker;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
@@ -54,24 +102,53 @@ std::future<JobResult> WorkerPool::submit(
     }
     queue_.push_back(std::move(q));
   }
-  cv_.notify_one();
+  // A steered job is ineligible for one specific worker; wake everyone so
+  // an eligible worker (not necessarily the longest-waiting one) sees it.
+  if (steered) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
   return fut;
 }
 
+ManagerCache::Stats WorkerPool::warmStats() const noexcept {
+  ManagerCache::Stats total;
+  for (const auto& c : caches_) total += c->stats();
+  return total;
+}
+
 void WorkerPool::workerMain(unsigned index) {
+  ManagerCache* warm = index < caches_.size() ? caches_[index].get() : nullptr;
   for (;;) {
     std::unique_ptr<Queued> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      const auto eligible = [this, index] {
+        return std::any_of(queue_.begin(), queue_.end(),
+                           [index](const std::unique_ptr<Queued>& q) {
+                             return q->avoid_worker != index;
+                           });
+      };
+      cv_.wait(lock, [&] { return shutdown_ || eligible(); });
       // Drain-on-shutdown: pending jobs still run (their tokens can be
       // cancelled for a fast exit); exit only once the queue is empty.
+      // During the drain, placement steering yields to liveness: any
+      // worker — the avoided one included — may take a leftover job.
       if (queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      auto it = std::find_if(queue_.begin(), queue_.end(),
+                             [index](const std::unique_ptr<Queued>& q) {
+                               return q->avoid_worker != index;
+                             });
+      if (it == queue_.end()) {
+        if (!shutdown_) continue;  // spurious wake; someone else will run it
+        it = queue_.begin();
+      }
+      job = std::move(*it);
+      queue_.erase(it);
     }
     const double waited = job->queued.seconds();
-    JobResult r = executeJob(job->spec, job->cancel.get());
+    JobResult r = executeJob(job->spec, job->cancel.get(), warm);
     r.queue_seconds = waited;
     r.worker = index;
     if (job->on_done) {

@@ -98,6 +98,50 @@ struct RetryPolicy {
   bool resume_from_checkpoint = true;
 };
 
+/// Per-worker cache of one live bdd::Manager reused across jobs
+/// (reset-not-destroy): release() resets the finished job's manager back
+/// to the pristine zero-variable state — keeping the node store and
+/// computed-cache allocations warm — and acquire() reconfigures it for the
+/// next job's config. A job on a reused manager is bit-identical to one on
+/// a fresh manager (Manager::resetForReuse clears every counter, threshold
+/// and the variable order), so warm reuse is purely a cold-start saving.
+/// A manager whose job leaked live handles fails the reset and is
+/// destroyed instead, with the leak counted — the serving layer's
+/// node-accounting line items. Not thread-safe: each worker owns its own
+/// cache; the stats counters alone are safe to read cross-thread.
+class ManagerCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;    ///< jobs served a reused warm manager
+    std::uint64_t misses = 0;  ///< jobs that had to build a fresh manager
+    std::uint64_t resets_failed = 0;  ///< managers destroyed: reset failed
+    std::uint64_t leaked_nodes = 0;   ///< live nodes found at failed resets
+
+    Stats& operator+=(const Stats& o) noexcept {
+      hits += o.hits;
+      misses += o.misses;
+      resets_failed += o.resets_failed;
+      leaked_nodes += o.leaked_nodes;
+      return *this;
+    }
+  };
+
+  /// A warm manager reconfigured for `cfg` when one is cached, else a
+  /// fresh Manager(0, cfg).
+  std::unique_ptr<bdd::Manager> acquire(const bdd::Manager::Config& cfg);
+  /// Try to reset `m` for reuse; destroy it (counting the leak) otherwise.
+  void release(std::unique_ptr<bdd::Manager> m);
+
+  Stats stats() const noexcept;
+
+ private:
+  std::unique_ptr<bdd::Manager> cached_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> resets_failed_{0};
+  std::atomic<std::uint64_t> leaked_nodes_{0};
+};
+
 /// Everything needed to run one reachability job on a fresh manager.
 struct JobSpec {
   /// Report key; defaults to "<circuit>/<engine>" when empty.
@@ -125,6 +169,13 @@ struct JobSpec {
   /// fires on attempt 1 fires identically on attempt 2 unless the
   /// escalation changed the allocation sequence.
   bdd::FaultPlan faults;
+  /// In-memory checkpoint image (io::encode bytes) to resume from on the
+  /// FIRST attempt — the serving layer's eviction/migration unit, letting a
+  /// job suspended on one worker continue on another without touching the
+  /// filesystem. Shared so requeued copies don't duplicate the snapshot.
+  /// A corrupt or mismatched image falls back to a fresh run: the fixpoint
+  /// is the same either way, only the recomputation differs.
+  std::shared_ptr<const std::vector<std::uint8_t>> resume_image;
 
   std::string displayName() const;
 };
@@ -178,19 +229,26 @@ struct JobResult {
 /// Throws std::invalid_argument / std::runtime_error on a bad spec.
 circuit::Netlist resolveCircuit(const std::string& spec);
 
-/// Run one job to completion on the calling thread: fresh manager, deadline
-/// + cancellation wired to the interrupt hook, engine dispatched by kind,
-/// NodeBudgetExceeded / Interrupted / any setup exception folded into the
-/// result status. Never throws.
-JobResult executeJob(const JobSpec& spec,
-                     const CancelToken* cancel = nullptr) noexcept;
+/// Run one job to completion on the calling thread: per-attempt manager
+/// (fresh, or reused from `warm` when given), deadline + cancellation wired
+/// to the interrupt hook, engine dispatched by kind, NodeBudgetExceeded /
+/// Interrupted / any setup exception folded into the result status. Never
+/// throws.
+JobResult executeJob(const JobSpec& spec, const CancelToken* cancel = nullptr,
+                     ManagerCache* warm = nullptr) noexcept;
 
 /// Fixed-size worker pool executing JobSpecs FIFO. Each worker thread runs
-/// executeJob — one manager alive per worker at a time, never shared.
+/// executeJob — one manager alive per worker at a time, never shared. With
+/// `warm_managers`, each worker keeps its manager alive between jobs
+/// through a ManagerCache (reset-not-destroy), the serving layer's
+/// cold-start saving.
 class WorkerPool {
  public:
+  /// Submit `avoid_worker` wildcard: any worker may run the job.
+  static constexpr unsigned kAnyWorker = ~0u;
+
   /// `workers` is clamped to at least 1.
-  explicit WorkerPool(unsigned workers);
+  explicit WorkerPool(unsigned workers, bool warm_managers = false);
   /// Drains the queue (pending jobs still run; cancel them through their
   /// tokens for a fast exit) and joins the workers.
   ~WorkerPool();
@@ -204,16 +262,28 @@ class WorkerPool {
   /// Enqueue a job. `cancel` (optional) is polled by the job's manager;
   /// `on_done` (optional) fires on the worker thread right before the
   /// future is fulfilled — the portfolio uses it to cancel the siblings of
-  /// the first winner with no controller round-trip.
+  /// the first winner with no controller round-trip. `avoid_worker` steers
+  /// the job away from one worker index — the migration half of
+  /// eviction-via-checkpoint: a resumed job lands on a different worker
+  /// than the one it was suspended on. Ignored on a 1-worker pool, and
+  /// during shutdown-drain any worker may take the job (liveness over
+  /// placement).
   std::future<JobResult> submit(
       JobSpec spec, std::shared_ptr<CancelToken> cancel = nullptr,
-      std::function<void(const JobResult&)> on_done = {});
+      std::function<void(const JobResult&)> on_done = {},
+      unsigned avoid_worker = kAnyWorker);
+
+  /// Aggregated warm-manager stats across the workers (all zero when the
+  /// pool was built without warm_managers). Counter reads are safe at any
+  /// time; they are exact once the pool is idle.
+  ManagerCache::Stats warmStats() const noexcept;
 
  private:
   struct Queued;
   void workerMain(unsigned index);
 
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<ManagerCache>> caches_;  // empty unless warm
   std::deque<std::unique_ptr<Queued>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;

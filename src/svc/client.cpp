@@ -1,0 +1,112 @@
+#include "svc/client.hpp"
+
+namespace bfvr::svc {
+
+Client::Client(const std::string& endpoint_spec, const std::string& tenant)
+    : fd_(connectTo(Endpoint::parse(endpoint_spec))) {
+  Hello hello;
+  hello.tenant = tenant;
+  sendFrame(fd_, hello.encode());
+  std::optional<Frame> reply = recvFrame(fd_);
+  if (!reply.has_value()) {
+    throw Error("client: server closed the connection during handshake");
+  }
+  if (reply->type == FrameType::kError) {
+    throw Error("client: handshake rejected: " +
+                WireError::decode(*reply).message);
+  }
+  const HelloAck ack = HelloAck::decode(*reply);
+  session_ = ack.session;
+  server_ = ack.server;
+}
+
+std::uint64_t Client::submit(const std::string& manifest_line) {
+  Submit s;
+  s.tag = next_tag_++;
+  s.line = manifest_line;
+  sendFrame(fd_, s.encode());
+  return s.tag;
+}
+
+void Client::cancel(std::uint64_t job) {
+  Cancel c;
+  c.job = job;
+  sendFrame(fd_, c.encode());
+}
+
+void Client::evict(std::uint64_t job) {
+  Evict e;
+  e.job = job;
+  sendFrame(fd_, e.encode());
+}
+
+void Client::queryStats() { sendFrame(fd_, StatsQuery{}.encode()); }
+
+void Client::shutdownServer(bool drain) {
+  Shutdown s;
+  s.drain = drain;
+  sendFrame(fd_, s.encode());
+}
+
+void Client::bye() { sendFrame(fd_, Bye{}.encode()); }
+
+std::optional<Event> Client::next() {
+  std::optional<Frame> f = recvFrame(fd_);
+  if (!f.has_value()) return std::nullopt;
+  switch (f->type) {
+    case FrameType::kAccepted:
+      return Event(Accepted::decode(*f));
+    case FrameType::kRejected:
+      return Event(Rejected::decode(*f));
+    case FrameType::kJobStarted:
+      return Event(JobStarted::decode(*f));
+    case FrameType::kIteration:
+      return Event(IterationUpdate::decode(*f));
+    case FrameType::kJobEvicted:
+      return Event(JobEvicted::decode(*f));
+    case FrameType::kJobDone:
+      return Event(JobDone::decode(*f));
+    case FrameType::kStatsReply:
+      return Event(StatsReply::decode(*f));
+    case FrameType::kError:
+      return Event(WireError::decode(*f));
+    default:
+      throw Error(std::string("client: unexpected ") + to_string(f->type) +
+                  " frame from server");
+  }
+}
+
+std::optional<std::uint64_t> Client::awaitAdmission(std::uint64_t tag,
+                                                    std::string* reason) {
+  for (;;) {
+    std::optional<Event> ev = next();
+    if (!ev.has_value()) {
+      throw Error("client: connection closed awaiting admission");
+    }
+    if (const auto* acc = std::get_if<Accepted>(&*ev);
+        acc != nullptr && acc->tag == tag) {
+      return acc->job;
+    }
+    if (const auto* rej = std::get_if<Rejected>(&*ev);
+        rej != nullptr && rej->tag == tag) {
+      if (reason != nullptr) *reason = rej->reason;
+      return std::nullopt;
+    }
+  }
+}
+
+JobDone Client::awaitDone(std::uint64_t job) {
+  for (;;) {
+    std::optional<Event> ev = next();
+    if (!ev.has_value()) {
+      throw Error("client: connection closed awaiting job " +
+                  std::to_string(job));
+    }
+    if (const auto* done = std::get_if<JobDone>(&*ev);
+        done != nullptr && done->job == job) {
+      return *done;
+    }
+  }
+}
+
+}  // namespace bfvr::svc

@@ -1,0 +1,62 @@
+// Synchronous client of the reachability service: one connection, one
+// tenant, blocking sends and a typed event stream for everything the
+// server pushes back. The bfv_client CLI and the service tests are both
+// built on this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+
+namespace bfvr::svc {
+
+/// One server-pushed event, as a tagged union over the protocol's
+/// server->client messages.
+using Event = std::variant<Accepted, Rejected, JobStarted, IterationUpdate,
+                           JobEvicted, JobDone, StatsReply, WireError>;
+
+class Client {
+ public:
+  /// Connect and perform the hello handshake. Throws svc::Error when the
+  /// endpoint is unreachable or the server rejects the handshake.
+  Client(const std::string& endpoint_spec, const std::string& tenant);
+
+  std::uint64_t session() const noexcept { return session_; }
+  const std::string& serverName() const noexcept { return server_; }
+
+  /// Submit one job (manifest-line grammar). Returns the client-side tag
+  /// echoed by the matching Accepted/Rejected event.
+  std::uint64_t submit(const std::string& manifest_line);
+  void cancel(std::uint64_t job);
+  void evict(std::uint64_t job);
+  void queryStats();
+  void shutdownServer(bool drain = true);
+  /// Orderly goodbye; the connection is unusable afterwards.
+  void bye();
+
+  /// Block for the next server event. nullopt on orderly connection close;
+  /// throws svc::Error on a broken or corrupted stream.
+  std::optional<Event> next();
+
+  /// Convenience: pump events until the Accepted/Rejected for `tag`
+  /// arrives; intervening events are discarded. Returns the job id, or
+  /// nullopt (with the reason in *reject_reason) when rejected.
+  std::optional<std::uint64_t> awaitAdmission(
+      std::uint64_t tag, std::string* reject_reason = nullptr);
+
+  /// Convenience: pump events until JobDone for `job`; other jobs' events
+  /// are discarded. Throws svc::Error if the stream ends first.
+  JobDone awaitDone(std::uint64_t job);
+
+ private:
+  Fd fd_;
+  std::uint64_t session_ = 0;
+  std::uint64_t next_tag_ = 1;
+  std::string server_;
+};
+
+}  // namespace bfvr::svc

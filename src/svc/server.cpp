@@ -1,0 +1,490 @@
+#include "svc/server.hpp"
+
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "run/manifest.hpp"
+#include "svc/protocol.hpp"
+
+namespace bfvr::svc {
+
+namespace {
+
+/// Read a spool checkpoint file whole. Empty on any failure: an eviction
+/// that raced ahead of the first snapshot simply restarts from scratch.
+std::shared_ptr<const std::vector<std::uint8_t>> slurpSpool(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.empty()) return nullptr;
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+}  // namespace
+
+Server::Server(const Options& opts)
+    : opts_(opts),
+      endpoint_(Endpoint::parse(opts.endpoint)),
+      listener_(listenOn(endpoint_)),
+      pool_(opts.workers, opts.warm_managers),
+      queue_(opts.tenants) {
+  for (const TenantConfig& t : opts.tenants) {
+    obs::SvcTenantStats s;
+    s.name = t.name;
+    s.weight = t.weight;
+    tenant_stats_.push_back(std::move(s));
+  }
+}
+
+Server::~Server() {
+  requestShutdown(false);
+  waitStopped();
+}
+
+void Server::start() {
+  accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void Server::requestShutdown(bool drain) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_requested_) return;
+    shutdown_requested_ = true;
+    shutdown_drain_ = drain;
+    draining_ = true;
+    if (!drain) {
+      // Immediate: cancel every running job and drop the queue. Dropped
+      // jobs' owners get no JobDone — their sessions are about to close.
+      for (auto& [id, r] : running_) r.cancel->cancel();
+      for (QueuedJob& dropped : queue_.dropAll()) {
+        statsFor(dropped.tenant).cancelled += 1;
+      }
+    } else {
+      pump();  // capped tenants may have runnable work and idle workers
+    }
+  }
+  cv_.notify_all();
+}
+
+void Server::waitStopped() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) return;
+    cv_.wait(lock, [this] { return shutdown_requested_; });
+    // Drain: wait until nothing is queued and no worker is busy.
+    cv_.wait(lock, [this] {
+      return outstanding_ == 0 && queue_.queuedCount() == 0;
+    });
+    if (!opts_.report_path.empty()) {
+      const std::string json = buildReportLocked();
+      std::ofstream out(opts_.report_path);
+      if (out) {
+        out << json << "\n";
+        std::printf("wrote %s\n", opts_.report_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", opts_.report_path.c_str());
+      }
+    }
+    stopped_ = true;
+    // Wake the accept thread out of accept(2) and every session reader out
+    // of recv(2).
+    ::shutdown(listener_.get(), SHUT_RDWR);
+    for (auto& [id, s] : sessions_) {
+      s->alive.store(false, std::memory_order_relaxed);
+      ::shutdown(s->fd.get(), SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread spawns session threads; with it joined the vector is
+  // final.
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(session_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  listener_.close();
+  if (endpoint_.is_unix) std::remove(endpoint_.path.c_str());
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    Fd conn = acceptOn(listener_);
+    if (!conn.valid()) return;  // listener shut down: orderly exit
+    auto s = std::make_shared<Session>();
+    s->fd = std::move(conn);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      s->id = next_session_++;
+      sessions_accepted_ += 1;
+      sessions_[s->id] = s;
+      session_threads_.emplace_back([this, s] { sessionLoop(s); });
+    }
+  }
+}
+
+void Server::sessionLoop(std::shared_ptr<Session> s) {
+  // First frame must be Hello; everything else on this connection is a
+  // protocol error reported back (best-effort) before closing.
+  try {
+    std::optional<Frame> first = recvFrame(s->fd);
+    if (!first.has_value()) throw Error("session: closed before hello");
+    const Hello hello = Hello::decode(*first);
+    if (hello.proto != kWireVersion) {
+      throw Error("session: client protocol version " +
+                  std::to_string(hello.proto) + " (server speaks " +
+                  std::to_string(kWireVersion) + ")");
+    }
+    if (hello.tenant.empty()) throw Error("session: empty tenant name");
+    s->tenant = hello.tenant;
+    HelloAck ack;
+    ack.session = s->id;
+    ack.server = opts_.name;
+    sendTo(s, ack.encode());
+    while (s->alive.load(std::memory_order_relaxed)) {
+      std::optional<Frame> f = recvFrame(s->fd);
+      if (!f.has_value()) break;  // orderly close without Bye: fine
+      if (!handleFrame(s, *f)) break;
+    }
+  } catch (const Error& e) {
+    // Malformed traffic (bad magic/CRC/truncation) or version skew: tell
+    // the client why, if the pipe still works, then drop the session. The
+    // server itself never goes down with a session.
+    WireError err;
+    err.message = e.what();
+    sendTo(s, err.encode());
+  }
+  // Session teardown: orphan its queued jobs and cancel its running ones —
+  // results with no one to read them are wasted worker time.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s->alive.store(false, std::memory_order_relaxed);
+    for (QueuedJob& dropped : queue_.dropSession(s->id)) {
+      statsFor(dropped.tenant).cancelled += 1;
+    }
+    for (auto& [id, r] : running_) {
+      if (r.job.session == s->id) r.cancel->cancel();
+    }
+    sessions_.erase(s->id);
+    pump();  // dropping queued jobs may unblock a tenant's queue cap
+  }
+  cv_.notify_all();
+}
+
+bool Server::handleFrame(const std::shared_ptr<Session>& s, const Frame& f) {
+  switch (f.type) {
+    case FrameType::kSubmit:
+      handleSubmit(s, f);
+      return true;
+    case FrameType::kCancel: {
+      const Cancel c = Cancel::decode(f);
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (auto it = running_.find(c.job); it != running_.end()) {
+        it->second.cancel->cancel();
+      } else if (std::optional<QueuedJob> dropped = queue_.dropJob(c.job);
+                 dropped.has_value()) {
+        statsFor(dropped->tenant).cancelled += 1;
+        JobDone done;
+        done.job = dropped->id;
+        done.status = to_string(RunStatus::kCancelled);
+        done.message = "cancelled while queued";
+        done.evictions = dropped->evictions;
+        sendTo(s, done.encode());
+        pump();
+      }
+      return true;
+    }
+    case FrameType::kEvict: {
+      const Evict e = Evict::decode(f);
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (auto it = running_.find(e.job); it != running_.end()) {
+        it->second.evict_requested->store(true, std::memory_order_relaxed);
+        it->second.cancel->cancel();
+      }
+      return true;
+    }
+    case FrameType::kStats: {
+      StatsReply reply;
+      reply.json = statsJson();
+      sendTo(s, reply.encode());
+      return true;
+    }
+    case FrameType::kShutdown: {
+      const Shutdown sd = Shutdown::decode(f);
+      requestShutdown(sd.drain);
+      return true;
+    }
+    case FrameType::kBye:
+      return false;
+    default:
+      throw Error(std::string("session: unexpected ") + to_string(f.type) +
+                  " frame");
+  }
+}
+
+void Server::handleSubmit(const std::shared_ptr<Session>& s, const Frame& f) {
+  const Submit sub = Submit::decode(f);
+  Rejected rej;
+  rej.tag = sub.tag;
+  QueuedJob job;
+  try {
+    // One submission = one manifest line; portfolio entries are a batch
+    // feature and not accepted over the wire.
+    std::vector<run::ManifestEntry> entries =
+        run::parseManifestString(sub.line);
+    if (entries.size() != 1) {
+      throw std::invalid_argument("expected exactly one job line");
+    }
+    if (!entries[0].portfolio.empty()) {
+      throw std::invalid_argument("portfolio= is not accepted over the wire");
+    }
+    job.spec = std::move(entries[0].spec);
+  } catch (const std::exception& e) {
+    rej.reason = e.what();
+    const std::lock_guard<std::mutex> lock(mu_);
+    statsFor(s->tenant).submitted += 1;
+    statsFor(s->tenant).rejected += 1;
+    sendTo(s, rej.encode());
+    return;
+  }
+  job.session = s->id;
+  job.tenant = s->tenant;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    obs::SvcTenantStats& ts = statsFor(s->tenant);
+    ts.submitted += 1;
+    if (draining_) {
+      ts.rejected += 1;
+      rej.reason = "server is draining";
+      sendTo(s, rej.encode());
+      return;
+    }
+    job.id = next_job_++;
+    // Make the job evictable: wire up the spool checkpoint unless the
+    // submission already checkpoints somewhere of its own.
+    if (job.spec.opts.checkpoint_path.empty() && opts_.checkpoint_every > 0) {
+      job.spec.opts.checkpoint_every = opts_.checkpoint_every;
+      job.spec.opts.checkpoint_path = spoolPathFor(job.id);
+    }
+    const std::uint64_t id = job.id;
+    if (std::optional<std::string> reason = queue_.admit(std::move(job));
+        reason.has_value()) {
+      ts.rejected += 1;
+      rej.reason = *reason;
+      sendTo(s, rej.encode());
+      return;
+    }
+    Accepted acc;
+    acc.tag = sub.tag;
+    acc.job = id;
+    sendTo(s, acc.encode());
+    pump();
+  }
+}
+
+void Server::pump() {
+  while (outstanding_ < pool_.workers()) {
+    std::optional<QueuedJob> picked = queue_.pick();
+    if (!picked.has_value()) return;
+    const std::uint64_t id = picked->id;
+    Running r;
+    r.job = std::move(*picked);
+    r.cancel = std::make_shared<run::CancelToken>();
+    r.evict_requested = std::make_shared<std::atomic<bool>>(false);
+    run::JobSpec spec = r.job.spec;  // the Running keeps the pristine copy
+    const unsigned avoid = r.job.avoid_worker;
+    const bool resumed = spec.resume_image != nullptr;
+    // Stream iteration records to the owning session. The hook runs on the
+    // worker thread; it takes only the session write mutex (inner to mu_),
+    // and swallows everything — a dead client must not disturb the engine.
+    if (opts_.stream_iterations) {
+      const std::uint64_t session_id = r.job.session;
+      spec.opts.on_iteration = [this, id,
+                                session_id](const obs::IterationRecord& it) {
+        // Worker thread: take mu_ only to look the session up (lock order
+        // mu_ -> write_mu, same as everywhere else), send outside it.
+        std::shared_ptr<Session> owner;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          owner = sessionById(session_id);
+        }
+        if (owner == nullptr) return;
+        IterationUpdate u;
+        u.job = id;
+        u.iteration = it.iteration;
+        u.frontier_nodes = it.frontier_nodes;
+        u.live_nodes = it.live_nodes;
+        u.peak_nodes = it.peak_nodes;
+        u.frontier_states = it.frontier_states;
+        sendTo(owner, u.encode());
+      };
+    }
+    const std::uint64_t session_id = r.job.session;
+    outstanding_ += 1;
+    dispatches_ += 1;
+    auto cancel = r.cancel;
+    running_[id] = std::move(r);
+    pool_.submit(
+        std::move(spec), cancel,
+        [this, id](const run::JobResult& res) { onJobDone(id, res); }, avoid);
+    if (std::shared_ptr<Session> owner = sessionById(session_id);
+        owner != nullptr) {
+      JobStarted started;
+      started.job = id;
+      started.resumed = resumed;
+      sendTo(owner, started.encode());
+    }
+  }
+}
+
+void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
+  // Runs on the worker thread, right before the job's future is fulfilled.
+  std::shared_ptr<Session> owner;
+  Frame out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = running_.find(id);
+    if (it == running_.end()) return;  // cannot happen; defensive
+    Running rec = std::move(it->second);
+    running_.erase(it);
+    queue_.release(rec.job.tenant);
+    outstanding_ -= 1;
+    owner = sessionById(rec.job.session);
+    const bool evicting =
+        rec.evict_requested->load(std::memory_order_relaxed) &&
+        r.status == RunStatus::kCancelled && !draining_;
+    if (evicting) {
+      // Lift the latest spool snapshot into memory and requeue at the
+      // front, steered away from the worker that ran the job. No snapshot
+      // yet (evicted before the first checkpoint) still migrates — the
+      // resume just starts from scratch.
+      QueuedJob again = std::move(rec.job);
+      again.spec.resume_image = slurpSpool(again.spec.opts.checkpoint_path);
+      again.avoid_worker = r.worker;
+      again.evictions += 1;
+      statsFor(again.tenant).evictions += 1;
+      if (again.spec.resume_image != nullptr) {
+        statsFor(again.tenant).resumes += 1;
+      }
+      JobEvicted ev;
+      ev.job = id;
+      ev.iteration = r.reach.iterations;
+      ev.worker = r.worker;
+      out = ev.encode();
+      queue_.requeueFront(std::move(again));
+    } else {
+      obs::SvcTenantStats& ts = statsFor(rec.job.tenant);
+      switch (r.status) {
+        case RunStatus::kDone:
+          ts.done += 1;
+          break;
+        case RunStatus::kTimeOut:
+          ts.timeout += 1;
+          break;
+        case RunStatus::kMemOut:
+          ts.memout += 1;
+          break;
+        case RunStatus::kCancelled:
+          ts.cancelled += 1;
+          break;
+        case RunStatus::kError:
+          ts.error += 1;
+          break;
+      }
+      ts.queue_seconds += r.queue_seconds;
+      ts.exec_seconds += r.seconds;
+      // The job is finished for good: its spool snapshot is garbage now.
+      if (!rec.job.spec.opts.checkpoint_path.empty() &&
+          rec.job.spec.opts.checkpoint_path.rfind(opts_.spool_dir, 0) == 0) {
+        std::remove(rec.job.spec.opts.checkpoint_path.c_str());
+      }
+      JobDone done;
+      done.job = id;
+      done.status = to_string(r.status);
+      done.message = r.message;
+      done.seconds = r.seconds;
+      done.queue_seconds = r.queue_seconds;
+      done.worker = r.worker;
+      done.iterations = r.reach.iterations;
+      done.states = r.reach.states;
+      done.peak_live_nodes = r.reach.peak_live_nodes;
+      done.attempts = static_cast<std::uint32_t>(r.attempts.size());
+      done.evictions = rec.job.evictions;
+      done.resumed = rec.job.spec.resume_image != nullptr ||
+                     (!r.attempts.empty() && r.attempts.back().resumed);
+      out = done.encode();
+    }
+    if (owner != nullptr) sendTo(owner, out);
+    pump();
+  }
+  cv_.notify_all();
+}
+
+void Server::sendTo(const std::shared_ptr<Session>& s, const Frame& f) {
+  const std::lock_guard<std::mutex> lock(s->write_mu);
+  if (!s->alive.load(std::memory_order_relaxed)) return;
+  try {
+    sendFrame(s->fd, f);
+  } catch (const Error&) {
+    // Peer is gone; its reader thread will notice and tear the session
+    // down. Until then, drop further frames silently.
+    s->alive.store(false, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<Server::Session> Server::sessionById(std::uint64_t id) {
+  // Callers either hold mu_ already or race benignly with teardown (the
+  // shared_ptr keeps the session alive; `alive` gates actual sends).
+  auto it = sessions_.find(id);
+  return it != sessions_.end() ? it->second : nullptr;
+}
+
+obs::SvcTenantStats& Server::statsFor(const std::string& tenant) {
+  for (obs::SvcTenantStats& t : tenant_stats_) {
+    if (t.name == tenant) return t;
+  }
+  obs::SvcTenantStats s;
+  s.name = tenant;
+  if (const TenantConfig* cfg = queue_.tenantConfig(tenant)) {
+    s.weight = cfg->weight;
+  }
+  tenant_stats_.push_back(std::move(s));
+  return tenant_stats_.back();
+}
+
+std::string Server::spoolPathFor(std::uint64_t job_id) const {
+  return opts_.spool_dir + "/svc_job_" + std::to_string(job_id) + ".ckpt";
+}
+
+std::string Server::buildReportLocked() const {
+  const run::ManagerCache::Stats warm = pool_.warmStats();
+  obs::SvcServerStats server;
+  server.name = opts_.name;
+  server.endpoint = endpoint_.describe();
+  server.workers = pool_.workers();
+  server.seconds = uptime_.seconds();
+  server.sessions = sessions_accepted_;
+  server.dispatches = dispatches_;
+  server.warm_hits = warm.hits;
+  server.warm_misses = warm.misses;
+  server.resets_failed = warm.resets_failed;
+  server.leaked_nodes = warm.leaked_nodes;
+  return obs::svcReportJson(server, tenant_stats_);
+}
+
+std::string Server::statsJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return buildReportLocked();
+}
+
+std::vector<std::string> Server::dispatchLog() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.dispatchLog();
+}
+
+}  // namespace bfvr::svc

@@ -1,0 +1,156 @@
+// The multi-tenant reachability server: accepts framed-protocol sessions
+// on a Unix-domain or TCP endpoint, runs submitted jobs on a warm
+// run::WorkerPool, and streams progress back to the owning session.
+//
+// Scheduling: submissions pass admission control (per-tenant budget clamps
+// and queue caps) into the FairQueue; the server dispatches to the pool
+// only when a worker slot is free — at most `workers` jobs are ever
+// outstanding in the pool, so the pool's FIFO never reorders the fair
+// queue's smooth-WRR schedule.
+//
+// Eviction/migration: every admitted job checkpoints to a per-job spool
+// file; an Evict request cancels the running job cooperatively, and its
+// completion handler lifts the latest snapshot into an in-memory resume
+// image, requeues the job at the front of its tenant's line steered AWAY
+// from the worker it ran on, and announces JobEvicted. The resumed run is
+// bit-identical to an uninterrupted one (io checkpoint contract).
+//
+// Locking: mu_ guards all scheduling state; each session's write mutex is
+// strictly inner to mu_ (frames may be sent while holding mu_, but mu_ is
+// never taken while holding a write mutex).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "run/run.hpp"
+#include "svc/queue.hpp"
+#include "svc/socket.hpp"
+#include "util/stats.hpp"
+
+namespace bfvr::svc {
+
+class Server {
+ public:
+  struct Options {
+    /// "unix:/path/to.sock" or "tcp:host:port".
+    std::string endpoint = "unix:bfv_serve.sock";
+    unsigned workers = 4;
+    /// Reuse each worker's manager across jobs (reset-not-destroy).
+    bool warm_managers = true;
+    /// Tenant policies; unknown tenants get a default (weight-1) config.
+    std::vector<TenantConfig> tenants;
+    /// Directory for per-job eviction spool checkpoints.
+    std::string spool_dir = ".";
+    /// Checkpoint cadence imposed on jobs that do not set their own
+    /// (iterations between snapshots; 0 = only jobs that opt in are
+    /// evictable-with-resume).
+    unsigned checkpoint_every = 1;
+    /// Stream per-iteration updates to the owning session. Costs a
+    /// live-node census per iteration (same as tracing).
+    bool stream_iterations = true;
+    /// Write the SVC_<name>.json report here at shutdown ("" = skip).
+    std::string report_path;
+    /// Server tag in HelloAck and the report.
+    std::string name = "bfv_serve";
+  };
+
+  /// Binds and listens on the endpoint (throws svc::Error on failure); the
+  /// socket is accepting by the time the constructor returns.
+  explicit Server(const Options& opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Start the accept loop (non-blocking).
+  void start();
+  /// Ask the server to stop: drain (finish queued + running jobs) or
+  /// immediate (cancel everything). Also triggered by a Shutdown frame.
+  void requestShutdown(bool drain);
+  /// Block until fully stopped: queue drained, workers idle, sessions
+  /// closed, report written.
+  void waitStopped();
+  /// start() + waitStopped().
+  void run() {
+    start();
+    waitStopped();
+  }
+
+  /// The server metrics report (obs::svcReportJson), valid at any time.
+  std::string statsJson() const;
+  /// Tenant name per dispatch, in dispatch order (fairness evidence).
+  std::vector<std::string> dispatchLog() const;
+  /// Aggregated warm-manager stats from the pool.
+  run::ManagerCache::Stats warmStats() const noexcept {
+    return pool_.warmStats();
+  }
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    std::string tenant;
+    Fd fd;
+    std::mutex write_mu;
+    std::atomic<bool> alive{true};
+  };
+
+  /// A job the pool is currently executing.
+  struct Running {
+    QueuedJob job;  ///< full queued record, for requeue-after-eviction
+    std::shared_ptr<run::CancelToken> cancel;
+    std::shared_ptr<std::atomic<bool>> evict_requested;
+    unsigned worker_hint = 0;  ///< filled by JobResult on completion
+  };
+
+  void acceptLoop();
+  void sessionLoop(std::shared_ptr<Session> s);
+  /// Handle one client frame; returns false when the session should end.
+  bool handleFrame(const std::shared_ptr<Session>& s, const Frame& f);
+  void handleSubmit(const std::shared_ptr<Session>& s, const Frame& f);
+  /// Dispatch queued jobs while worker slots are free. Caller holds mu_.
+  void pump();
+  /// Worker-thread completion handler for job `id`.
+  void onJobDone(std::uint64_t id, const run::JobResult& r);
+  /// Send a frame to a session, marking it dead on failure. Safe to call
+  /// with or without mu_ held (takes only the session's write mutex).
+  void sendTo(const std::shared_ptr<Session>& s, const Frame& f);
+  std::shared_ptr<Session> sessionById(std::uint64_t id);
+  obs::SvcTenantStats& statsFor(const std::string& tenant);
+  std::string spoolPathFor(std::uint64_t job_id) const;
+  std::string buildReportLocked() const;
+
+  Options opts_;
+  Endpoint endpoint_;
+  Fd listener_;
+  run::WorkerPool pool_;
+  Timer uptime_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  FairQueue queue_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::map<std::uint64_t, Running> running_;
+  std::uint64_t next_session_ = 1;
+  std::uint64_t next_job_ = 1;
+  unsigned outstanding_ = 0;  ///< jobs handed to the pool, not yet done
+  bool draining_ = false;     ///< reject new submissions
+  bool shutdown_requested_ = false;
+  bool shutdown_drain_ = true;
+  bool stopped_ = false;
+  std::uint64_t sessions_accepted_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::vector<obs::SvcTenantStats> tenant_stats_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> session_threads_;
+};
+
+}  // namespace bfvr::svc

@@ -1,0 +1,229 @@
+#include "svc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace bfvr::svc {
+
+namespace {
+
+std::string errnoText(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// A peer that disappears mid-write raises SIGPIPE by default, which would
+/// kill the whole server for one dead client. MSG_NOSIGNAL covers send();
+/// this covers any straggler paths.
+void ignoreSigpipeOnce() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+/// Write all of `n` bytes, retrying EINTR and short writes.
+void writeAll(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t k = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      throw Error(errnoText("wire: send failed"));
+    }
+    p += static_cast<std::size_t>(k);
+    n -= static_cast<std::size_t>(k);
+  }
+}
+
+/// Read exactly `n` bytes. Returns false on EOF *before the first byte*
+/// (clean close); throws on EOF after a partial read (truncated frame).
+bool readAll(int fd, std::uint8_t* p, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::recv(fd, p + got, n - got, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      throw Error(errnoText("wire: recv failed"));
+    }
+    if (k == 0) {
+      if (got == 0) return false;
+      throw Error("wire: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+void Fd::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.is_unix = true;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) throw Error("endpoint: empty unix socket path");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.is_unix = false;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw Error("endpoint: expected tcp:host:port, got '" + spec + "'");
+    }
+    ep.host = rest.substr(0, colon);
+    const std::string port_s = rest.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(port_s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+      throw Error("endpoint: bad port '" + port_s + "'");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  throw Error("endpoint: expected unix:PATH or tcp:HOST:PORT, got '" + spec +
+              "'");
+}
+
+std::string Endpoint::describe() const {
+  return is_unix ? "unix:" + path : "tcp:" + host + ":" + std::to_string(port);
+}
+
+Fd listenOn(const Endpoint& ep, int backlog) {
+  ignoreSigpipeOnce();
+  if (ep.is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof(addr.sun_path)) {
+      throw Error("endpoint: unix socket path too long: " + ep.path);
+    }
+    std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw Error(errnoText("socket(AF_UNIX)"));
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw Error(errnoText("bind " + ep.describe()));
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      throw Error(errnoText("listen " + ep.describe()));
+    }
+    return fd;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port_s = std::to_string(ep.port);
+  if (::getaddrinfo(ep.host.empty() ? nullptr : ep.host.c_str(),
+                    port_s.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    throw Error("endpoint: cannot resolve " + ep.describe());
+  }
+  Fd fd(::socket(res->ai_family, res->ai_socktype, res->ai_protocol));
+  if (!fd.valid()) {
+    ::freeaddrinfo(res);
+    throw Error(errnoText("socket(tcp)"));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const int ok = ::bind(fd.get(), res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (ok != 0) throw Error(errnoText("bind " + ep.describe()));
+  if (::listen(fd.get(), backlog) != 0) {
+    throw Error(errnoText("listen " + ep.describe()));
+  }
+  return fd;
+}
+
+Fd acceptOn(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL: the listener was closed or shut down under us — the
+    // server's orderly exit path, not an error.
+    return Fd();
+  }
+}
+
+Fd connectTo(const Endpoint& ep) {
+  ignoreSigpipeOnce();
+  if (ep.is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof(addr.sun_path)) {
+      throw Error("endpoint: unix socket path too long: " + ep.path);
+    }
+    std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw Error(errnoText("socket(AF_UNIX)"));
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      throw Error(errnoText("connect " + ep.describe()));
+    }
+    return fd;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_s = std::to_string(ep.port);
+  if (::getaddrinfo(ep.host.c_str(), port_s.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    throw Error("endpoint: cannot resolve " + ep.describe());
+  }
+  Error last("connect " + ep.describe() + ": no addresses");
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) continue;
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last = Error(errnoText("connect " + ep.describe()));
+  }
+  ::freeaddrinfo(res);
+  throw last;
+}
+
+void sendFrame(const Fd& fd, const Frame& f) {
+  const std::vector<std::uint8_t> bytes = encodeFrame(f);
+  writeAll(fd.get(), bytes.data(), bytes.size());
+}
+
+std::optional<Frame> recvFrame(const Fd& fd) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!readAll(fd.get(), header, sizeof(header))) return std::nullopt;
+  Frame f;
+  std::uint32_t crc = 0;
+  const std::uint32_t len = decodeFrameHeader(header, &f.type, &crc);
+  f.payload.resize(len);
+  if (len > 0 && !readAll(fd.get(), f.payload.data(), len)) {
+    throw Error("wire: connection closed mid-frame");
+  }
+  checkPayloadCrc(f.payload.data(), f.payload.size(), crc);
+  return f;
+}
+
+}  // namespace bfvr::svc

@@ -1,0 +1,72 @@
+// Thin POSIX socket layer for the service: RAII fds, Unix-domain and TCP
+// endpoints behind one "unix:PATH" / "tcp:HOST:PORT" spec grammar, and
+// blocking whole-frame send/recv with EINTR retry. Everything network is
+// quarantined here; server.cpp and client.cpp only see Frames.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "svc/wire.hpp"
+
+namespace bfvr::svc {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Parsed endpoint spec: "unix:/path/to.sock" or "tcp:host:port".
+struct Endpoint {
+  bool is_unix = true;
+  std::string path;  ///< socket path (unix)
+  std::string host;  ///< host (tcp)
+  std::uint16_t port = 0;
+
+  /// Throws svc::Error on an unrecognized spec.
+  static Endpoint parse(const std::string& spec);
+  std::string describe() const;
+};
+
+/// Bind + listen on the endpoint (unlinking a stale unix socket path
+/// first). Throws svc::Error on failure.
+Fd listenOn(const Endpoint& ep, int backlog = 64);
+
+/// Accept one connection; returns an invalid Fd when the listener was
+/// closed/shut down (the server's exit signal) instead of throwing.
+Fd acceptOn(const Fd& listener);
+
+/// Connect to the endpoint. Throws svc::Error on failure.
+Fd connectTo(const Endpoint& ep);
+
+/// Write one whole frame (header + payload), retrying short writes and
+/// EINTR. Throws svc::Error if the peer is gone.
+void sendFrame(const Fd& fd, const Frame& f);
+
+/// Read one whole frame. Returns nullopt on a clean EOF at a frame
+/// boundary (orderly close); throws svc::Error on EOF mid-frame, bad
+/// magic/version/length, or CRC mismatch.
+std::optional<Frame> recvFrame(const Fd& fd);
+
+}  // namespace bfvr::svc

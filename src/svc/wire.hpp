@@ -1,0 +1,196 @@
+// Framed binary wire protocol of the reachability service (bfv_serve /
+// bfv_client): compact, self-described, length-prefixed frames with the
+// same versioned-magic + CRC discipline as the src/io checkpoint format.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset size  field
+//   0      4     magic "BFVS"
+//   4      1     protocol version (kWireVersion)
+//   5      1     frame type (FrameType)
+//   6      2     reserved, must be 0
+//   8      4     payload byte count (<= kMaxFramePayload)
+//   12     4     CRC-32 (IEEE 802.3) of the payload bytes
+//   16     ...   payload
+//
+// Every malformed input — bad magic, unknown version, oversized length
+// prefix, CRC mismatch, truncated payload, short read mid-frame — is a
+// svc::Error, never undefined behaviour and never a crash: the reader is a
+// bounds-checked cursor exactly like the checkpoint loader's. Frame
+// payloads are typed per FrameType (see protocol.hpp); a frame is
+// self-described by its (version, type) pair plus the explicit field
+// encodings, so either end can skip or reject frames it does not know.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bfvr::svc {
+
+/// Thrown on any protocol failure: malformed frame, CRC mismatch, version
+/// skew, oversized payload, short read/write, or a broken connection.
+struct Error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard ceiling on one frame's payload: large enough for any checkpoint
+/// image the shipped workloads produce, small enough that a corrupted (or
+/// hostile) length prefix cannot drive an allocation bomb.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Frame types. Client->server frames are marked (c), server->client (s);
+/// a few flow both ways.
+enum class FrameType : std::uint8_t {
+  kHello = 1,        ///< (c) tenant name + protocol version
+  kHelloAck = 2,     ///< (s) session id + server tag
+  kSubmit = 3,       ///< (c) one manifest-format job line
+  kAccepted = 4,     ///< (s) job admitted: client tag -> server job id
+  kRejected = 5,     ///< (s) job refused by admission control
+  kJobStarted = 6,   ///< (s) job dispatched to a worker
+  kIteration = 7,    ///< (s) one live frontier-iteration record
+  kJobEvicted = 8,   ///< (s) job suspended via checkpoint, requeued
+  kJobDone = 9,      ///< (s) final result of a job
+  kCancel = 10,      ///< (c) cancel a queued or running job
+  kEvict = 11,       ///< (c) suspend a running job to its checkpoint
+  kStats = 12,       ///< (c) request the server metrics report
+  kStatsReply = 13,  ///< (s) the report, as one JSON document
+  kShutdown = 14,    ///< (c) stop the server (drain or immediate)
+  kBye = 15,         ///< (c/s) orderly end of session
+  kError = 16,       ///< (s) protocol-level error report
+};
+
+/// One decoded frame: type plus raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---------------------------------------------------------------------------
+// Payload codec: little-endian, bounds-checked — the same discipline as the
+// checkpoint (de)serializer, with svc::Error as the failure mode.
+// ---------------------------------------------------------------------------
+
+/// Append-only payload builder.
+struct Writer {
+  std::vector<std::uint8_t> buf;
+
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  /// Length-prefixed (u32) byte string.
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf.insert(buf.end(), b.begin(), b.end());
+  }
+};
+
+/// Bounds-checked payload cursor; every malformed-input path is a
+/// svc::Error.
+struct Reader {
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  std::size_t pos = 0;
+
+  explicit Reader(const std::vector<std::uint8_t>& b)
+      : p(b.data()), n(b.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size) : p(data), n(size) {}
+
+  void need(std::size_t k) const {
+    if (n - pos < k) throw Error("wire: truncated payload");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return p[pos++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= std::uint16_t{p[pos++]} << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[pos++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[pos++]} << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(p + pos), len);
+    pos += len;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::vector<std::uint8_t> b(p + pos, p + pos + len);
+    pos += len;
+    return b;
+  }
+  /// A payload must be consumed exactly; trailing bytes mean the two ends
+  /// disagree about the message layout.
+  void done() const {
+    if (pos != n) throw Error("wire: trailing bytes in payload");
+  }
+};
+
+/// Serialize a frame: header (magic, version, type, length, CRC) + payload.
+/// Throws svc::Error when the payload exceeds kMaxFramePayload.
+std::vector<std::uint8_t> encodeFrame(const Frame& f);
+
+/// Parse and validate the 16-byte frame header. Returns the payload length
+/// and writes the type/expected CRC through the out-params. Throws
+/// svc::Error on bad magic, version skew, nonzero reserved bits or an
+/// oversized length prefix.
+std::uint32_t decodeFrameHeader(const std::uint8_t header[kFrameHeaderBytes],
+                                FrameType* type, std::uint32_t* crc);
+
+/// Verify a received payload against the header's CRC. Throws svc::Error
+/// on mismatch.
+void checkPayloadCrc(const std::uint8_t* payload, std::size_t n,
+                     std::uint32_t want);
+
+const char* to_string(FrameType t) noexcept;
+
+}  // namespace bfvr::svc

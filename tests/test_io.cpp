@@ -5,6 +5,7 @@
 // states / iterations / status on every shipped .bench circuit and engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -89,6 +90,42 @@ TEST(CheckpointFile, RoundTripsAcrossManagers) {
   }
   EXPECT_EQ(b.nodeCount(d.reached[0]), a.nodeCount(c.reached[0]));
   std::remove(path.c_str());
+}
+
+TEST(CheckpointMemory, EncodeBytesAreExactlyTheFileBytes) {
+  // encode() is the wire/migration twin of save(): byte-identical output,
+  // and decode() restores the same checkpoint without touching the
+  // filesystem.
+  const std::string path = tmpPath("encode_twin.bin");
+  Manager a(4);
+  const Checkpoint c = sampleCheckpoint(a);
+  const std::vector<std::uint8_t> image = encode(c);
+  save(path, c);
+  const std::vector<char> file = slurp(path);
+  ASSERT_EQ(image.size(), file.size());
+  EXPECT_TRUE(std::equal(image.begin(), image.end(),
+                         reinterpret_cast<const std::uint8_t*>(file.data())));
+
+  Manager b(4);
+  const Checkpoint d = decode(image.data(), image.size(), b);
+  EXPECT_EQ(d.engine, c.engine);
+  EXPECT_EQ(d.iteration, c.iteration);
+  ASSERT_EQ(d.reached.size(), 1U);
+  EXPECT_EQ(b.nodeCount(d.reached[0]), a.nodeCount(c.reached[0]));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointMemory, DecodeRejectsACorruptedImage) {
+  Manager a(4);
+  std::vector<std::uint8_t> image = encode(sampleCheckpoint(a));
+  image[image.size() / 2] ^= 0x01;  // one payload bit
+  Manager b(4);
+  EXPECT_THROW(decode(image.data(), image.size(), b), Error);
+  // Truncation is rejected too, at any cut point.
+  const std::vector<std::uint8_t> ok = encode(sampleCheckpoint(a));
+  Manager c2(4);
+  EXPECT_THROW(decode(ok.data(), ok.size() - 1, c2), Error);
+  EXPECT_THROW(decode(ok.data(), 10, c2), Error);
 }
 
 TEST(CheckpointFile, RestoresTheRecordedVariableOrder) {

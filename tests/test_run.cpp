@@ -6,8 +6,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <future>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "run/manifest.hpp"
 #include "run/run.hpp"
@@ -324,6 +329,34 @@ TEST(RunManifest, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(RunManifest, ErrorsNameTheOffendingKey) {
+  // A bad value must point at the key AND the line, so a 500-line manifest
+  // (or a service Rejected frame) is debuggable from the message alone.
+  try {
+    parseManifestString("circuit=a.bench\ncircuit=b.bench nodes=abc\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("key 'nodes'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'abc'"), std::string::npos) << msg;
+  }
+  try {
+    parseManifestString("circuit=a.bench deadline=fast\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("key 'deadline'"), std::string::npos) << msg;
+  }
+  try {
+    parseManifestString("circuit=a.bench frobnicate=1\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown key 'frobnicate'"), std::string::npos) << msg;
+  }
+}
+
 TEST(RunManifest, ParsesShippedSmokeManifest) {
   const std::vector<ManifestEntry> entries =
       parseManifestFile(BFVR_DATA_DIR "/ci_smoke.manifest");
@@ -484,6 +517,131 @@ TEST(RunManifest, ParsesRobustnessKeys) {
                std::runtime_error);
   EXPECT_THROW(parseManifestString("circuit=a.bench ladder=2\n"),
                std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Warm manager reuse, in-memory resume images and worker steering — the
+// serving layer's building blocks.
+// ---------------------------------------------------------------------------
+
+TEST(RunWarm, CacheReusesAManagerAndStaysBitIdentical) {
+  JobSpec spec;
+  spec.circuit = "gen:counter:6:40";
+  spec.engine = EngineKind::kBfv;
+  const JobResult cold = executeJob(spec);
+  ASSERT_EQ(cold.status, RunStatus::kDone);
+
+  ManagerCache cache;
+  const JobResult first = executeJob(spec, nullptr, &cache);
+  const JobResult second = executeJob(spec, nullptr, &cache);
+  EXPECT_EQ(cache.stats().misses, 1U);  // only the first build was cold
+  EXPECT_EQ(cache.stats().hits, 1U);
+  EXPECT_EQ(cache.stats().resets_failed, 0U);
+  EXPECT_EQ(cache.stats().leaked_nodes, 0U);
+  // Warm reuse is purely a cold-start saving: results are bit-identical.
+  for (const JobResult* r : {&first, &second}) {
+    EXPECT_EQ(r->status, RunStatus::kDone);
+    EXPECT_EQ(r->reach.states, cold.reach.states);
+    EXPECT_EQ(r->reach.iterations, cold.reach.iterations);
+    EXPECT_EQ(r->reach.peak_live_nodes, cold.reach.peak_live_nodes);
+  }
+}
+
+TEST(RunWarm, CacheReconfiguresBetweenDifferentJobs) {
+  ManagerCache cache;
+  JobSpec a;
+  a.circuit = "gen:counter:5:20";
+  JobSpec b;
+  b.circuit = "gen:johnson:8";  // different variable count entirely
+  const JobResult ra = executeJob(a, nullptr, &cache);
+  const JobResult rb = executeJob(b, nullptr, &cache);
+  EXPECT_EQ(ra.status, RunStatus::kDone);
+  EXPECT_EQ(rb.status, RunStatus::kDone);
+  EXPECT_EQ(cache.stats().hits, 1U);
+  const JobResult fresh = executeJob(b);
+  EXPECT_EQ(rb.reach.states, fresh.reach.states);
+  EXPECT_EQ(rb.reach.iterations, fresh.reach.iterations);
+}
+
+TEST(RunResume, InMemoryImageContinuesBitIdentically) {
+  // Run to completion once for the reference, then snapshot an interrupted
+  // run into an in-memory image (no filesystem) and resume from it.
+  JobSpec ref;
+  ref.circuit = "gen:counter:8:200";
+  const JobResult full = executeJob(ref);
+  ASSERT_EQ(full.status, RunStatus::kDone);
+
+  const std::string ckpt =
+      ::testing::TempDir() + "bfvr_run_image_test.ckpt";
+  JobSpec half = ref;
+  half.opts.checkpoint_path = ckpt;
+  half.opts.checkpoint_every = 1;
+  half.opts.max_iterations = 50;  // stop mid-fixpoint (still kDone)
+  const JobResult cut = executeJob(half);
+  ASSERT_EQ(cut.status, RunStatus::kDone);
+  ASSERT_LT(cut.reach.states, full.reach.states);
+
+  // Lift the snapshot into memory, delete the file, resume purely from the
+  // image — the migration path a checkpoint file never travels.
+  std::ifstream in(ckpt, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  auto image = std::make_shared<std::vector<std::uint8_t>>(
+      std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(ckpt.c_str());
+  ASSERT_FALSE(image->empty());
+
+  JobSpec resumed = ref;
+  resumed.resume_image = image;
+  const JobResult r = executeJob(resumed);
+  EXPECT_EQ(r.status, RunStatus::kDone);
+  EXPECT_EQ(r.reach.states, full.reach.states);
+  EXPECT_EQ(r.reach.iterations, full.reach.iterations);
+  ASSERT_FALSE(r.attempts.empty());
+  EXPECT_TRUE(r.attempts.front().resumed);
+}
+
+TEST(RunResume, CorruptImageFallsBackToAFreshRun) {
+  JobSpec spec;
+  spec.circuit = "gen:counter:5:20";
+  auto junk = std::make_shared<std::vector<std::uint8_t>>(64, 0x5A);
+  spec.resume_image = junk;
+  const JobResult r = executeJob(spec);
+  // The fixpoint is the same either way; only the recomputation differs.
+  EXPECT_EQ(r.status, RunStatus::kDone);
+  EXPECT_EQ(r.reach.states, 20.0);
+  ASSERT_FALSE(r.attempts.empty());
+  EXPECT_FALSE(r.attempts.front().resumed);
+}
+
+TEST(RunPool, AvoidWorkerSteersPlacement) {
+  WorkerPool pool(2);
+  JobSpec spec;
+  spec.circuit = "gen:counter:4:10";
+  // Every job steered away from worker 0 must land on worker 1, no matter
+  // how the two workers race for the queue.
+  std::vector<std::future<JobResult>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit(spec, nullptr, {}, /*avoid_worker=*/0));
+  }
+  for (auto& f : futs) {
+    const JobResult r = f.get();
+    EXPECT_EQ(r.status, RunStatus::kDone);
+    EXPECT_EQ(r.worker, 1U);
+  }
+}
+
+TEST(RunPool, WarmPoolCountsHitsAcrossJobs) {
+  WorkerPool pool(1, /*warm_managers=*/true);
+  JobSpec spec;
+  spec.circuit = "gen:counter:4:10";
+  pool.submit(spec).get();
+  pool.submit(spec).get();
+  pool.submit(spec).get();
+  const ManagerCache::Stats s = pool.warmStats();
+  EXPECT_EQ(s.misses, 1U);
+  EXPECT_EQ(s.hits, 2U);
+  EXPECT_EQ(s.leaked_nodes, 0U);
 }
 
 TEST(RunEngineKind, RoundTripsAllTags) {

@@ -1,0 +1,225 @@
+// Admission control and the smooth-WRR fair queue (src/svc/queue): exact
+// dispatch interleaving for weighted tenants, concurrency gating, budget
+// clamps, queue caps, requeue-after-eviction ordering, and the tenants
+// policy-file grammar.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "svc/queue.hpp"
+#include "svc/wire.hpp"
+
+namespace bfvr::svc {
+namespace {
+
+QueuedJob job(const std::string& tenant, std::uint64_t id,
+              std::uint64_t session = 1) {
+  QueuedJob j;
+  j.id = id;
+  j.session = session;
+  j.tenant = tenant;
+  j.spec.circuit = "gen:counter:3:4";
+  return j;
+}
+
+std::vector<TenantConfig> threeTenants() {
+  return parseTenantsString("alpha:3\nbravo:2\ncarol:1\n");
+}
+
+TEST(SvcQueue, SmoothWrrExactSchedule) {
+  // Weights 3/2/1 with everyone backlogged: the smooth variant spreads the
+  // heavy tenant's picks out — A B A C B A per 6-cycle, not AAA BB C.
+  // (Credits: each pick every contender gains its weight, the richest wins
+  // and pays back the total; ties break by registration order.)
+  FairQueue q(threeTenants());
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    ASSERT_FALSE(q.admit(job("alpha", 100 + i)).has_value());
+    ASSERT_FALSE(q.admit(job("bravo", 200 + i)).has_value());
+    ASSERT_FALSE(q.admit(job("carol", 300 + i)).has_value());
+  }
+  std::vector<std::string> order;
+  for (int i = 0; i < 12; ++i) {
+    std::optional<QueuedJob> j = q.pick();
+    ASSERT_TRUE(j.has_value());
+    order.push_back(j->tenant);
+    q.release(j->tenant);  // pretend it finished immediately
+  }
+  const std::vector<std::string> expect = {
+      "alpha", "bravo", "alpha", "carol", "bravo", "alpha",
+      "alpha", "bravo", "alpha", "carol", "bravo", "alpha"};
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(q.dispatchLog(), expect);
+}
+
+TEST(SvcQueue, WrrSharesConvergeToWeights) {
+  FairQueue q(threeTenants());
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    ASSERT_FALSE(q.admit(job("alpha", 1000 + i)).has_value());
+    ASSERT_FALSE(q.admit(job("bravo", 2000 + i)).has_value());
+    ASSERT_FALSE(q.admit(job("carol", 3000 + i)).has_value());
+  }
+  int a = 0, b = 0, c = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::optional<QueuedJob> j = q.pick();
+    ASSERT_TRUE(j.has_value());
+    if (j->tenant == "alpha") ++a;
+    if (j->tenant == "bravo") ++b;
+    if (j->tenant == "carol") ++c;
+    q.release(j->tenant);
+  }
+  EXPECT_EQ(a, 30);
+  EXPECT_EQ(b, 20);
+  EXPECT_EQ(c, 10);
+}
+
+TEST(SvcQueue, PerTenantOrderIsFifo) {
+  FairQueue q(parseTenantsString("solo:1"));
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_FALSE(q.admit(job("solo", id)).has_value());
+  }
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    std::optional<QueuedJob> j = q.pick();
+    ASSERT_TRUE(j.has_value());
+    EXPECT_EQ(j->id, id);
+    q.release("solo");
+  }
+}
+
+TEST(SvcQueue, MaxRunningGatesDispatch) {
+  FairQueue q(parseTenantsString("alpha:3:1\nbravo:1\n"));  // alpha capped at 1
+  ASSERT_FALSE(q.admit(job("alpha", 1)).has_value());
+  ASSERT_FALSE(q.admit(job("alpha", 2)).has_value());
+  ASSERT_FALSE(q.admit(job("bravo", 3)).has_value());
+  // First pick: alpha (weight 3) wins and hits its cap.
+  std::optional<QueuedJob> first = q.pick();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tenant, "alpha");
+  // With alpha at max_running, only bravo contends.
+  std::optional<QueuedJob> second = q.pick();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tenant, "bravo");
+  // Nothing else is runnable: alpha is capped, bravo's queue is empty.
+  EXPECT_FALSE(q.pick().has_value());
+  // Releasing alpha's slot frees its second job.
+  q.release("alpha");
+  std::optional<QueuedJob> third = q.pick();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->id, 2u);
+}
+
+TEST(SvcQueue, MaxQueuedRejects) {
+  FairQueue q(parseTenantsString("tiny:1:0:2"));
+  EXPECT_FALSE(q.admit(job("tiny", 1)).has_value());
+  EXPECT_FALSE(q.admit(job("tiny", 2)).has_value());
+  const std::optional<std::string> reason = q.admit(job("tiny", 3));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("queue is full"), std::string::npos);
+  EXPECT_EQ(q.queuedCount(), 2u);
+}
+
+TEST(SvcQueue, AdmissionClampsBudgetsNeverRaises) {
+  FairQueue q(parseTenantsString("capped:1:0:0:5000:2.5"));
+  // Job asks for more than the ceiling: clamped down.
+  QueuedJob big = job("capped", 1);
+  big.spec.opts.budget.max_live_nodes = 1000000;
+  big.spec.mgr.max_nodes = 1000000;
+  big.spec.deadline_seconds = 100.0;
+  ASSERT_FALSE(q.admit(std::move(big)).has_value());
+  std::optional<QueuedJob> got = q.pick();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->spec.opts.budget.max_live_nodes, 5000u);
+  EXPECT_EQ(got->spec.mgr.max_nodes, 5000u);
+  EXPECT_DOUBLE_EQ(got->spec.deadline_seconds, 2.5);
+  q.release("capped");
+  // Job asks for less: keeps its own tighter numbers.
+  QueuedJob small = job("capped", 2);
+  small.spec.opts.budget.max_live_nodes = 100;
+  small.spec.deadline_seconds = 1.0;
+  ASSERT_FALSE(q.admit(std::move(small)).has_value());
+  got = q.pick();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->spec.opts.budget.max_live_nodes, 100u);
+  EXPECT_DOUBLE_EQ(got->spec.deadline_seconds, 1.0);
+  // Job with no budget of its own: the ceiling becomes the budget.
+  q.release("capped");
+  ASSERT_FALSE(q.admit(job("capped", 3)).has_value());
+  got = q.pick();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->spec.opts.budget.max_live_nodes, 5000u);
+  EXPECT_DOUBLE_EQ(got->spec.deadline_seconds, 2.5);
+}
+
+TEST(SvcQueue, RequeueFrontJumpsTheLine) {
+  FairQueue q(parseTenantsString("solo:1"));
+  ASSERT_FALSE(q.admit(job("solo", 1)).has_value());
+  ASSERT_FALSE(q.admit(job("solo", 2)).has_value());
+  QueuedJob evicted = job("solo", 99);
+  evicted.evictions = 1;
+  q.requeueFront(std::move(evicted));
+  std::optional<QueuedJob> next = q.pick();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->id, 99u);  // the evicted job resumes before queued work
+}
+
+TEST(SvcQueue, DropSessionAndDropJob) {
+  FairQueue q(threeTenants());
+  ASSERT_FALSE(q.admit(job("alpha", 1, 7)).has_value());
+  ASSERT_FALSE(q.admit(job("alpha", 2, 8)).has_value());
+  ASSERT_FALSE(q.admit(job("bravo", 3, 7)).has_value());
+  const std::vector<QueuedJob> dropped = q.dropSession(7);
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(q.queuedCount(), 1u);
+  std::optional<QueuedJob> one = q.dropJob(2);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->id, 2u);
+  EXPECT_FALSE(q.dropJob(999).has_value());
+}
+
+TEST(SvcQueue, UnknownTenantAutoRegisters) {
+  FairQueue q;
+  ASSERT_FALSE(q.admit(job("walk-in", 1)).has_value());
+  std::optional<QueuedJob> j = q.pick();
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->tenant, "walk-in");
+  const TenantConfig* cfg = q.tenantConfig("walk-in");
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_EQ(cfg->weight, 1u);
+}
+
+TEST(SvcQueue, TenantsFileGrammar) {
+  const std::vector<TenantConfig> ts = parseTenantsString(
+      "# comment\n"
+      "alpha:3:4:16:2000000:60\n"
+      "\n"
+      "bravo:2\n"
+      "  carol:1:0:8  # trailing comment\n");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0].name, "alpha");
+  EXPECT_EQ(ts[0].weight, 3u);
+  EXPECT_EQ(ts[0].max_running, 4u);
+  EXPECT_EQ(ts[0].max_queued, 16u);
+  EXPECT_EQ(ts[0].max_nodes, 2000000u);
+  EXPECT_DOUBLE_EQ(ts[0].max_seconds, 60.0);
+  EXPECT_EQ(ts[1].name, "bravo");
+  EXPECT_EQ(ts[1].max_running, 0u);
+  EXPECT_EQ(ts[2].name, "carol");
+  EXPECT_EQ(ts[2].max_queued, 8u);
+}
+
+TEST(SvcQueue, TenantsFileErrorsNameTheLine) {
+  try {
+    parseTenantsString("alpha:3\nbravo:zero\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+    EXPECT_NE(msg.find("weight"), std::string::npos);
+  }
+  EXPECT_THROW(parseTenantsString("x:0"), Error);       // zero weight
+  EXPECT_THROW(parseTenantsString(":3"), Error);        // empty name
+  EXPECT_THROW(parseTenantsString("a:1:2:3:4:5:6"), Error);  // extra field
+}
+
+}  // namespace
+}  // namespace bfvr::svc

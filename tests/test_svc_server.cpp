@@ -1,0 +1,331 @@
+// End-to-end service tests (src/svc/server + client) over a real
+// Unix-domain socket: handshake, submission and completion, admission
+// rejections that name the offending manifest key, queued-job cancellation,
+// eviction-via-checkpoint with bit-identical resume on a different worker,
+// protocol abuse (garbage bytes, abrupt disconnects) leaving the server
+// healthy, stats, and clean shutdown with zero leaked nodes.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "run/run.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace bfvr::svc {
+namespace {
+
+/// Unique-per-process socket path, short enough for sun_path.
+std::string sockPath(const char* tag) {
+  return "/tmp/bfvr_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+Server::Options baseOptions(const std::string& sock) {
+  Server::Options o;
+  o.endpoint = "unix:" + sock;
+  o.workers = 2;
+  o.warm_managers = true;
+  o.tenants = parseTenantsString("alpha:3\nbravo:2\ncarol:1\n");
+  o.spool_dir = "/tmp";
+  o.checkpoint_every = 1;
+  o.name = "svc-test";
+  return o;
+}
+
+TEST(SvcServer, HandshakeSubmitAndComplete) {
+  const std::string sock = sockPath("basic");
+  Server server(baseOptions(sock));
+  server.start();
+  {
+    Client client("unix:" + sock, "alpha");
+    EXPECT_EQ(client.serverName(), "svc-test");
+    EXPECT_GT(client.session(), 0u);
+    const std::uint64_t tag =
+        client.submit("circuit=gen:counter:4:10 engine=bfv");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    const JobDone done = client.awaitDone(*job);
+    EXPECT_EQ(done.status, "done");
+    EXPECT_DOUBLE_EQ(done.states, 10.0);  // mod-10 counter: 10 states
+    EXPECT_GT(done.iterations, 0u);
+    client.bye();
+  }
+  server.requestShutdown(true);
+  server.waitStopped();
+  EXPECT_EQ(server.warmStats().leaked_nodes, 0u);
+  EXPECT_EQ(server.warmStats().resets_failed, 0u);
+}
+
+TEST(SvcServer, IterationUpdatesStream) {
+  const std::string sock = sockPath("stream");
+  Server server(baseOptions(sock));
+  server.start();
+  {
+    Client client("unix:" + sock, "alpha");
+    const std::uint64_t tag = client.submit("circuit=gen:counter:6:40");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    unsigned updates = 0;
+    std::uint64_t last_iteration = 0;
+    for (;;) {
+      std::optional<Event> ev = client.next();
+      ASSERT_TRUE(ev.has_value());
+      if (const auto* u = std::get_if<IterationUpdate>(&*ev)) {
+        EXPECT_EQ(u->job, *job);
+        EXPECT_GT(u->iteration, last_iteration);
+        last_iteration = u->iteration;
+        ++updates;
+      } else if (const auto* d = std::get_if<JobDone>(&*ev)) {
+        EXPECT_EQ(d->status, "done");
+        break;
+      }
+    }
+    // A mod-40 counter takes 40 frontier iterations; every one streams.
+    EXPECT_GE(updates, 40u);
+    client.bye();
+  }
+  server.requestShutdown(true);
+  server.waitStopped();
+}
+
+TEST(SvcServer, RejectionsNameTheOffendingKey) {
+  const std::string sock = sockPath("reject");
+  Server server(baseOptions(sock));
+  server.start();
+  {
+    Client client("unix:" + sock, "alpha");
+    std::string reason;
+    // Bad value: the reject must name the key and the bad value.
+    std::uint64_t tag = client.submit("circuit=gen:counter:4:10 nodes=abc");
+    EXPECT_FALSE(client.awaitAdmission(tag, &reason).has_value());
+    EXPECT_NE(reason.find("key 'nodes'"), std::string::npos);
+    EXPECT_NE(reason.find("'abc'"), std::string::npos);
+    // Unknown key.
+    tag = client.submit("circuit=gen:counter:4:10 frobnicate=1");
+    EXPECT_FALSE(client.awaitAdmission(tag, &reason).has_value());
+    EXPECT_NE(reason.find("unknown key 'frobnicate'"), std::string::npos);
+    // Not a job line at all.
+    tag = client.submit("this is not key=value");
+    EXPECT_FALSE(client.awaitAdmission(tag, &reason).has_value());
+    // The session survives rejections: a good job still runs.
+    tag = client.submit("circuit=gen:counter:3:4");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(client.awaitDone(*job).status, "done");
+    client.bye();
+  }
+  server.requestShutdown(true);
+  server.waitStopped();
+}
+
+TEST(SvcServer, CancelQueuedJob) {
+  const std::string sock = sockPath("cancel");
+  Server::Options opts = baseOptions(sock);
+  opts.workers = 1;  // one worker: the second submission must queue
+  opts.stream_iterations = false;
+  Server server(opts);
+  server.start();
+  {
+    Client client("unix:" + sock, "alpha");
+    // Plug the single worker with a job far too big to finish before the
+    // cancels below land.
+    const std::uint64_t plug_tag =
+        client.submit("circuit=gen:counter:20:1000000 deadline=10");
+    std::optional<std::uint64_t> plug = client.awaitAdmission(plug_tag);
+    ASSERT_TRUE(plug.has_value());
+    const std::uint64_t tag = client.submit("circuit=gen:counter:4:10");
+    std::optional<std::uint64_t> queued = client.awaitAdmission(tag);
+    ASSERT_TRUE(queued.has_value());
+    client.cancel(*queued);
+    const JobDone done = client.awaitDone(*queued);
+    EXPECT_EQ(done.status, "cancelled");
+    EXPECT_NE(done.message.find("queued"), std::string::npos);
+    client.cancel(*plug);  // running-job cancel: via the interrupt hook
+    EXPECT_EQ(client.awaitDone(*plug).status, "cancelled");
+    client.bye();
+  }
+  server.requestShutdown(true);
+  server.waitStopped();
+}
+
+TEST(SvcServer, EvictionMigratesAndResumesBitIdentical) {
+  // Reference: the same job uninterrupted. Big enough (4000 frontier
+  // iterations) that the evict below always lands mid-run.
+  run::JobSpec ref;
+  ref.circuit = "gen:counter:12:4000";
+  const run::JobResult ref_result = run::executeJob(ref);
+  ASSERT_EQ(ref_result.status, RunStatus::kDone);
+
+  const std::string sock = sockPath("evict");
+  Server server(baseOptions(sock));  // 2 workers: migration has a target
+  server.start();
+  {
+    Client client("unix:" + sock, "alpha");
+    const std::uint64_t tag = client.submit("circuit=gen:counter:12:4000");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    bool evict_sent = false, evicted_seen = false;
+    std::uint32_t evicted_from = 0;
+    JobDone done;
+    for (;;) {
+      std::optional<Event> ev = client.next();
+      ASSERT_TRUE(ev.has_value());
+      if (const auto* u = std::get_if<IterationUpdate>(&*ev)) {
+        // Evict once the first spool snapshot surely exists
+        // (checkpoint_every=1, so any iteration >= 2 works).
+        if (!evict_sent && u->iteration >= 5) {
+          client.evict(*job);
+          evict_sent = true;
+        }
+      } else if (const auto* e = std::get_if<JobEvicted>(&*ev)) {
+        evicted_seen = true;
+        evicted_from = e->worker;
+        EXPECT_GE(e->iteration, 5u);
+      } else if (const auto* d = std::get_if<JobDone>(&*ev)) {
+        done = *d;
+        break;
+      }
+    }
+    ASSERT_TRUE(evict_sent) << "job finished before the evict could land";
+    ASSERT_TRUE(evicted_seen);
+    EXPECT_TRUE(done.resumed);
+    EXPECT_EQ(done.evictions, 1u);
+    // Migration: the resume ran on the other worker.
+    EXPECT_NE(done.worker, evicted_from);
+    // Bit-identical continuation: same fixpoint, same iteration count.
+    EXPECT_EQ(done.status, "done");
+    EXPECT_DOUBLE_EQ(done.states, ref_result.reach.states);
+    EXPECT_EQ(done.iterations, ref_result.reach.iterations);
+    client.bye();
+  }
+  server.requestShutdown(true);
+  server.waitStopped();
+  EXPECT_EQ(server.warmStats().leaked_nodes, 0u);
+}
+
+TEST(SvcServer, GarbageBytesGetWireErrorNotACrash) {
+  const std::string sock = sockPath("garbage");
+  Server server(baseOptions(sock));
+  server.start();
+  {
+    // A raw connection spewing junk: the server must answer with a kError
+    // frame (best-effort) and close only that session.
+    Fd raw = connectTo(Endpoint::parse("unix:" + sock));
+    std::vector<std::uint8_t> junk(128, 0x5A);
+    ASSERT_EQ(::send(raw.get(), junk.data(), junk.size(), 0),
+              static_cast<ssize_t>(junk.size()));
+    std::optional<Frame> reply = recvFrame(raw);
+    if (reply.has_value()) {  // reply can race the close; EOF is also fine
+      EXPECT_EQ(reply->type, FrameType::kError);
+    }
+  }
+  {
+    // An abrupt mid-frame disconnect: header promises more than arrives.
+    Fd raw = connectTo(Endpoint::parse("unix:" + sock));
+    Submit s;
+    s.tag = 1;
+    s.line = "circuit=gen:counter:4:10";
+    const std::vector<std::uint8_t> bytes = encodeFrame(s.encode());
+    ASSERT_GT(bytes.size(), 10u);
+    ASSERT_EQ(::send(raw.get(), bytes.data(), 10, 0), 10);
+    raw.close();
+  }
+  // The server is still fully functional for a well-behaved client.
+  {
+    Client client("unix:" + sock, "bravo");
+    const std::uint64_t tag = client.submit("circuit=gen:counter:3:4");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(client.awaitDone(*job).status, "done");
+    client.bye();
+  }
+  server.requestShutdown(true);
+  server.waitStopped();
+  EXPECT_EQ(server.warmStats().leaked_nodes, 0u);
+}
+
+TEST(SvcServer, DisconnectMidJobCancelsAndServerSurvives) {
+  const std::string sock = sockPath("discon");
+  Server server(baseOptions(sock));
+  server.start();
+  {
+    Client client("unix:" + sock, "alpha");
+    const std::uint64_t tag =
+        client.submit("circuit=gen:counter:20:1000000 deadline=10");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    // Drop the connection with the job still running — no Bye, no Cancel.
+  }
+  // The orphaned job is cancelled server-side; a new client gets service
+  // immediately (both workers free once the cancel lands).
+  {
+    Client client("unix:" + sock, "bravo");
+    const std::uint64_t tag = client.submit("circuit=gen:counter:4:10");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(client.awaitDone(*job).status, "done");
+    client.bye();
+  }
+  server.requestShutdown(true);
+  server.waitStopped();
+  EXPECT_EQ(server.warmStats().leaked_nodes, 0u);
+}
+
+TEST(SvcServer, StatsReportOverTheWire) {
+  const std::string sock = sockPath("stats");
+  Server server(baseOptions(sock));
+  server.start();
+  {
+    Client client("unix:" + sock, "carol");
+    const std::uint64_t tag = client.submit("circuit=gen:counter:3:4");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    (void)client.awaitDone(*job);
+    client.queryStats();
+    for (;;) {
+      std::optional<Event> ev = client.next();
+      ASSERT_TRUE(ev.has_value());
+      if (const auto* reply = std::get_if<StatsReply>(&*ev)) {
+        EXPECT_NE(reply->json.find("\"jobs_done\": 1"), std::string::npos);
+        EXPECT_NE(reply->json.find("\"server\": \"svc-test\""),
+                  std::string::npos);
+        EXPECT_NE(reply->json.find("\"tenant\": \"carol\""),
+                  std::string::npos);
+        break;
+      }
+    }
+    client.bye();
+  }
+  server.requestShutdown(true);
+  server.waitStopped();
+}
+
+TEST(SvcServer, ShutdownViaProtocolDrains) {
+  const std::string sock = sockPath("shut");
+  Server server(baseOptions(sock));
+  server.start();
+  std::uint64_t job_id = 0;
+  {
+    Client client("unix:" + sock, "alpha");
+    const std::uint64_t tag = client.submit("circuit=gen:counter:5:20");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    job_id = *job;
+    client.shutdownServer(true);  // drain: the in-flight job still finishes
+    EXPECT_EQ(client.awaitDone(job_id).status, "done");
+    client.bye();
+  }
+  server.waitStopped();
+  EXPECT_EQ(server.warmStats().leaked_nodes, 0u);
+  EXPECT_EQ(server.warmStats().resets_failed, 0u);
+}
+
+}  // namespace
+}  // namespace bfvr::svc
