@@ -13,7 +13,8 @@
 //   --window N        max submissions awaiting admission at once
 //                     (default 8; bounds client-side memory, exercises the
 //                     server's fair queue rather than its accept path)
-//   --stats           fetch and print the server metrics JSON
+//   --stats           fetch and print the live server snapshot (counters,
+//                     queue depth, metrics, span timelines, flight ring)
 //   --shutdown[=drain|now]  ask the server to stop (default drain)
 //   --quiet           suppress per-job rows (roll-up still prints)
 //   --strict          exit 1 also on memout/timeout jobs
@@ -197,7 +198,7 @@ int main(int argc, char** argv) {
     }
 
     if (args.stats) {
-      client.queryStats();
+      client.queryStats(svc::StatsQuery::kAllSections);
       for (;;) {
         std::optional<svc::Event> ev = client.next();
         if (!ev.has_value()) throw svc::Error("connection closed on stats");

@@ -8,7 +8,8 @@
 //
 //   bfv_serve [--listen SPEC] [--workers N] [--tenants FILE] [--spool DIR]
 //             [--checkpoint-every K] [--no-warm] [--no-stream]
-//             [--report[=path]] [--name TAG]
+//             [--report[=path]] [--name TAG] [--metrics-every S]
+//             [--metrics-dir DIR] [--flight[=DIR]] [--log-level LEVEL]
 //
 //   --listen SPEC        unix:PATH (default unix:bfv_serve.sock) or
 //                        tcp:HOST:PORT
@@ -23,12 +24,19 @@
 //   --no-stream          do not stream per-iteration updates
 //   --report[=path]      write SVC_<name>.json at shutdown
 //   --name TAG           server tag (default bfv_serve)
+//   --metrics-every S    write METRICS_<name>.{prom,json} every S seconds
+//                        (0 = never; a final snapshot lands at shutdown)
+//   --metrics-dir DIR    where the metrics snapshots go (default .)
+//   --flight[=DIR]       dump FLIGHT_<name>.json to DIR (default .) on job
+//                        error, injected worker fault, and shutdown
+//   --log-level LEVEL    stderr verbosity: error (default), info, debug
 //
 // Runs until a client sends Shutdown (bfv_client --shutdown). Exit 0 on a
 // clean stop, 1 on a startup failure.
 #include <cstdio>
 #include <string>
 
+#include "obs/log.hpp"
 #include "svc/server.hpp"
 
 using namespace bfvr;
@@ -75,6 +83,24 @@ Args parseArgs(int argc, char** argv) {
         a.opts.report_path = arg.substr(9);
       } else if (arg == "--name") {
         a.opts.name = value("--name");
+      } else if (arg == "--metrics-every") {
+        a.opts.metrics_every = std::stod(value("--metrics-every"));
+      } else if (arg == "--metrics-dir") {
+        a.opts.metrics_dir = value("--metrics-dir");
+      } else if (arg == "--flight") {
+        a.opts.flight_dir = ".";
+      } else if (arg.rfind("--flight=", 0) == 0) {
+        a.opts.flight_dir = arg.substr(9);
+      } else if (arg == "--log-level") {
+        const std::string level = value("--log-level");
+        obs::LogLevel parsed;
+        if (!obs::parseLogLevel(level, &parsed)) {
+          std::fprintf(stderr, "--log-level: expected error|info|debug, got %s\n",
+                       level.c_str());
+          a.ok = false;
+        } else {
+          obs::setLogLevel(parsed);
+        }
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
         a.ok = false;
@@ -99,7 +125,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--listen unix:PATH|tcp:HOST:PORT] [--workers N] "
                  "[--tenants FILE] [--spool DIR] [--checkpoint-every K] "
-                 "[--no-warm] [--no-stream] [--report[=path]] [--name TAG]\n",
+                 "[--no-warm] [--no-stream] [--report[=path]] [--name TAG] "
+                 "[--metrics-every S] [--metrics-dir DIR] [--flight[=DIR]] "
+                 "[--log-level error|info|debug]\n",
                  argv[0]);
     return 1;
   }

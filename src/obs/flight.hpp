@@ -1,0 +1,64 @@
+// Flight recorder: a fixed-capacity mutex-protected ring of recent
+// structured events (admissions, evictions, pressure rungs, retries, wire
+// errors). The serving tier records continuously at negligible cost and
+// dumps the ring to FLIGHT_<name>.json when something goes wrong — job
+// error, injected worker fault, or shutdown — so a post-mortem shows the
+// *sequence* that led to the failure, not just the final counters.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bfvr::obs {
+
+enum class FlightSeverity : std::uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+const char* to_string(FlightSeverity s);
+
+/// One recorded event. `t` is seconds since the recorder was constructed
+/// (monotonic clock), `seq` is a global monotonically increasing sequence
+/// number that survives wraparound — dumps order by seq, and gaps prove
+/// overwrite.
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  FlightSeverity severity = FlightSeverity::kInfo;
+  std::string category;  ///< "admission", "eviction", "retry", "wire", ...
+  std::string message;
+  std::string tenant;    ///< empty when not tenant-scoped
+  std::uint64_t job = 0; ///< 0 when not job-scoped
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  void record(FlightSeverity severity, const std::string& category,
+              const std::string& message, const std::string& tenant = "",
+              std::uint64_t job = 0);
+
+  /// Events currently in the ring, oldest first.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Total events ever recorded (>= snapshot().size() after wraparound).
+  std::uint64_t totalRecorded() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// The ring as a JSON document: {"reason": ..., "recorded": N,
+  /// "capacity": C, "events": [...]} with events oldest first.
+  std::string json(const std::string& reason) const;
+
+  /// Write json(reason) to `path`; returns false on I/O failure.
+  bool dump(const std::string& path, const std::string& reason) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;  ///< ring_[seq % capacity_]
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction
+};
+
+}  // namespace bfvr::obs

@@ -1,0 +1,79 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace bfvr::obs {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kError)};
+
+/// UTC wall-clock timestamp with millisecond resolution.
+std::string timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
+
+bool parseLogLevel(const std::string& s, LogLevel* out) {
+  if (s == "error") {
+    *out = LogLevel::kError;
+  } else if (s == "info") {
+    *out = LogLevel::kInfo;
+  } else if (s == "debug") {
+    *out = LogLevel::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+LogLevel logLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void setLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void logLine(LogLevel level, const std::string& component,
+             const std::string& message, const std::string& tenant,
+             std::uint64_t job) {
+  if (!logEnabled(level)) return;
+  std::string line = "[" + timestamp() + "] ";
+  const char* lvl = to_string(level);
+  line += lvl;
+  // Pad to the widest level name so columns line up across lines.
+  for (std::size_t i = std::char_traits<char>::length(lvl); i < 5; ++i) {
+    line += ' ';
+  }
+  line += " " + component;
+  if (!tenant.empty()) line += " tenant=" + tenant;
+  if (job != 0) line += " job=" + std::to_string(job);
+  line += " " + message + "\n";
+  std::fputs(line.c_str(), stderr);
+}
+
+}  // namespace bfvr::obs

@@ -1,0 +1,39 @@
+// Structured stderr logging for the serving tier: timestamped,
+// component/tenant/job-tagged one-liners behind a global level gate.
+// Default level is kError, so tests and library users stay quiet; the
+// daemons raise it from --log-level.
+//
+//   [2026-08-08T12:00:01.234Z] info  svc tenant=alpha job=17 dispatched worker=2
+//
+// The level check is one relaxed atomic load, so disabled log sites cost
+// nothing measurable; formatting happens only when the line will be
+// emitted, and the final write is a single fputs (atomic enough for
+// line-oriented stderr across threads).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bfvr::obs {
+
+enum class LogLevel : int { kError = 0, kInfo = 1, kDebug = 2 };
+
+/// Parses "error" / "info" / "debug"; returns false on anything else.
+bool parseLogLevel(const std::string& s, LogLevel* out);
+const char* to_string(LogLevel level);
+
+/// Process-wide log gate.
+LogLevel logLevel() noexcept;
+void setLogLevel(LogLevel level) noexcept;
+inline bool logEnabled(LogLevel level) noexcept { return level <= logLevel(); }
+
+/// Emit one line to stderr (appends '\n'). `component` is a short tag
+/// ("svc", "serve", "client"); tenant/job are appended as `tenant=` /
+/// `job=` fields when non-empty / non-zero. Call sites should gate with
+/// logEnabled() when building the message is itself costly.
+void logLine(LogLevel level, const std::string& component,
+             const std::string& message, const std::string& tenant = "",
+             std::uint64_t job = 0);
+
+}  // namespace bfvr::obs

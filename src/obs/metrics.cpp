@@ -1,0 +1,233 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace bfvr::obs {
+namespace {
+
+/// Shortest round-trippable decimal for a double (Prometheus values and
+/// `le` bounds; "%.17g" is exact but noisy, "%.12g" is exact for every
+/// value we emit — integers up to 2^39 and powers-of-two fractions).
+std::string fmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string escapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping for names/labels (ASCII control chars -> \u).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// A series' full JSON key: the metric name, plus `{labels}` when labelled,
+/// so `jobs_total{tenant="alpha"}` and `jobs_total{tenant="bravo"}` stay
+/// distinct keys in one object.
+std::string seriesKey(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+}  // namespace
+
+std::string metricLabel(const std::string& key, const std::string& value) {
+  return key + "=\"" + escapeLabelValue(value) + "\"";
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+template <typename T>
+T& Registry::find(std::deque<Entry<T>>& store, const std::string& name,
+                  const std::string& labels, double scale) {
+  for (Entry<T>& e : store) {
+    if (e.name == name && e.labels == labels) return e.v;
+  }
+  Entry<T>& e = store.emplace_back();
+  e.name = name;
+  e.labels = labels;
+  e.scale = scale;
+  return e.v;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find(counters_, name, labels, 1.0);
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find(gauges_, name, labels, 1.0);
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& labels, double scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The family's first registration fixes the scale: exposition reads the
+  // scale per entry, so a mismatched second registration would split the
+  // family. Reuse the existing entry's scale instead.
+  for (Entry<Histogram>& e : histograms_) {
+    if (e.name == name && e.labels == labels) return e.v;
+  }
+  for (const Entry<Histogram>& e : histograms_) {
+    if (e.name == name) {
+      scale = e.scale;
+      break;
+    }
+  }
+  return find(histograms_, name, labels, scale);
+}
+
+std::string Registry::text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+
+  // Stable order: sort an index per kind by (name, labels). Deques are
+  // append-ordered, so sorting indices keeps exposition deterministic
+  // regardless of registration order.
+  auto sorted = [](const auto& store) {
+    std::vector<std::size_t> idx(store.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      if (store[a].name != store[b].name) return store[a].name < store[b].name;
+      return store[a].labels < store[b].labels;
+    });
+    return idx;
+  };
+
+  auto typeLine = [&out](const std::string& name, const char* type,
+                         std::string& last) {
+    if (name == last) return;
+    out += "# TYPE " + name + " " + type + "\n";
+    last = name;
+  };
+
+  std::string last;
+  for (std::size_t i : sorted(counters_)) {
+    const auto& e = counters_[i];
+    typeLine(e.name, "counter", last);
+    out += seriesKey(e.name, e.labels) + " " + std::to_string(e.v.value()) +
+           "\n";
+  }
+  last.clear();
+  for (std::size_t i : sorted(gauges_)) {
+    const auto& e = gauges_[i];
+    typeLine(e.name, "gauge", last);
+    out += seriesKey(e.name, e.labels) + " " + std::to_string(e.v.value()) +
+           "\n";
+  }
+  last.clear();
+  for (std::size_t i : sorted(histograms_)) {
+    const auto& e = histograms_[i];
+    typeLine(e.name, "histogram", last);
+    const std::string extra = e.labels.empty() ? "" : e.labels + ",";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+      cum += e.v.bucketCount(b);
+      const double bound =
+          static_cast<double>(std::uint64_t{1} << b) / e.scale;
+      out += e.name + "_bucket{" + extra + "le=\"" + fmtDouble(bound) +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    cum += e.v.bucketCount(Histogram::kBuckets - 1);
+    out += e.name + "_bucket{" + extra + "le=\"+Inf\"} " +
+           std::to_string(cum) + "\n";
+    out += e.name + "_sum" + (e.labels.empty() ? "" : "{" + e.labels + "}") +
+           " " + fmtDouble(static_cast<double>(e.v.sumRaw()) / e.scale) + "\n";
+    out += e.name + "_count" + (e.labels.empty() ? "" : "{" + e.labels + "}") +
+           " " + std::to_string(e.v.count()) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& e : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + jsonEscape(seriesKey(e.name, e.labels)) + "\": " +
+           std::to_string(e.v.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& e : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + jsonEscape(seriesKey(e.name, e.labels)) + "\": " +
+           std::to_string(e.v.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& e : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + jsonEscape(seriesKey(e.name, e.labels)) + "\": {\n";
+    out += "      \"count\": " + std::to_string(e.v.count()) + ",\n";
+    out += "      \"sum\": " +
+           fmtDouble(static_cast<double>(e.v.sumRaw()) / e.scale) + ",\n";
+    out += "      \"buckets\": [";
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(e.v.bucketCount(b));
+    }
+    out += "]\n    }";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : counters_) e.v.v_.store(0, std::memory_order_relaxed);
+  for (auto& e : gauges_) e.v.v_.store(0, std::memory_order_relaxed);
+  for (auto& e : histograms_) {
+    for (auto& b : e.v.buckets_) b.store(0, std::memory_order_relaxed);
+    e.v.count_.store(0, std::memory_order_relaxed);
+    e.v.sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace bfvr::obs

@@ -1,0 +1,167 @@
+// Process-wide metrics registry for the serving tier: named counters,
+// gauges and log2-bucketed histograms with relaxed-atomic hot-path updates,
+// plus Prometheus-text and JSON exposition.
+//
+// Design constraints, in order:
+//
+//  * The hot path is one relaxed fetch_add on a pre-resolved instrument —
+//    callers look an instrument up once (registry mutex) and keep the
+//    reference; references stay valid for the registry's lifetime (deque
+//    storage, instruments are never removed).
+//  * Instruments never touch bdd::OpStats or any engine state, so enabling
+//    or reading metrics cannot perturb op-count bit-identity.
+//  * Exposition is pull-based and lossy-consistent: text()/json() read each
+//    atomic individually (no global pause), which is the usual Prometheus
+//    contract for live counters.
+//
+// Histograms bucket by powers of two: bucket i counts observations v with
+// v <= 2^i (in the instrument's raw unit, e.g. microseconds), the last
+// bucket is the +Inf overflow. Exposition divides by `scale` so a
+// microsecond histogram reads in seconds (`le="0.001"`), matching the
+// _seconds suffix convention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace bfvr::obs {
+
+/// Monotonic event count. Relaxed increments; never reset during a run.
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed level (queue depth, live sessions). Typically
+/// sampled: the owner set()s the current value right before exposition.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram over a raw integer unit. Bucket i has upper
+/// bound 2^i (i in [0, kBuckets-2]); the last bucket is +Inf.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  /// Index of the bucket recording `v`: the smallest i with v <= 2^i,
+  /// clamped into the +Inf bucket. 0 and 1 land in bucket 0 (le=1).
+  static std::size_t bucketOf(std::uint64_t v) noexcept {
+    std::size_t i = 0;
+    while (i + 1 < kBuckets && v > (std::uint64_t{1} << i)) ++i;
+    return i;
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  /// Record a duration in seconds into a microsecond-unit histogram
+  /// (the registration should use kSecondsScale). Negative clamps to 0.
+  void observeSeconds(double seconds) noexcept {
+    observe(seconds <= 0.0 ? 0
+                           : static_cast<std::uint64_t>(seconds * 1e6 + 0.5));
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sumRaw() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucketCount(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Exposition divisor for histograms that record microseconds but report
+/// seconds (`*_seconds` naming convention).
+inline constexpr double kSecondsScale = 1e6;
+
+/// Render one `key="value"` Prometheus label pair, escaping the value.
+std::string metricLabel(const std::string& key, const std::string& value);
+
+/// The instrument registry. Lookup is mutex-protected and idempotent: the
+/// same (name, labels) always returns the same instrument. Intended use is
+/// one process-wide instance (global()), but instances are independent so
+/// tests can run isolated registries.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every serving-tier instrument lives in.
+  static Registry& global();
+
+  /// `labels`, when non-empty, is a pre-rendered Prometheus label body
+  /// (`tenant="alpha"` — see metricLabel; join multiple pairs with ',').
+  Counter& counter(const std::string& name, const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "");
+  /// `scale` divides raw bucket bounds and sums at exposition (use
+  /// kSecondsScale for microsecond-recorded `*_seconds` histograms). The
+  /// first registration of a name fixes its scale.
+  Histogram& histogram(const std::string& name, const std::string& labels = "",
+                       double scale = 1.0);
+
+  /// Prometheus text exposition: families sorted by name, `# TYPE` line per
+  /// family, cumulative `_bucket{le=...}` series per histogram.
+  std::string text() const;
+  /// JSON exposition: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with per-bucket (non-cumulative) counts.
+  std::string json() const;
+
+  /// Zero every instrument's value, keeping registrations and references
+  /// valid. For tests that want a clean slate on the global registry.
+  void reset();
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    std::string labels;  ///< rendered label body, may be empty
+    double scale = 1.0;  ///< histograms only
+    T v;
+  };
+
+  template <typename T>
+  static T& find(std::deque<Entry<T>>& store, const std::string& name,
+                 const std::string& labels, double scale);
+
+  mutable std::mutex mu_;
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<Histogram>> histograms_;
+};
+
+}  // namespace bfvr::obs

@@ -1,6 +1,8 @@
 #include "obs/obs.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace bfvr::obs {
 
@@ -43,12 +45,42 @@ void PhaseTimer::push(Phase p) {
   mark_ = t;
 }
 
-void PhaseTimer::pop() {
-  assert(!stack_.empty());
-  const double t = now();
+void PhaseTimer::popTopLocked(double t) {
   totals_[stack_.back()] += t - mark_;
   stack_.pop_back();
   mark_ = t;  // the parent scope (if any) resumes from here
+}
+
+void PhaseTimer::pop() {
+  if (stack_.empty()) {
+    throw std::logic_error("PhaseTimer::pop: no phase is open");
+  }
+  popTopLocked(now());
+}
+
+void PhaseTimer::pop(Phase expected) {
+  if (stack_.empty()) {
+    throw std::logic_error(std::string("PhaseTimer::pop(") +
+                           to_string(expected) + "): no phase is open");
+  }
+  if (stack_.back() != expected) {
+    // Overlapping (non-LIFO) begin/end: attributing the interval to either
+    // phase would be wrong, so refuse loudly instead of guessing.
+    throw std::logic_error(std::string("PhaseTimer::pop(") +
+                           to_string(expected) +
+                           "): phases overlap — innermost open phase is " +
+                           to_string(stack_.back()));
+  }
+  popTopLocked(now());
+}
+
+void PhaseTimer::popScope(Phase expected) noexcept {
+  assert(!stack_.empty() && "PhaseTimer scope closed with no phase open");
+  assert(stack_.back() == expected &&
+         "PhaseTimer scopes closed out of order (overlapping phases)");
+  if (stack_.empty()) return;  // release-mode recovery: nothing to close
+  (void)expected;
+  popTopLocked(now());
 }
 
 }  // namespace bfvr::obs

@@ -56,29 +56,43 @@ struct PhaseSeconds {
 /// Nesting-aware scoped phase timer. Time is attributed *exclusively*: when
 /// a scope opens inside another, the parent's clock pauses, so the sum of
 /// all phase totals never exceeds the wall-clock covered by the scopes.
+///
+/// Nesting is enforced, not assumed: begin/end pairs must close in strict
+/// LIFO order. The manual push()/pop() API throws std::logic_error on an
+/// overlap (pop of a phase that is not the innermost open one) or an
+/// underflow, instead of silently mis-attributing the interval; the RAII
+/// Scope asserts the same invariant in debug builds and recovers (closes
+/// whatever is actually innermost) in release, since destructors cannot
+/// throw.
 class PhaseTimer {
  public:
   /// RAII guard returned by scope(); a Scope holding nullptr is a no-op
   /// (how disabled tracing stays near-zero cost).
   class Scope {
    public:
-    explicit Scope(PhaseTimer* t) noexcept : t_(t) {}
+    explicit Scope(PhaseTimer* t, Phase p = Phase::kOther) noexcept
+        : t_(t), p_(p) {}
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
     ~Scope() {
-      if (t_ != nullptr) t_->pop();
+      if (t_ != nullptr) t_->popScope(p_);
     }
 
    private:
     PhaseTimer* t_;
+    Phase p_;
   };
 
   Scope scope(Phase p) {
     push(p);
-    return Scope(this);
+    return Scope(this, p);
   }
   void push(Phase p);
+  /// Close the innermost scope; throws std::logic_error if none is open.
   void pop();
+  /// Close the innermost scope, checking it is `expected`; throws
+  /// std::logic_error on an empty stack or an overlapping (non-LIFO) end.
+  void pop(Phase expected);
 
   std::size_t depth() const noexcept { return stack_.size(); }
   /// Accumulated self-time per phase. Within an open scope this excludes
@@ -91,6 +105,11 @@ class PhaseTimer {
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   }
+
+  /// Scope-destructor path: noexcept. Asserts the LIFO invariant in debug;
+  /// in release closes the actual innermost scope so totals stay bounded.
+  void popScope(Phase expected) noexcept;
+  void popTopLocked(double t);
 
   std::vector<Phase> stack_;
   double mark_ = 0.0;  // clock value of the last attribution boundary

@@ -235,8 +235,38 @@ std::string reportTable(const RunMeta& meta, const RunTrace& trace) {
   return out;
 }
 
+std::string spanJson(const JobSpan& s) {
+  std::vector<std::string> evs;
+  evs.reserve(s.events.size());
+  for (const SpanEvent& e : s.events) {
+    util::JsonObject o;
+    o.add("what", e.what).add("t", e.t);
+    if (!e.detail.empty()) o.add("detail", e.detail);
+    evs.push_back(o.str());
+  }
+  std::vector<std::string> workers;
+  workers.reserve(s.workers.size());
+  for (unsigned w : s.workers) workers.push_back(std::to_string(w));
+  util::JsonObject o;
+  o.add("trace_id", s.trace_id)
+      .add("job", s.job)
+      .add("tenant", s.tenant)
+      .add("status", s.status.empty() ? "in-flight" : s.status)
+      .add("start", s.start)
+      .add("evictions", s.evictions)
+      .addRaw("workers", util::jsonArray(workers))
+      .addRaw("events", util::jsonArray(evs));
+  return o.str();
+}
+
 std::string svcReportJson(const SvcServerStats& server,
                           std::span<const SvcTenantStats> tenants) {
+  return svcReportJson(server, tenants, SvcReportExtras{});
+}
+
+std::string svcReportJson(const SvcServerStats& server,
+                          std::span<const SvcTenantStats> tenants,
+                          const SvcReportExtras& extras) {
   // Totals across tenants; "jobs_done" and "leaked_nodes" are grepped by
   // the soak harness — keep the keys stable.
   std::uint64_t submitted = 0, rejected = 0, done = 0, timeout = 0,
@@ -292,7 +322,21 @@ std::string svcReportJson(const SvcServerStats& server,
       .add("warm_misses", server.warm_misses)
       .add("resets_failed", server.resets_failed)
       .add("leaked_nodes", server.leaked_nodes)
+      .add("queue_depth", extras.queue_depth)
+      .add("running", extras.running)
       .addRaw("tenants", util::jsonArray(rows));
+  if (!extras.spans.empty()) {
+    std::vector<std::string> spans;
+    spans.reserve(extras.spans.size());
+    for (const JobSpan& s : extras.spans) spans.push_back(spanJson(s));
+    root.addRaw("spans", util::jsonArray(spans));
+  }
+  if (!extras.metrics_json.empty()) {
+    root.addRaw("metrics", extras.metrics_json);
+  }
+  if (!extras.flight_json.empty()) {
+    root.addRaw("flight", extras.flight_json);
+  }
   return root.str();
 }
 

@@ -137,11 +137,54 @@ struct SvcServerStats {
   std::uint64_t leaked_nodes = 0;   ///< live nodes those leaks orphaned
 };
 
+/// One stamped moment on a job's span timeline. `t` is seconds since the
+/// span opened (the submit frame arriving); `what` is the lifecycle step
+/// ("received", "admitted", "queued", "dispatched", "running", "evicted",
+/// "resumed", "done"); `detail` carries the step's payload ("worker=2",
+/// "iter=17", the terminal status).
+struct SpanEvent {
+  std::string what;
+  double t = 0.0;
+  std::string detail;
+};
+
+/// The span timeline of one served job: everything that happened to it
+/// between the submit frame and its terminal event, under a server-assigned
+/// trace ID. Plain data, so obs stays below svc.
+struct JobSpan {
+  std::uint64_t trace_id = 0;
+  std::uint64_t job = 0;  ///< server job id (0 until admitted)
+  std::string tenant;
+  std::string status;  ///< terminal status tag; empty while in flight
+  double start = 0.0;  ///< seconds since server start when the span opened
+  unsigned evictions = 0;
+  std::vector<unsigned> workers;  ///< each worker that ran it, in order
+  std::vector<SpanEvent> events;
+};
+
+/// One span as a JSON object (trace id, tenant, status, workers, events).
+std::string spanJson(const JobSpan& s);
+
+/// Live-state additions to the serving report: current scheduler depth and
+/// recent span timelines, plus a metrics document to embed verbatim.
+struct SvcReportExtras {
+  std::uint64_t queue_depth = 0;  ///< jobs admitted but not yet dispatched
+  std::uint64_t running = 0;      ///< jobs currently on a worker
+  std::span<const JobSpan> spans;
+  std::string metrics_json;  ///< Registry::json() output; "" to omit
+  std::string flight_json;   ///< FlightRecorder::json() output; "" to omit
+};
+
 /// The SVC_<name>.json payload: server meta + totals ("jobs_done",
 /// "leaked_nodes", ...) + a `tenants` array of per-tenant objects. The
 /// soak harness greps the totals, so their keys are part of the report's
-/// contract.
+/// contract. The extras overload appends `queue_depth`/`running`, a
+/// `spans` array, and an embedded `metrics` object — the same document
+/// serves SVC_*.json and the live Stats reply.
 std::string svcReportJson(const SvcServerStats& server,
                           std::span<const SvcTenantStats> tenants);
+std::string svcReportJson(const SvcServerStats& server,
+                          std::span<const SvcTenantStats> tenants,
+                          const SvcReportExtras& extras);
 
 }  // namespace bfvr::obs

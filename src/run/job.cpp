@@ -11,6 +11,7 @@
 #include "circuit/bench_io.hpp"
 #include "circuit/generators.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/metrics.hpp"
 #include "run/run.hpp"
 #include "sym/space.hpp"
 #include "util/stats.hpp"
@@ -282,6 +283,20 @@ JobResult executeJob(const JobSpec& spec, const CancelToken* cancel,
     }
   }
   out.seconds = timer.seconds();
+  // Job-level observability counters. Registered lazily (function-local
+  // statics) and updated with relaxed increments; nothing here touches the
+  // manager or engine state, so instrumented runs stay op-count identical.
+  static obs::Counter& retries =
+      obs::Registry::global().counter("bfvr_job_retries_total");
+  static obs::Counter& resumes =
+      obs::Registry::global().counter("bfvr_job_resumes_total");
+  static obs::Counter& faults =
+      obs::Registry::global().counter("bfvr_job_faults_injected_total");
+  if (out.retriesUsed() > 0) retries.inc(out.retriesUsed());
+  for (const AttemptRecord& rec : out.attempts) {
+    if (rec.resumed) resumes.inc();
+    if (rec.faults_injected != 0) faults.inc(rec.faults_injected);
+  }
   return out;
 }
 

@@ -14,10 +14,34 @@
 // its leak counted.
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "run/run.hpp"
 #include "util/stats.hpp"
 
 namespace bfvr::run {
+
+namespace {
+
+// Pool instruments, resolved once (function-local statics) so the
+// scheduling path pays one relaxed atomic op per update, not a registry
+// lookup. The gauge counts jobs submitted but not yet picked up.
+obs::Gauge& queueDepthGauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("bfvr_pool_queue_depth");
+  return g;
+}
+obs::Histogram& queueWaitHistogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "bfvr_pool_queue_wait_seconds", "", obs::kSecondsScale);
+  return h;
+}
+obs::Histogram& execHistogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "bfvr_pool_exec_seconds", "", obs::kSecondsScale);
+  return h;
+}
+
+}  // namespace
 
 std::unique_ptr<bdd::Manager> ManagerCache::acquire(
     const bdd::Manager::Config& cfg) {
@@ -102,6 +126,7 @@ std::future<JobResult> WorkerPool::submit(
     }
     queue_.push_back(std::move(q));
   }
+  queueDepthGauge().add(1);
   // A steered job is ineligible for one specific worker; wake everyone so
   // an eligible worker (not necessarily the longest-waiting one) sees it.
   if (steered) {
@@ -147,10 +172,17 @@ void WorkerPool::workerMain(unsigned index) {
       job = std::move(*it);
       queue_.erase(it);
     }
+    queueDepthGauge().add(-1);
     const double waited = job->queued.seconds();
+    queueWaitHistogram().observeSeconds(waited);
     JobResult r = executeJob(job->spec, job->cancel.get(), warm);
     r.queue_seconds = waited;
     r.worker = index;
+    execHistogram().observeSeconds(r.seconds);
+    obs::Registry::global()
+        .counter("bfvr_pool_jobs_total",
+                 obs::metricLabel("status", to_string(r.status)))
+        .inc();
     if (job->on_done) {
       try {
         job->on_done(r);

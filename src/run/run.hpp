@@ -176,6 +176,10 @@ struct JobSpec {
   /// A corrupt or mismatched image falls back to a fresh run: the fixpoint
   /// is the same either way, only the recomputation differs.
   std::shared_ptr<const std::vector<std::uint8_t>> resume_image;
+  /// Observability pass-through: the serving layer's span trace id, so a
+  /// requeued/migrated copy of the job stays attached to the same span.
+  /// 0 = untraced (batch runner, tests). Never affects execution.
+  std::uint64_t trace_id = 0;
 
   std::string displayName() const;
 };

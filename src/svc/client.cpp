@@ -40,7 +40,11 @@ void Client::evict(std::uint64_t job) {
   sendFrame(fd_, e.encode());
 }
 
-void Client::queryStats() { sendFrame(fd_, StatsQuery{}.encode()); }
+void Client::queryStats(std::uint32_t flags) {
+  StatsQuery q;
+  q.flags = flags;
+  sendFrame(fd_, q.encode());
+}
 
 void Client::shutdownServer(bool drain) {
   Shutdown s;
@@ -48,7 +52,14 @@ void Client::shutdownServer(bool drain) {
   sendFrame(fd_, s.encode());
 }
 
-void Client::bye() { sendFrame(fd_, Bye{}.encode()); }
+void Client::bye() {
+  // Best-effort courtesy frame: after a shutdown request the server may
+  // close the connection before the Bye lands, and that is not an error.
+  try {
+    sendFrame(fd_, Bye{}.encode());
+  } catch (const Error&) {
+  }
+}
 
 std::optional<Event> Client::next() {
   std::optional<Frame> f = recvFrame(fd_);

@@ -33,7 +33,11 @@ class Client {
   std::uint64_t submit(const std::string& manifest_line);
   void cancel(std::uint64_t job);
   void evict(std::uint64_t job);
-  void queryStats();
+  /// Ask for the live stats report; `flags` selects the optional sections
+  /// (StatsQuery::kInclude*, default metrics + spans). The StatsReply
+  /// arrives as an event.
+  void queryStats(std::uint32_t flags = StatsQuery::kIncludeMetrics |
+                                        StatsQuery::kIncludeSpans);
   void shutdownServer(bool drain = true);
   /// Orderly goodbye; the connection is unusable afterwards.
   void bye();

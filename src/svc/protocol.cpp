@@ -71,6 +71,7 @@ Frame Accepted::encode() const {
   Writer w;
   w.u64(tag);
   w.u64(job);
+  w.u64(trace);
   return {FrameType::kAccepted, std::move(w.buf)};
 }
 Accepted Accepted::decode(const Frame& f) {
@@ -78,6 +79,7 @@ Accepted Accepted::decode(const Frame& f) {
   Accepted m;
   m.tag = r.u64();
   m.job = r.u64();
+  m.trace = r.u64();
   r.done();
   return m;
 }
@@ -213,11 +215,20 @@ Evict Evict::decode(const Frame& f) {
   return m;
 }
 
-Frame StatsQuery::encode() const { return {FrameType::kStats, {}}; }
+Frame StatsQuery::encode() const {
+  Writer w;
+  w.u32(flags);
+  return {FrameType::kStats, std::move(w.buf)};
+}
 StatsQuery StatsQuery::decode(const Frame& f) {
   Reader r = open(f, FrameType::kStats);
+  StatsQuery m;
+  m.flags = r.u32();
+  if ((m.flags & ~kAllSections) != 0) {
+    throw Error("protocol: unknown stats section flags");
+  }
   r.done();
-  return {};
+  return m;
 }
 
 Frame StatsReply::encode() const {

@@ -61,6 +61,10 @@ struct Submit {
 struct Accepted {
   std::uint64_t tag = 0;
   std::uint64_t job = 0;  ///< server-assigned id used in all later frames
+  /// Server-assigned span trace id: the key of this job's span timeline in
+  /// the stats report and SVC_*.json, so a client can correlate its jobs
+  /// with the server-side trace without guessing.
+  std::uint64_t trace = 0;
 
   Frame encode() const;
   static Accepted decode(const Frame& f);
@@ -139,7 +143,18 @@ struct Evict {
   static Evict decode(const Frame& f);
 };
 
+/// Stats request. `flags` selects which live sections the reply's report
+/// embeds beyond the always-present counters; unknown bits are a protocol
+/// error (both ends ship together, so skew is a bug worth surfacing).
 struct StatsQuery {
+  static constexpr std::uint32_t kIncludeMetrics = 1u << 0;  ///< registry
+  static constexpr std::uint32_t kIncludeSpans = 1u << 1;    ///< timelines
+  static constexpr std::uint32_t kIncludeFlight = 1u << 2;   ///< event ring
+  static constexpr std::uint32_t kAllSections =
+      kIncludeMetrics | kIncludeSpans | kIncludeFlight;
+
+  std::uint32_t flags = 0;
+
   Frame encode() const;
   static StatsQuery decode(const Frame& f);
 };

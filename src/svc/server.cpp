@@ -2,9 +2,12 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "run/manifest.hpp"
 #include "svc/protocol.hpp"
 
@@ -24,6 +27,29 @@ std::shared_ptr<const std::vector<std::uint8_t>> slurpSpool(
   return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
 }
 
+/// Per-tenant serving counter (admission decisions, outcomes, churn).
+/// Registry lookup per call — these fire per job-lifecycle event, not per
+/// frame or per BDD op, so the mutex there is noise.
+obs::Counter& tenantCounter(const char* name, const std::string& tenant) {
+  return obs::Registry::global().counter(name,
+                                         obs::metricLabel("tenant", tenant));
+}
+
+obs::Histogram& dispatchHistogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "bfvr_svc_dispatch_seconds", "", obs::kSecondsScale);
+  return h;
+}
+obs::Histogram& iterationHistogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "bfvr_svc_iteration_seconds", "", obs::kSecondsScale);
+  return h;
+}
+
+std::string statusDetail(const std::string& status, unsigned worker) {
+  return status + " worker=" + std::to_string(worker);
+}
+
 }  // namespace
 
 Server::Server(const Options& opts)
@@ -31,7 +57,8 @@ Server::Server(const Options& opts)
       endpoint_(Endpoint::parse(opts.endpoint)),
       listener_(listenOn(endpoint_)),
       pool_(opts.workers, opts.warm_managers),
-      queue_(opts.tenants) {
+      queue_(opts.tenants),
+      flight_(opts.flight_capacity) {
   for (const TenantConfig& t : opts.tenants) {
     obs::SvcTenantStats s;
     s.name = t.name;
@@ -47,6 +74,12 @@ Server::~Server() {
 
 void Server::start() {
   accept_thread_ = std::thread([this] { acceptLoop(); });
+  if (opts_.metrics_every > 0.0) {
+    metrics_thread_ = std::thread([this] { metricsLoop(); });
+  }
+  obs::logLine(obs::LogLevel::kInfo, "svc",
+               "listening on " + endpoint_.describe() + " with " +
+                   std::to_string(pool_.workers()) + " workers");
 }
 
 void Server::requestShutdown(bool drain) {
@@ -56,6 +89,11 @@ void Server::requestShutdown(bool drain) {
     shutdown_requested_ = true;
     shutdown_drain_ = drain;
     draining_ = true;
+    obs::logLine(obs::LogLevel::kInfo, "svc",
+                 std::string("shutdown requested (") +
+                     (drain ? "drain" : "immediate") + ")");
+    flight_.record(obs::FlightSeverity::kInfo, "shutdown",
+                   drain ? "drain requested" : "immediate stop requested");
     if (!drain) {
       // Immediate: cancel every running job and drop the queue. Dropped
       // jobs' owners get no JobDone — their sessions are about to close.
@@ -80,13 +118,17 @@ void Server::waitStopped() {
       return outstanding_ == 0 && queue_.queuedCount() == 0;
     });
     if (!opts_.report_path.empty()) {
-      const std::string json = buildReportLocked();
+      const std::string json =
+          buildReportLocked(StatsQuery::kIncludeMetrics |
+                            StatsQuery::kIncludeSpans);
       std::ofstream out(opts_.report_path);
       if (out) {
         out << json << "\n";
-        std::printf("wrote %s\n", opts_.report_path.c_str());
+        obs::logLine(obs::LogLevel::kInfo, "svc",
+                     "wrote " + opts_.report_path);
       } else {
-        std::fprintf(stderr, "cannot write %s\n", opts_.report_path.c_str());
+        obs::logLine(obs::LogLevel::kError, "svc",
+                     "cannot write " + opts_.report_path);
       }
     }
     stopped_ = true;
@@ -98,7 +140,9 @@ void Server::waitStopped() {
       ::shutdown(s->fd.get(), SHUT_RDWR);
     }
   }
+  cv_.notify_all();  // wake the metrics writer so it sees stopped_
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   // The accept thread spawns session threads; with it joined the vector is
   // final.
   std::vector<std::thread> threads;
@@ -109,6 +153,11 @@ void Server::waitStopped() {
   for (std::thread& t : threads) t.join();
   listener_.close();
   if (endpoint_.is_unix) std::remove(endpoint_.path.c_str());
+  // Final observability snapshots, after all workers and writers are quiet.
+  if (opts_.metrics_every > 0.0) writeMetricsFiles();
+  flight_.record(obs::FlightSeverity::kInfo, "shutdown", "server stopped");
+  dumpFlight("shutdown");
+  obs::logLine(obs::LogLevel::kInfo, "svc", "stopped");
 }
 
 void Server::acceptLoop() {
@@ -146,6 +195,8 @@ void Server::sessionLoop(std::shared_ptr<Session> s) {
     ack.session = s->id;
     ack.server = opts_.name;
     sendTo(s, ack.encode());
+    obs::logLine(obs::LogLevel::kDebug, "svc",
+                 "session " + std::to_string(s->id) + " opened", s->tenant);
     while (s->alive.load(std::memory_order_relaxed)) {
       std::optional<Frame> f = recvFrame(s->fd);
       if (!f.has_value()) break;  // orderly close without Bye: fine
@@ -155,6 +206,11 @@ void Server::sessionLoop(std::shared_ptr<Session> s) {
     // Malformed traffic (bad magic/CRC/truncation) or version skew: tell
     // the client why, if the pipe still works, then drop the session. The
     // server itself never goes down with a session.
+    obs::logLine(obs::LogLevel::kError, "svc",
+                 "session " + std::to_string(s->id) + ": " + e.what(),
+                 s->tenant);
+    flight_.record(obs::FlightSeverity::kError, "wire", e.what(), s->tenant);
+    obs::Registry::global().counter("bfvr_svc_session_errors_total").inc();
     WireError err;
     err.message = e.what();
     sendTo(s, err.encode());
@@ -173,6 +229,8 @@ void Server::sessionLoop(std::shared_ptr<Session> s) {
     sessions_.erase(s->id);
     pump();  // dropping queued jobs may unblock a tenant's queue cap
   }
+  obs::logLine(obs::LogLevel::kDebug, "svc",
+               "session " + std::to_string(s->id) + " closed", s->tenant);
   cv_.notify_all();
 }
 
@@ -209,8 +267,9 @@ bool Server::handleFrame(const std::shared_ptr<Session>& s, const Frame& f) {
       return true;
     }
     case FrameType::kStats: {
+      const StatsQuery q = StatsQuery::decode(f);
       StatsReply reply;
-      reply.json = statsJson();
+      reply.json = statsJson(q.flags);
       sendTo(s, reply.encode());
       return true;
     }
@@ -249,6 +308,10 @@ void Server::handleSubmit(const std::shared_ptr<Session>& s, const Frame& f) {
     const std::lock_guard<std::mutex> lock(mu_);
     statsFor(s->tenant).submitted += 1;
     statsFor(s->tenant).rejected += 1;
+    tenantCounter("bfvr_svc_submissions_total", s->tenant).inc();
+    tenantCounter("bfvr_svc_rejected_total", s->tenant).inc();
+    flight_.record(obs::FlightSeverity::kWarn, "admission",
+                   "rejected: " + rej.reason, s->tenant);
     sendTo(s, rej.encode());
     return;
   }
@@ -258,9 +321,13 @@ void Server::handleSubmit(const std::shared_ptr<Session>& s, const Frame& f) {
     const std::lock_guard<std::mutex> lock(mu_);
     obs::SvcTenantStats& ts = statsFor(s->tenant);
     ts.submitted += 1;
+    tenantCounter("bfvr_svc_submissions_total", s->tenant).inc();
     if (draining_) {
       ts.rejected += 1;
+      tenantCounter("bfvr_svc_rejected_total", s->tenant).inc();
       rej.reason = "server is draining";
+      flight_.record(obs::FlightSeverity::kWarn, "admission",
+                     "rejected: " + rej.reason, s->tenant);
       sendTo(s, rej.encode());
       return;
     }
@@ -272,16 +339,37 @@ void Server::handleSubmit(const std::shared_ptr<Session>& s, const Frame& f) {
       job.spec.opts.checkpoint_path = spoolPathFor(job.id);
     }
     const std::uint64_t id = job.id;
+    const std::string display = job.spec.displayName();
     if (std::optional<std::string> reason = queue_.admit(std::move(job));
         reason.has_value()) {
       ts.rejected += 1;
+      tenantCounter("bfvr_svc_rejected_total", s->tenant).inc();
       rej.reason = *reason;
+      flight_.record(obs::FlightSeverity::kWarn, "admission",
+                     "rejected: " + rej.reason, s->tenant);
       sendTo(s, rej.encode());
       return;
     }
+    // The job exists: open its span. The received/admitted/queued stamps
+    // land together — one frame handler performed all three transitions.
+    obs::JobSpan& span = spans_[id];
+    span.trace_id = next_trace_++;
+    span.job = id;
+    span.tenant = s->tenant;
+    span.start = uptime_.seconds();
+    span_counts_[s->tenant] += 1;
+    spanEventLocked(id, "received", display);
+    spanEventLocked(id, "admitted");
+    spanEventLocked(id, "queued");
+    tenantCounter("bfvr_svc_admitted_total", s->tenant).inc();
+    flight_.record(obs::FlightSeverity::kInfo, "admission",
+                   "admitted " + display, s->tenant, id);
+    obs::logLine(obs::LogLevel::kDebug, "svc", "admitted " + display,
+                 s->tenant, id);
     Accepted acc;
     acc.tag = sub.tag;
     acc.job = id;
+    acc.trace = span.trace_id;
     sendTo(s, acc.encode());
     pump();
   }
@@ -304,14 +392,35 @@ void Server::pump() {
     // and swallows everything — a dead client must not disturb the engine.
     if (opts_.stream_iterations) {
       const std::uint64_t session_id = r.job.session;
-      spec.opts.on_iteration = [this, id,
-                                session_id](const obs::IterationRecord& it) {
+      // `last_mark` carries the previous iteration's timestamp across hook
+      // invocations (one lambda per dispatch, called sequentially on the
+      // worker thread), so each observation is one iteration's wall-clock.
+      auto last_mark = std::make_shared<double>(uptime_.seconds());
+      spec.opts.on_iteration = [this, id, session_id,
+                                last_mark](const obs::IterationRecord& it) {
+        const double now_s = uptime_.seconds();
+        iterationHistogram().observeSeconds(now_s - *last_mark);
+        *last_mark = now_s;
         // Worker thread: take mu_ only to look the session up (lock order
         // mu_ -> write_mu, same as everywhere else), send outside it.
         std::shared_ptr<Session> owner;
         {
           const std::lock_guard<std::mutex> lock(mu_);
           owner = sessionById(session_id);
+          // Fold the live iteration count into the span's running stamp
+          // instead of appending one event per iteration — timelines stay
+          // bounded however long the fixpoint runs.
+          if (auto sit = spans_.find(id); sit != spans_.end()) {
+            obs::JobSpan& span = sit->second;
+            if (!span.events.empty() && span.events.back().what == "running") {
+              span.events.back().t = now_s - span.start;
+              span.events.back().detail =
+                  "iter=" + std::to_string(it.iteration);
+            } else {
+              spanEventLocked(id, "running",
+                              "iter=" + std::to_string(it.iteration));
+            }
+          }
         }
         if (owner == nullptr) return;
         IterationUpdate u;
@@ -327,6 +436,24 @@ void Server::pump() {
     const std::uint64_t session_id = r.job.session;
     outstanding_ += 1;
     dispatches_ += 1;
+    if (auto sit = spans_.find(id); sit != spans_.end()) {
+      // Scheduling latency: span open (admission) to this dispatch. A
+      // resumed job measures its requeue wait, which is the point.
+      const obs::JobSpan& span = sit->second;
+      double queued_at = span.start;
+      for (const obs::SpanEvent& ev : span.events) {
+        if (ev.what == "queued") queued_at = span.start + ev.t;
+      }
+      dispatchHistogram().observeSeconds(uptime_.seconds() - queued_at);
+      spanEventLocked(id, resumed ? "resumed" : "dispatched",
+                      resumed ? "from eviction image" : "");
+    }
+    if (resumed) {
+      flight_.record(obs::FlightSeverity::kInfo, "resume",
+                     "resumed from eviction image", r.job.tenant, id);
+    }
+    obs::logLine(obs::LogLevel::kDebug, "svc",
+                 resumed ? "resumed" : "dispatched", r.job.tenant, id);
     auto cancel = r.cancel;
     running_[id] = std::move(r);
     pool_.submit(
@@ -346,6 +473,13 @@ void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
   // Runs on the worker thread, right before the job's future is fulfilled.
   std::shared_ptr<Session> owner;
   Frame out;
+  // Flight dump triggers, resolved under mu_ and acted on after it: a
+  // failed job or an injected worker fault is post-mortem material.
+  std::string dump_reason;
+  std::uint64_t faults_injected = 0;
+  for (const run::AttemptRecord& a : r.attempts) {
+    faults_injected += a.faults_injected;
+  }
   {
     const std::lock_guard<std::mutex> lock(mu_);
     auto it = running_.find(id);
@@ -355,6 +489,19 @@ void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
     queue_.release(rec.job.tenant);
     outstanding_ -= 1;
     owner = sessionById(rec.job.session);
+    if (faults_injected != 0) {
+      flight_.record(obs::FlightSeverity::kError, "fault",
+                     "worker " + std::to_string(r.worker) + " injected " +
+                         std::to_string(faults_injected) + " fault(s)",
+                     rec.job.tenant, id);
+      dump_reason = "worker-fault";
+    }
+    if (r.retriesUsed() > 0) {
+      flight_.record(obs::FlightSeverity::kWarn, "retry",
+                     std::to_string(r.retriesUsed()) + " retry attempt(s), " +
+                         "final status " + to_string(r.status),
+                     rec.job.tenant, id);
+    }
     const bool evicting =
         rec.evict_requested->load(std::memory_order_relaxed) &&
         r.status == RunStatus::kCancelled && !draining_;
@@ -368,9 +515,30 @@ void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
       again.avoid_worker = r.worker;
       again.evictions += 1;
       statsFor(again.tenant).evictions += 1;
+      tenantCounter("bfvr_svc_evictions_total", again.tenant).inc();
       if (again.spec.resume_image != nullptr) {
         statsFor(again.tenant).resumes += 1;
+        tenantCounter("bfvr_svc_resumes_total", again.tenant).inc();
       }
+      if (auto sit = spans_.find(id); sit != spans_.end()) {
+        sit->second.evictions = again.evictions;
+        sit->second.workers.push_back(r.worker);
+      }
+      spanEventLocked(id, "evicted",
+                      "iter=" + std::to_string(r.reach.iterations) +
+                          " worker=" + std::to_string(r.worker));
+      spanEventLocked(id, "queued", "requeued after eviction");
+      flight_.record(obs::FlightSeverity::kWarn, "eviction",
+                     "evicted at iteration " +
+                         std::to_string(r.reach.iterations) + " from worker " +
+                         std::to_string(r.worker) +
+                         (again.spec.resume_image != nullptr
+                              ? ", snapshot captured"
+                              : ", no snapshot yet"),
+                     again.tenant, id);
+      obs::logLine(obs::LogLevel::kInfo, "svc",
+                   "evicted from worker " + std::to_string(r.worker),
+                   again.tenant, id);
       JobEvicted ev;
       ev.job = id;
       ev.iteration = r.reach.iterations;
@@ -398,6 +566,17 @@ void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
       }
       ts.queue_seconds += r.queue_seconds;
       ts.exec_seconds += r.seconds;
+      const std::string status = to_string(r.status);
+      tenantCounter("bfvr_svc_jobs_finished_total", rec.job.tenant).inc();
+      finishSpanLocked(id, status, r.worker, rec.job.evictions);
+      if (r.status == RunStatus::kError) {
+        flight_.record(obs::FlightSeverity::kError, "job",
+                       "failed: " + r.message, rec.job.tenant, id);
+        if (dump_reason.empty()) dump_reason = "job-error";
+      }
+      obs::logLine(obs::LogLevel::kDebug, "svc",
+                   status + " on worker " + std::to_string(r.worker),
+                   rec.job.tenant, id);
       // The job is finished for good: its spool snapshot is garbage now.
       if (!rec.job.spec.opts.checkpoint_path.empty() &&
           rec.job.spec.opts.checkpoint_path.rfind(opts_.spool_dir, 0) == 0) {
@@ -422,6 +601,7 @@ void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
     if (owner != nullptr) sendTo(owner, out);
     pump();
   }
+  if (!dump_reason.empty()) dumpFlight(dump_reason);
   cv_.notify_all();
 }
 
@@ -461,7 +641,56 @@ std::string Server::spoolPathFor(std::uint64_t job_id) const {
   return opts_.spool_dir + "/svc_job_" + std::to_string(job_id) + ".ckpt";
 }
 
-std::string Server::buildReportLocked() const {
+void Server::spanEventLocked(std::uint64_t id, const char* what,
+                             std::string detail) {
+  auto it = spans_.find(id);
+  if (it == spans_.end()) return;
+  obs::SpanEvent ev;
+  ev.what = what;
+  ev.t = uptime_.seconds() - it->second.start;
+  ev.detail = std::move(detail);
+  it->second.events.push_back(std::move(ev));
+}
+
+void Server::finishSpanLocked(std::uint64_t id, const std::string& status,
+                              unsigned worker, unsigned evictions) {
+  auto it = spans_.find(id);
+  if (it == spans_.end()) return;
+  obs::JobSpan& span = it->second;
+  span.status = status;
+  span.evictions = evictions;
+  span.workers.push_back(worker);
+  spanEventLocked(id, "done", statusDetail(status, worker));
+  finished_spans_.push_back(id);
+  while (finished_spans_.size() > opts_.span_retain) {
+    spans_.erase(finished_spans_.front());
+    finished_spans_.pop_front();
+  }
+}
+
+void Server::sampleGaugesLocked() const {
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("bfvr_svc_queue_depth").set(
+      static_cast<std::int64_t>(queue_.queuedCount()));
+  reg.gauge("bfvr_svc_running").set(static_cast<std::int64_t>(running_.size()));
+  reg.gauge("bfvr_svc_sessions").set(
+      static_cast<std::int64_t>(sessions_.size()));
+  const run::ManagerCache::Stats warm = pool_.warmStats();
+  reg.gauge("bfvr_svc_warm_hits").set(static_cast<std::int64_t>(warm.hits));
+  reg.gauge("bfvr_svc_warm_misses").set(
+      static_cast<std::int64_t>(warm.misses));
+  reg.gauge("bfvr_svc_leaked_nodes").set(
+      static_cast<std::int64_t>(warm.leaked_nodes));
+  // Integer-friendly hit rate: parts per million of acquires served warm.
+  const std::uint64_t acquires = warm.hits + warm.misses;
+  reg.gauge("bfvr_svc_warm_hit_rate_ppm")
+      .set(acquires == 0 ? 0
+                         : static_cast<std::int64_t>(warm.hits * 1000000 /
+                                                     acquires));
+}
+
+std::string Server::buildReportLocked(std::uint32_t flags) const {
+  sampleGaugesLocked();
   const run::ManagerCache::Stats warm = pool_.warmStats();
   obs::SvcServerStats server;
   server.name = opts_.name;
@@ -474,17 +703,96 @@ std::string Server::buildReportLocked() const {
   server.warm_misses = warm.misses;
   server.resets_failed = warm.resets_failed;
   server.leaked_nodes = warm.leaked_nodes;
-  return obs::svcReportJson(server, tenant_stats_);
+  obs::SvcReportExtras extras;
+  extras.queue_depth = queue_.queuedCount();
+  extras.running = running_.size();
+  std::vector<obs::JobSpan> spans;
+  if ((flags & StatsQuery::kIncludeSpans) != 0) {
+    spans.reserve(spans_.size());
+    for (const auto& [id, span] : spans_) spans.push_back(span);
+    extras.spans = spans;
+  }
+  if ((flags & StatsQuery::kIncludeMetrics) != 0) {
+    extras.metrics_json = obs::Registry::global().json();
+  }
+  if ((flags & StatsQuery::kIncludeFlight) != 0) {
+    extras.flight_json = flight_.json("stats-query");
+  }
+  return obs::svcReportJson(server, tenant_stats_, extras);
 }
 
 std::string Server::statsJson() const {
+  return statsJson(StatsQuery::kIncludeMetrics | StatsQuery::kIncludeSpans);
+}
+
+std::string Server::statsJson(std::uint32_t flags) const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return buildReportLocked();
+  return buildReportLocked(flags);
 }
 
 std::vector<std::string> Server::dispatchLog() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return queue_.dispatchLog();
+}
+
+std::vector<obs::JobSpan> Server::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<obs::JobSpan> out;
+  out.reserve(spans_.size());
+  for (const auto& [id, span] : spans_) out.push_back(span);
+  return out;
+}
+
+std::uint64_t Server::spanCount(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = span_counts_.find(tenant);
+  return it != span_counts_.end() ? it->second : 0;
+}
+
+void Server::metricsLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock,
+                 std::chrono::duration<double>(opts_.metrics_every),
+                 [this] { return stopped_; });
+    if (stopped_) return;  // waitStopped writes the final snapshot
+    sampleGaugesLocked();
+    lock.unlock();  // exposition takes only the registry's own lock
+    writeMetricsFiles();
+    lock.lock();
+  }
+}
+
+void Server::writeMetricsFiles() const {
+  const std::string base = opts_.metrics_dir + "/METRICS_" + opts_.name;
+  {
+    std::ofstream out(base + ".prom");
+    if (out) {
+      out << obs::Registry::global().text();
+    } else {
+      obs::logLine(obs::LogLevel::kError, "svc",
+                   "cannot write " + base + ".prom");
+    }
+  }
+  std::ofstream out(base + ".json");
+  if (out) {
+    out << obs::Registry::global().json();
+  } else {
+    obs::logLine(obs::LogLevel::kError, "svc",
+                 "cannot write " + base + ".json");
+  }
+}
+
+void Server::dumpFlight(const std::string& reason) const {
+  if (opts_.flight_dir.empty()) return;
+  const std::string path =
+      opts_.flight_dir + "/FLIGHT_" + opts_.name + ".json";
+  if (flight_.dump(path, reason)) {
+    obs::logLine(obs::LogLevel::kInfo, "svc",
+                 "flight recorder dumped to " + path + " (" + reason + ")");
+  } else {
+    obs::logLine(obs::LogLevel::kError, "svc", "cannot write " + path);
+  }
 }
 
 }  // namespace bfvr::svc

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/report.hpp"
 #include "run/run.hpp"
 #include "svc/queue.hpp"
@@ -61,6 +63,21 @@ class Server {
     std::string report_path;
     /// Server tag in HelloAck and the report.
     std::string name = "bfv_serve";
+    /// Seconds between METRICS_<name>.{prom,json} snapshots written to
+    /// `metrics_dir` (0 = never; a final snapshot is still written at
+    /// shutdown when a cadence was set).
+    double metrics_every = 0.0;
+    std::string metrics_dir = ".";
+    /// Directory for FLIGHT_<name>.json post-mortem dumps, written on job
+    /// error, injected worker fault, and shutdown ("" = no dumps; the ring
+    /// still records and stays queryable over the stats frame).
+    std::string flight_dir;
+    /// Flight-recorder ring capacity (recent events retained).
+    std::size_t flight_capacity = 512;
+    /// Finished span timelines retained for stats/report queries;
+    /// in-flight spans are always kept. Per-tenant span counts survive
+    /// the trim.
+    std::size_t span_retain = 4096;
   };
 
   /// Binds and listens on the endpoint (throws svc::Error on failure); the
@@ -84,14 +101,23 @@ class Server {
     waitStopped();
   }
 
-  /// The server metrics report (obs::svcReportJson), valid at any time.
+  /// The server metrics report (obs::svcReportJson) with the default
+  /// sections (metrics + spans), valid at any time.
   std::string statsJson() const;
+  /// Same report with an explicit StatsQuery section selection.
+  std::string statsJson(std::uint32_t flags) const;
   /// Tenant name per dispatch, in dispatch order (fairness evidence).
   std::vector<std::string> dispatchLog() const;
   /// Aggregated warm-manager stats from the pool.
   run::ManagerCache::Stats warmStats() const noexcept {
     return pool_.warmStats();
   }
+  /// Snapshot of the retained span timelines (in-flight + recent finished).
+  std::vector<obs::JobSpan> spans() const;
+  /// Spans ever opened per tenant (survives span_retain trimming).
+  std::uint64_t spanCount(const std::string& tenant) const;
+  /// The server's flight recorder (for tests and embedding).
+  const obs::FlightRecorder& flight() const noexcept { return flight_; }
 
  private:
   struct Session {
@@ -125,7 +151,22 @@ class Server {
   std::shared_ptr<Session> sessionById(std::uint64_t id);
   obs::SvcTenantStats& statsFor(const std::string& tenant);
   std::string spoolPathFor(std::uint64_t job_id) const;
-  std::string buildReportLocked() const;
+  std::string buildReportLocked(std::uint32_t flags) const;
+  /// Stamp one event on job `id`'s span timeline. Caller holds mu_.
+  void spanEventLocked(std::uint64_t id, const char* what,
+                       std::string detail = "");
+  /// Close job `id`'s span with its terminal status and trim the retained
+  /// set to span_retain. Caller holds mu_.
+  void finishSpanLocked(std::uint64_t id, const std::string& status,
+                        unsigned worker, unsigned evictions);
+  /// Refresh the sampled gauges (queue depth, running, sessions, warm
+  /// cache) from current scheduler state. Caller holds mu_.
+  void sampleGaugesLocked() const;
+  /// Periodic METRICS_<name>.{prom,json} writer (own thread).
+  void metricsLoop();
+  void writeMetricsFiles() const;
+  /// Dump the flight ring to FLIGHT_<name>.json (no-op without flight_dir).
+  void dumpFlight(const std::string& reason) const;
 
   Options opts_;
   Endpoint endpoint_;
@@ -149,7 +190,16 @@ class Server {
   std::uint64_t dispatches_ = 0;
   std::vector<obs::SvcTenantStats> tenant_stats_;
 
+  // Observability state. Spans are keyed by server job id; finished ones
+  // are trimmed FIFO to opts_.span_retain while per-tenant counts persist.
+  std::uint64_t next_trace_ = 1;
+  std::map<std::uint64_t, obs::JobSpan> spans_;
+  std::deque<std::uint64_t> finished_spans_;
+  std::map<std::string, std::uint64_t> span_counts_;
+  obs::FlightRecorder flight_;
+
   std::thread accept_thread_;
+  std::thread metrics_thread_;
   std::vector<std::thread> session_threads_;
 };
 

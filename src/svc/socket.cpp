@@ -12,9 +12,40 @@
 #include <csignal>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "util/stats.hpp"
+
 namespace bfvr::svc {
 
 namespace {
+
+// Wire instruments, resolved once so every frame pays only relaxed atomic
+// updates. Encode/decode time covers serialization + CRC + the socket I/O
+// itself — the client-visible cost of a frame.
+struct WireMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& errors;
+  obs::Histogram& encode_seconds;
+  obs::Histogram& decode_seconds;
+
+  static WireMetrics& get() {
+    static WireMetrics m{
+        obs::Registry::global().counter("bfvr_wire_frames_sent_total"),
+        obs::Registry::global().counter("bfvr_wire_frames_received_total"),
+        obs::Registry::global().counter("bfvr_wire_bytes_sent_total"),
+        obs::Registry::global().counter("bfvr_wire_bytes_received_total"),
+        obs::Registry::global().counter("bfvr_wire_errors_total"),
+        obs::Registry::global().histogram("bfvr_wire_frame_encode_seconds",
+                                          "", obs::kSecondsScale),
+        obs::Registry::global().histogram("bfvr_wire_frame_decode_seconds",
+                                          "", obs::kSecondsScale),
+    };
+    return m;
+  }
+};
 
 std::string errnoText(const std::string& what) {
   return what + ": " + std::strerror(errno);
@@ -208,22 +239,45 @@ Fd connectTo(const Endpoint& ep) {
 }
 
 void sendFrame(const Fd& fd, const Frame& f) {
+  WireMetrics& wm = WireMetrics::get();
+  const Timer t;
   const std::vector<std::uint8_t> bytes = encodeFrame(f);
-  writeAll(fd.get(), bytes.data(), bytes.size());
+  try {
+    writeAll(fd.get(), bytes.data(), bytes.size());
+  } catch (...) {
+    wm.errors.inc();
+    throw;
+  }
+  wm.encode_seconds.observeSeconds(t.seconds());
+  wm.frames_sent.inc();
+  wm.bytes_sent.inc(bytes.size());
 }
 
 std::optional<Frame> recvFrame(const Fd& fd) {
+  WireMetrics& wm = WireMetrics::get();
   std::uint8_t header[kFrameHeaderBytes];
   if (!readAll(fd.get(), header, sizeof(header))) return std::nullopt;
-  Frame f;
-  std::uint32_t crc = 0;
-  const std::uint32_t len = decodeFrameHeader(header, &f.type, &crc);
-  f.payload.resize(len);
-  if (len > 0 && !readAll(fd.get(), f.payload.data(), len)) {
-    throw Error("wire: connection closed mid-frame");
+  // The decode clock starts once the header has arrived: recvFrame blocks
+  // here for however long the peer stays idle, and that wait is not a
+  // decoding cost.
+  const Timer t;
+  try {
+    Frame f;
+    std::uint32_t crc = 0;
+    const std::uint32_t len = decodeFrameHeader(header, &f.type, &crc);
+    f.payload.resize(len);
+    if (len > 0 && !readAll(fd.get(), f.payload.data(), len)) {
+      throw Error("wire: connection closed mid-frame");
+    }
+    checkPayloadCrc(f.payload.data(), f.payload.size(), crc);
+    wm.decode_seconds.observeSeconds(t.seconds());
+    wm.frames_received.inc();
+    wm.bytes_received.inc(kFrameHeaderBytes + f.payload.size());
+    return f;
+  } catch (...) {
+    wm.errors.inc();
+    throw;
   }
-  checkPayloadCrc(f.payload.data(), f.payload.size(), crc);
-  return f;
 }
 
 }  // namespace bfvr::svc

@@ -36,7 +36,10 @@ struct Error : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Protocol revision. v2 added observability: Accepted carries the
+/// server-assigned span trace id, and Stats carries a flags word selecting
+/// which live sections (metrics / spans / flight ring) the reply embeds.
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Hard ceiling on one frame's payload: large enough for any checkpoint
 /// image the shipped workloads produce, small enough that a corrupted (or

@@ -1,0 +1,277 @@
+// The serving tier's metrics layer: registry idempotency, histogram
+// bucket-boundary arithmetic, Prometheus-text and JSON exposition, the
+// flight-recorder ring (including wraparound), and the leveled logger.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace bfvr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry + instruments
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterIncrementsAndRegistryIsIdempotent) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("jobs_total");
+  obs::Counter& b = reg.counter("jobs_total");
+  EXPECT_EQ(&a, &b);  // same (name, labels) -> same instrument
+  a.inc();
+  a.inc(41);
+  EXPECT_EQ(b.value(), 42U);
+}
+
+TEST(Metrics, LabelledSeriesAreDistinctInstruments) {
+  obs::Registry reg;
+  obs::Counter& alpha =
+      reg.counter("jobs_total", obs::metricLabel("tenant", "alpha"));
+  obs::Counter& bravo =
+      reg.counter("jobs_total", obs::metricLabel("tenant", "bravo"));
+  EXPECT_NE(&alpha, &bravo);
+  alpha.inc(3);
+  bravo.inc(5);
+  EXPECT_EQ(alpha.value(), 3U);
+  EXPECT_EQ(bravo.value(), 5U);
+}
+
+TEST(Metrics, MetricLabelEscapesValue) {
+  EXPECT_EQ(obs::metricLabel("tenant", "alpha"), "tenant=\"alpha\"");
+  EXPECT_EQ(obs::metricLabel("k", "a\"b\\c\nd"), "k=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Metrics, GaugeSetsAndAdds) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("queue_depth");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+  g.set(-2);  // gauges are signed
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsReferencesValid) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("n");
+  obs::Histogram& h = reg.histogram("h");
+  c.inc(9);
+  h.observe(100);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0U);
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.sumRaw(), 0U);
+  c.inc();  // the reference survived the reset
+  EXPECT_EQ(c.value(), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram buckets
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesArePowersOfTwoInclusive) {
+  // Bucket i holds v <= 2^i: the boundary value lands in its own bucket,
+  // boundary+1 in the next.
+  EXPECT_EQ(obs::Histogram::bucketOf(0), 0U);
+  EXPECT_EQ(obs::Histogram::bucketOf(1), 0U);
+  EXPECT_EQ(obs::Histogram::bucketOf(2), 1U);
+  EXPECT_EQ(obs::Histogram::bucketOf(3), 2U);
+  EXPECT_EQ(obs::Histogram::bucketOf(4), 2U);
+  EXPECT_EQ(obs::Histogram::bucketOf(5), 3U);
+  for (std::size_t i = 1; i + 1 < obs::Histogram::kBuckets; ++i) {
+    const std::uint64_t bound = std::uint64_t{1} << i;
+    EXPECT_EQ(obs::Histogram::bucketOf(bound), i) << "at boundary 2^" << i;
+    EXPECT_EQ(obs::Histogram::bucketOf(bound + 1), i + 1)
+        << "just past 2^" << i;
+  }
+}
+
+TEST(Histogram, HugeValuesClampIntoOverflowBucket) {
+  const std::size_t last = obs::Histogram::kBuckets - 1;
+  EXPECT_EQ(obs::Histogram::bucketOf(~std::uint64_t{0}), last);
+  obs::Histogram h;
+  h.observe(~std::uint64_t{0});
+  EXPECT_EQ(h.bucketCount(last), 1U);
+}
+
+TEST(Histogram, ObserveUpdatesCountSumAndBucket) {
+  obs::Histogram h;
+  h.observe(3);
+  h.observe(4);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_EQ(h.sumRaw(), 1007U);
+  EXPECT_EQ(h.bucketCount(2), 2U);   // 3 and 4 both land in le=4
+  EXPECT_EQ(h.bucketCount(10), 1U);  // 1000 lands in le=1024
+}
+
+TEST(Histogram, ObserveSecondsRoundsToMicrosecondsAndClampsNegative) {
+  obs::Histogram h;
+  h.observeSeconds(0.001);  // 1000us -> bucket le=1024
+  h.observeSeconds(-5.0);   // clamps to 0 -> bucket 0
+  EXPECT_EQ(h.count(), 2U);
+  EXPECT_EQ(h.sumRaw(), 1000U);
+  EXPECT_EQ(h.bucketCount(10), 1U);
+  EXPECT_EQ(h.bucketCount(0), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+// ---------------------------------------------------------------------------
+
+TEST(Exposition, PrometheusTextHasTypeLinesAndCumulativeBuckets) {
+  obs::Registry reg;
+  reg.counter("requests_total", obs::metricLabel("tenant", "alpha")).inc(2);
+  reg.counter("requests_total", obs::metricLabel("tenant", "bravo")).inc(1);
+  reg.gauge("depth").set(5);
+  obs::Histogram& h = reg.histogram("latency_seconds", "", obs::kSecondsScale);
+  h.observe(1);  // bucket 0: le=1us = 1e-06s
+  h.observe(3);  // bucket 2: le=4us
+  const std::string text = reg.text();
+
+  // One # TYPE line per family, not per labelled series.
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE requests_total counter",
+                      text.find("# TYPE requests_total counter") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("requests_total{tenant=\"alpha\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("requests_total{tenant=\"bravo\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 5\n"), std::string::npos);
+
+  // Histogram: cumulative buckets in seconds, then _sum and _count.
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1e-06\"} 1\n"),
+            std::string::npos);
+  // le=4e-06 is cumulative: both observations.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"4e-06\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_sum 4e-06\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 2\n"), std::string::npos);
+}
+
+TEST(Exposition, JsonHasAllThreeSections) {
+  obs::Registry reg;
+  reg.counter("a_total").inc(7);
+  reg.gauge("b").set(-1);
+  reg.histogram("c").observe(2);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a_total\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"b\": -1"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(Exposition, SecondRegistrationCannotSplitAHistogramFamilyScale) {
+  obs::Registry reg;
+  reg.histogram("t_seconds", obs::metricLabel("k", "a"), obs::kSecondsScale);
+  // A sloppy second registration (default scale) still joins the family at
+  // the first registration's scale, keeping `le` bounds consistent.
+  obs::Histogram& b = reg.histogram("t_seconds", obs::metricLabel("k", "b"));
+  b.observe(1);
+  const std::string text = reg.text();
+  EXPECT_NE(text.find("t_seconds_bucket{k=\"b\",le=\"1e-06\"} 1\n"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, RecordsAndSnapshotsInOrder) {
+  obs::FlightRecorder fr(8);
+  fr.record(obs::FlightSeverity::kInfo, "admission", "admitted", "alpha", 1);
+  fr.record(obs::FlightSeverity::kWarn, "eviction", "evicted", "alpha", 1);
+  const std::vector<obs::FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 2U);
+  EXPECT_EQ(events[0].seq, 0U);
+  EXPECT_EQ(events[0].category, "admission");
+  EXPECT_EQ(events[1].seq, 1U);
+  EXPECT_EQ(events[1].category, "eviction");
+  EXPECT_EQ(events[1].tenant, "alpha");
+  EXPECT_EQ(events[1].job, 1U);
+  EXPECT_GE(events[1].t, events[0].t);
+}
+
+TEST(FlightRecorder, WraparoundKeepsTheMostRecentEvents) {
+  obs::FlightRecorder fr(4);
+  for (int i = 0; i < 11; ++i) {
+    fr.record(obs::FlightSeverity::kInfo, "tick", std::to_string(i));
+  }
+  EXPECT_EQ(fr.totalRecorded(), 11U);
+  const std::vector<obs::FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 4U);  // ring capacity, oldest overwritten
+  // The survivors are exactly the last four, oldest first, with their
+  // original global sequence numbers intact (the seq gap proves overwrite).
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 7 + i);
+    EXPECT_EQ(events[i].message, std::to_string(7 + i));
+  }
+}
+
+TEST(FlightRecorder, JsonCarriesReasonAndEventFields) {
+  obs::FlightRecorder fr(4);
+  fr.record(obs::FlightSeverity::kError, "fault", "worker 2 faulted",
+            "bravo", 17);
+  const std::string json = fr.json("worker-fault");
+  EXPECT_NE(json.find("\"reason\": \"worker-fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"category\": \"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\": \"bravo\""), std::string::npos);
+  EXPECT_NE(json.find("\"job\": 17"), std::string::npos);
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  obs::FlightRecorder fr(0);
+  EXPECT_EQ(fr.capacity(), 1U);
+  fr.record(obs::FlightSeverity::kInfo, "a", "1");
+  fr.record(obs::FlightSeverity::kInfo, "b", "2");
+  const std::vector<obs::FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 1U);
+  EXPECT_EQ(events[0].category, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Leveled logger
+// ---------------------------------------------------------------------------
+
+TEST(Log, ParseAcceptsTheThreeLevelsAndRejectsJunk) {
+  obs::LogLevel level = obs::LogLevel::kError;
+  EXPECT_TRUE(obs::parseLogLevel("error", &level));
+  EXPECT_EQ(level, obs::LogLevel::kError);
+  EXPECT_TRUE(obs::parseLogLevel("info", &level));
+  EXPECT_EQ(level, obs::LogLevel::kInfo);
+  EXPECT_TRUE(obs::parseLogLevel("debug", &level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug);
+  EXPECT_FALSE(obs::parseLogLevel("verbose", &level));
+  EXPECT_FALSE(obs::parseLogLevel("", &level));
+}
+
+TEST(Log, LevelGateDefaultsQuietAndIsAdjustable) {
+  const obs::LogLevel before = obs::logLevel();
+  obs::setLogLevel(obs::LogLevel::kError);
+  EXPECT_TRUE(obs::logEnabled(obs::LogLevel::kError));
+  EXPECT_FALSE(obs::logEnabled(obs::LogLevel::kInfo));
+  EXPECT_FALSE(obs::logEnabled(obs::LogLevel::kDebug));
+  obs::setLogLevel(obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::logEnabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(obs::logEnabled(obs::LogLevel::kDebug));
+  obs::setLogLevel(before);
+}
+
+}  // namespace
+}  // namespace bfvr

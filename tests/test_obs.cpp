@@ -208,6 +208,38 @@ TEST(PhaseTimer, DisabledScopeIsNoOp) {
   SUCCEED();
 }
 
+TEST(PhaseTimer, PopOnEmptyTimerReportsCleanError) {
+  obs::PhaseTimer t;
+  EXPECT_THROW(t.pop(), std::logic_error);
+  EXPECT_THROW(t.pop(obs::Phase::kImage), std::logic_error);
+}
+
+TEST(PhaseTimer, OverlappingPhasesReportCleanErrorNotMisattribution) {
+  // Phases must nest: closing kUnion while kImage is the innermost open
+  // phase is an instrumentation bug. The old code silently attributed the
+  // overlap to whichever phase happened to be on top; now the manual pop
+  // API reports it.
+  obs::PhaseTimer t;
+  t.push(obs::Phase::kImage);
+  EXPECT_THROW(t.pop(obs::Phase::kUnion), std::logic_error);
+  // The open phase is untouched by the failed pop: closing it in LIFO
+  // order still works and the timer ends balanced.
+  t.pop(obs::Phase::kImage);
+  EXPECT_EQ(t.depth(), 0U);
+  try {
+    t.push(obs::Phase::kReparam);
+    t.pop(obs::Phase::kCheck);
+    FAIL() << "out-of-order pop must throw";
+  } catch (const std::logic_error& e) {
+    // The message names the phase actually open, for a usable diagnosis.
+    EXPECT_NE(std::string(e.what()).find("overlap"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(to_string(obs::Phase::kReparam)),
+              std::string::npos);
+  }
+  t.pop();
+  EXPECT_EQ(t.depth(), 0U);
+}
+
 TEST(PhaseSeconds, SinceIsFieldWise) {
   obs::PhaseSeconds a;
   a[obs::Phase::kImage] = 3.0;

@@ -288,7 +288,7 @@ TEST(SvcServer, StatsReportOverTheWire) {
     std::optional<std::uint64_t> job = client.awaitAdmission(tag);
     ASSERT_TRUE(job.has_value());
     (void)client.awaitDone(*job);
-    client.queryStats();
+    client.queryStats(StatsQuery::kAllSections);
     for (;;) {
       std::optional<Event> ev = client.next();
       ASSERT_TRUE(ev.has_value());
@@ -298,11 +298,88 @@ TEST(SvcServer, StatsReportOverTheWire) {
                   std::string::npos);
         EXPECT_NE(reply->json.find("\"tenant\": \"carol\""),
                   std::string::npos);
+        // Live scheduler state.
+        EXPECT_NE(reply->json.find("\"queue_depth\": 0"), std::string::npos);
+        EXPECT_NE(reply->json.find("\"running\": 0"), std::string::npos);
+        // The embedded metrics document carries per-tenant counters and the
+        // three serving-latency histograms, all live by now.
+        EXPECT_NE(
+            reply->json.find("bfvr_svc_admitted_total{tenant=\\\"carol\\\"}"),
+            std::string::npos);
+        for (const char* h :
+             {"bfvr_pool_queue_wait_seconds", "bfvr_pool_exec_seconds",
+              "bfvr_svc_dispatch_seconds"}) {
+          EXPECT_NE(reply->json.find(h), std::string::npos) << h;
+        }
+        // The span timeline of the finished job, with its lifecycle steps.
+        for (const char* step : {"\"received\"", "\"admitted\"", "\"queued\"",
+                                 "\"dispatched\"", "\"done\""}) {
+          EXPECT_NE(reply->json.find(step), std::string::npos) << step;
+        }
+        // The flight section arrives when asked for.
+        EXPECT_NE(reply->json.find("\"flight\""), std::string::npos);
+        EXPECT_NE(reply->json.find("stats-query"), std::string::npos);
         break;
       }
     }
     client.bye();
   }
+  server.requestShutdown(true);
+  server.waitStopped();
+}
+
+TEST(SvcServer, AcceptedTraceIdMatchesTheSpan) {
+  const std::string sock = sockPath("trace");
+  Server server(baseOptions(sock));
+  server.start();
+  std::uint64_t trace = 0, job_id = 0;
+  {
+    Client client("unix:" + sock, "alpha");
+    const std::uint64_t tag = client.submit("circuit=gen:counter:3:4");
+    for (;;) {
+      std::optional<Event> ev = client.next();
+      ASSERT_TRUE(ev.has_value());
+      if (const auto* acc = std::get_if<Accepted>(&*ev)) {
+        EXPECT_EQ(acc->tag, tag);
+        trace = acc->trace;
+        job_id = acc->job;
+        break;
+      }
+    }
+    EXPECT_GT(trace, 0u);
+    (void)client.awaitDone(job_id);
+    client.bye();
+  }
+  // The span the server retained carries the same trace id and a worker.
+  bool found = false;
+  for (const obs::JobSpan& span : server.spans()) {
+    if (span.job != job_id) continue;
+    found = true;
+    EXPECT_EQ(span.trace_id, trace);
+    EXPECT_EQ(span.tenant, "alpha");
+    EXPECT_EQ(span.status, "done");
+    ASSERT_EQ(span.workers.size(), 1u);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(server.spanCount("alpha"), 1u);
+  server.requestShutdown(true);
+  server.waitStopped();
+}
+
+TEST(SvcServer, StatsSectionsAreSelectable) {
+  const std::string sock = sockPath("sections");
+  Server server(baseOptions(sock));
+  server.start();
+  // No sections: counters only, no metrics/spans/flight keys.
+  const std::string lean = server.statsJson(0);
+  EXPECT_EQ(lean.find("\"metrics\""), std::string::npos);
+  EXPECT_EQ(lean.find("\"spans\""), std::string::npos);
+  EXPECT_EQ(lean.find("\"flight\""), std::string::npos);
+  EXPECT_NE(lean.find("\"queue_depth\""), std::string::npos);
+  // Each flag brings exactly its own section.
+  const std::string with_flight = server.statsJson(StatsQuery::kIncludeFlight);
+  EXPECT_NE(with_flight.find("\"flight\""), std::string::npos);
+  EXPECT_EQ(with_flight.find("\"metrics\""), std::string::npos);
   server.requestShutdown(true);
   server.waitStopped();
 }

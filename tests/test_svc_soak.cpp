@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
@@ -66,6 +68,9 @@ TEST(SvcSoak, MultiTenantFairnessEvictionAndCleanShutdown) {
   opts.checkpoint_every = 1;
   opts.stream_iterations = false;  // throughput mode; eviction needs no feed
   opts.name = "soak";
+  opts.flight_dir = ::testing::TempDir();
+  const std::string flight_path = opts.flight_dir + "/FLIGHT_soak.json";
+  std::remove(flight_path.c_str());
   Server server(opts);
   server.start();
 
@@ -132,11 +137,13 @@ TEST(SvcSoak, MultiTenantFairnessEvictionAndCleanShutdown) {
   ref.circuit = "gen:counter:14:12000";
   const run::JobResult ref_result = run::executeJob(ref);
   ASSERT_EQ(ref_result.status, RunStatus::kDone);
+  std::uint64_t evicted_job = 0;
   {
     Client client("unix:" + sock, "alpha");
     const std::uint64_t tag = client.submit("circuit=gen:counter:14:12000");
     std::optional<std::uint64_t> job = client.awaitAdmission(tag);
     ASSERT_TRUE(job.has_value());
+    evicted_job = *job;
     // Wait for the dispatch, give the engine a moment to lay down a spool
     // snapshot (checkpoint_every=1: any completed iteration suffices),
     // then pull the rug.
@@ -172,11 +179,80 @@ TEST(SvcSoak, MultiTenantFairnessEvictionAndCleanShutdown) {
     client.bye();
   }
 
+  // The evicted job's span timeline shows the full migration story: two
+  // different workers, an "evicted" stamp and a "resumed" stamp.
+  {
+    bool span_found = false;
+    for (const obs::JobSpan& span : server.spans()) {
+      if (span.job != evicted_job) continue;
+      span_found = true;
+      EXPECT_EQ(span.status, "done");
+      EXPECT_EQ(span.evictions, 1u);
+      ASSERT_EQ(span.workers.size(), 2u);
+      EXPECT_NE(span.workers[0], span.workers[1]);
+      bool saw_evicted = false, saw_resumed = false;
+      for (const obs::SpanEvent& ev : span.events) {
+        if (ev.what == "evicted") saw_evicted = true;
+        // Migration ordering: the resume comes after the eviction.
+        if (ev.what == "resumed") saw_resumed = saw_evicted;
+      }
+      EXPECT_TRUE(saw_evicted);
+      EXPECT_TRUE(saw_resumed);
+    }
+    EXPECT_TRUE(span_found);
+  }
+
+  // --- phase 3: injected worker fault dumps the flight ring ------------
+  // A deterministic mid-run allocation failure folds to memout; the server
+  // notices faults_injected != 0 and writes the post-mortem dump.
+  {
+    Client client("unix:" + sock, "fault");
+    const std::uint64_t tag =
+        client.submit("circuit=gen:counter:8:200 fault-allocs=2000");
+    std::optional<std::uint64_t> job = client.awaitAdmission(tag);
+    ASSERT_TRUE(job.has_value());
+    const JobDone done = client.awaitDone(*job);
+    EXPECT_EQ(done.status, "M.O.");
+    EXPECT_NE(done.message.find("injected"), std::string::npos);
+    client.bye();
+  }
+  {
+    // The dump is written after the JobDone frame goes out (file I/O stays
+    // off the scheduler lock), so give the worker thread a moment.
+    std::string dump;
+    for (int tries = 0; tries < 100; ++tries) {
+      std::ifstream in(flight_path);
+      if (in.good()) {
+        dump.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+        if (dump.find("worker-fault") != std::string::npos) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_FALSE(dump.empty()) << "no flight dump at " << flight_path;
+    EXPECT_NE(dump.find("\"reason\": \"worker-fault\""), std::string::npos);
+    // The ring's recent events cover the whole incident sequence: the
+    // eviction and resume from phase 2, then the injected fault.
+    const std::size_t fault_at = dump.find("\"category\": \"fault\"");
+    EXPECT_NE(fault_at, std::string::npos);
+    EXPECT_NE(dump.find("\"category\": \"eviction\""), std::string::npos);
+    EXPECT_NE(dump.find("\"category\": \"resume\""), std::string::npos);
+    EXPECT_LT(dump.find("\"category\": \"eviction\""), fault_at);
+  }
+
+  // Per-tenant span accounting: one span per accepted job, exactly.
+  EXPECT_EQ(server.spanCount("alpha"), kJobsPerTenant + 1u);  // + evict job
+  EXPECT_EQ(server.spanCount("bravo"), kJobsPerTenant);
+  EXPECT_EQ(server.spanCount("carol"), kJobsPerTenant);
+  EXPECT_EQ(server.spanCount("plug"), 4u);
+  EXPECT_EQ(server.spanCount("fault"), 1u);
+
   // --- shutdown: accounting back to zero -------------------------------
   server.requestShutdown(true);
   server.waitStopped();
-  // 4 plugs + 1002 tenant jobs + the evicted job dispatched twice.
-  EXPECT_EQ(server.dispatchLog().size(), 4u + 3u * kJobsPerTenant + 2u);
+  // 4 plugs + 1002 tenant jobs + the evicted job dispatched twice + the
+  // fault-injected job.
+  EXPECT_EQ(server.dispatchLog().size(), 4u + 3u * kJobsPerTenant + 3u);
   const std::string stats = server.statsJson();
   EXPECT_NE(stats.find("\"evictions\": 1"), std::string::npos) << stats;
   EXPECT_NE(stats.find("\"resumes\": 1"), std::string::npos) << stats;

@@ -120,6 +120,57 @@ TEST(SvcWire, EveryMessageTypeRoundTrips) {
             "boom");
 }
 
+TEST(SvcWire, AcceptedCarriesTheTraceId) {
+  Accepted a;
+  a.tag = 3;
+  a.job = 9;
+  a.trace = 0xDEADBEEFCAFEULL;
+  const Accepted back = Accepted::decode(roundTrip(a.encode()));
+  EXPECT_EQ(back.tag, 3u);
+  EXPECT_EQ(back.job, 9u);
+  EXPECT_EQ(back.trace, 0xDEADBEEFCAFEULL);
+}
+
+TEST(SvcWire, StatsQueryFlagsRoundTrip) {
+  for (const std::uint32_t flags :
+       {std::uint32_t{0}, StatsQuery::kIncludeMetrics,
+        StatsQuery::kIncludeSpans, StatsQuery::kIncludeFlight,
+        StatsQuery::kAllSections}) {
+    StatsQuery q;
+    q.flags = flags;
+    EXPECT_EQ(StatsQuery::decode(roundTrip(q.encode())).flags, flags);
+  }
+}
+
+TEST(SvcWire, StatsQueryUnknownSectionFlagsRejected) {
+  // Forward-compat guard: a client asking for a section this server does
+  // not know must get a protocol error, not a silently-wrong reply.
+  StatsQuery q;
+  q.flags = StatsQuery::kAllSections;
+  Frame f = q.encode();
+  f.payload[0] |= 0x80;  // set a flag bit beyond kAllSections
+  EXPECT_THROW(StatsQuery::decode(f), Error);
+}
+
+TEST(SvcWire, TruncatedStatsQueryPayloadRejected) {
+  Frame f = StatsQuery{}.encode();
+  ASSERT_FALSE(f.payload.empty());
+  f.payload.pop_back();
+  EXPECT_THROW(StatsQuery::decode(f), Error);
+}
+
+TEST(SvcWire, CorruptedStatsReplyCrcMismatch) {
+  StatsReply reply;
+  reply.json = "{\"queue_depth\": 3}";
+  std::vector<std::uint8_t> bytes = encodeFrame(reply.encode());
+  bytes[kFrameHeaderBytes + 2] ^= 0x10;
+  FrameType t;
+  std::uint32_t crc;
+  const std::uint32_t len = decodeFrameHeader(bytes.data(), &t, &crc);
+  EXPECT_THROW(
+      checkPayloadCrc(bytes.data() + kFrameHeaderBytes, len, crc), Error);
+}
+
 TEST(SvcWire, DecodeRejectsWrongFrameType) {
   const Frame f = Cancel{1}.encode();
   EXPECT_THROW(Evict::decode(f), Error);

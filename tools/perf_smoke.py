@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""CI perf smoke: guard recursive_steps and peak_live_nodes against a
-committed baseline.
+"""CI perf smoke: guard recursive_steps and peak_live_nodes against
+committed baselines.
 
-Usage: perf_smoke.py <current.json> <baseline.json> [--tolerance 0.10]
+Usage: perf_smoke.py <current.json> <baseline.json> [<current2> <baseline2> ...]
+                     [--tolerance 0.10]
 
-Both files are BENCH_quantsched.json-shaped arrays of run objects. Rows are
+Each (current, baseline) pair is a BENCH_*.json-shaped array of run objects
+(bench_quantsched and bench_table2 emit the same row schema). Rows are
 matched on (circuit, order, engine, schedule) and compared on
 `recursive_steps` — the deterministic work metric, immune to CI-runner noise
 (wall time on shared runners swings far more than 10%) — and on
@@ -12,12 +14,18 @@ matched on (circuit, order, engine, schedule) and compared on
 protect (a creeping peak silently erodes every node-budget headroom the
 retry ladder depends on). The check fails if any matched row regresses by
 more than the tolerance on either metric, or if a baseline row disappears;
-new rows are reported but allowed, so adding circuits to the bench does not
+new rows are reported but allowed, so adding circuits to a bench does not
 require a lockstep baseline update.
 
-Update the baseline (after a deliberate algorithmic change) with:
+Rows whose status is not "done" (timeouts, memouts) are skipped on both
+sides: a run cut off by a wall-clock deadline stops at a machine-dependent
+iteration, so its counters are not comparable across runners.
+
+Update a baseline (after a deliberate algorithmic change) with:
     ./build/bench/bench_quantsched --quick --trace \
         --json=baselines/BENCH_quantsched.json
+    ./build/bench/bench_table2 --quick --trace \
+        --json=baselines/BENCH_table2.json
 (--trace matters: the tracer's per-iteration snapshots perform a little BDD
 work, so step counts in trace mode differ slightly from plain runs, and CI
 runs with both flags.)
@@ -44,26 +52,28 @@ def load(path):
     with open(path) as f:
         rows = json.load(f)
     out = {}
+    skipped = 0
     for row in rows:
+        if row.get("status", "done") != "done":
+            skipped += 1
+            continue
         metrics = {m: row[m] for m in METRICS if m in row}
         if metrics:
             out[key(row)] = metrics
+    if skipped:
+        print(f"note: {path}: skipped {skipped} non-done row(s)")
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current")
-    ap.add_argument("baseline")
-    ap.add_argument("--tolerance", type=float, default=0.10)
-    args = ap.parse_args()
-
-    cur = load(args.current)
-    base = load(args.baseline)
+def compare(cur_path, base_path, tolerance):
+    """Gate one (current, baseline) pair; returns True on failure."""
+    cur = load(cur_path)
+    base = load(base_path)
     if not base:
-        print(f"error: no comparable rows in baseline {args.baseline}")
-        return 1
+        print(f"error: no comparable rows in baseline {base_path}")
+        return True
 
+    print(f"--- {cur_path} vs {base_path}")
     failed = False
     for k, base_metrics in sorted(base.items()):
         label = "/".join(str(p) for p in k)
@@ -79,7 +89,7 @@ def main():
             cur_val = cur[k][metric]
             ratio = cur_val / base_val if base_val else float("inf")
             verdict = "ok"
-            if ratio > 1.0 + args.tolerance:
+            if ratio > 1.0 + tolerance:
                 verdict = "FAIL"
                 failed = True
             print(
@@ -89,6 +99,24 @@ def main():
     for k in sorted(set(cur) - set(base)):
         label = "/".join(str(p) for p in k)
         print(f"new  {label}: {cur[k]} (not in baseline)")
+    return failed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("pairs", nargs="+",
+                    metavar="current.json baseline.json",
+                    help="one or more (current, baseline) file pairs")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args()
+
+    if len(args.pairs) % 2 != 0:
+        print("error: expected (current, baseline) file pairs")
+        return 2
+
+    failed = False
+    for i in range(0, len(args.pairs), 2):
+        failed |= compare(args.pairs[i], args.pairs[i + 1], args.tolerance)
 
     if failed:
         print(f"\nperf smoke failed (tolerance {args.tolerance:.0%}); "
