@@ -3,7 +3,9 @@
 // the BFV flow but converts chi -> BFV and BFV -> chi on every iteration;
 // the paper's flow (Fig. 2) never leaves the functional-vector world. The
 // monolithic and IWLS95-partitioned transition-relation engines complete
-// the comparison.
+// the comparison, and the logical-zonotope engine (src/lz) adds the
+// non-BDD representation: exact on the XOR-affine circuits, a sound
+// inconclusive over-approximation elsewhere.
 #include "support.hpp"
 
 using namespace bfvr;
@@ -45,6 +47,11 @@ int main(int argc, char** argv) {
                   engineName(e), timeCell(r).c_str(), peakCell(r).c_str(),
                   r.iterations, states);
     }
+    const lz::LzResult z = runLzOnce(n, 30.0);
+    log.push(lzRunObject(n.name(), z));
+    std::printf("%-12s %-10s %10s %9s %6u %10s\n", n.name().c_str(), "LZ",
+                lzTimeCell(z).c_str(), "-", z.iterations,
+                lzStatesCell(z).c_str());
     hr(64);
   }
   std::printf(

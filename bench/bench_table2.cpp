@@ -83,6 +83,13 @@ int main(int argc, char** argv) {
                   timeCell(b).c_str(), peakCell(b).c_str(), states,
                   done.iterations);
     }
+    // One order-free lz row per circuit: the zonotope representation has
+    // no variable order, so it rides outside the per-order grid.
+    const lz::LzResult z = runLzOnce(row.n, quick ? 5.0 : 20.0);
+    log.push(lzRunObject(row.n.name(), z));
+    std::printf("%-17s %-8s | %12s %9s | %12s %9s | %10s %5u\n",
+                row.n.name().c_str(), "n/a", "LZ:", lzTimeCell(z).c_str(),
+                "-", "-", lzStatesCell(z).c_str(), z.iterations);
     hr(96);
   }
   std::printf(

@@ -6,6 +6,7 @@
 //
 //   bfv_run <manifest> [--workers N] [--portfolio e1,e2,...] [--deadline S]
 //           [--trace] [--jobs[=path]] [--quiet] [--strict]
+//   bfv_run --list-engines
 //
 //   --workers N        pool size (default 1: deterministic, bit-identical
 //                      op counts to running the engines directly)
@@ -19,6 +20,8 @@
 //   --strict           also fail (exit 1) on memout / timeout jobs — for
 //                      CI gates where a budget trip is a regression, not
 //                      an expected outcome
+//   --list-engines     print the known engine tags (one per line) and exit;
+//                      the same list a bad engine= diagnostic cites
 //
 // Exit status: 0 when every job ended in a resource-model status (done /
 // T.O. / M.O. / cancelled); 1 when any job errored (bad circuit spec,
@@ -164,12 +167,20 @@ void printRow(const obs::JobRecord& rec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-engines") == 0) {
+      for (const run::EngineKind k : run::allEngineKinds()) {
+        std::printf("%s\n", to_string(k));
+      }
+      return 0;
+    }
+  }
   Args args;
   if (!parseArgs(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: %s <manifest> [--workers N] [--portfolio e1,e2,...] "
                  "[--deadline S] [--trace] [--jobs[=path]] [--quiet] "
-                 "[--strict]\n",
+                 "[--strict] | --list-engines\n",
                  argv[0]);
     return 2;
   }
@@ -246,21 +257,23 @@ int main(int argc, char** argv) {
 
   // Per-status roll-up, printed even under --quiet: it's the one line a CI
   // log needs to judge a batch.
-  std::size_t done = 0, memout = 0, timeout = 0, cancelled = 0, error = 0;
+  std::size_t done = 0, memout = 0, timeout = 0, cancelled = 0;
+  std::size_t inconclusive = 0, error = 0;
   std::size_t retries = 0;
   for (const obs::JobRecord& rec : records) {
     if (rec.status == "done") ++done;
     else if (rec.status == "M.O.") ++memout;
     else if (rec.status == "T.O.") ++timeout;
     else if (rec.status == "cancelled") ++cancelled;
+    else if (rec.status == "inconclusive") ++inconclusive;
     else ++error;
     if (rec.attempts.size() > 1) retries += rec.attempts.size() - 1;
   }
   std::printf(
       "%zu jobs on %u workers in %.3fs: %zu done, %zu memout, %zu timeout, "
-      "%zu cancelled, %zu error; %zu retr%s used\n",
+      "%zu cancelled, %zu inconclusive, %zu error; %zu retr%s used\n",
       records.size(), pool.workers(), total_seconds, done, memout, timeout,
-      cancelled, error, retries, retries == 1 ? "y" : "ies");
+      cancelled, inconclusive, error, retries, retries == 1 ? "y" : "ies");
 
   bool ok = true;
   for (const obs::JobRecord& rec : records) {

@@ -18,6 +18,7 @@
 
 #include "circuit/generators.hpp"
 #include "circuit/orders.hpp"
+#include "lz/lz_reach.hpp"
 #include "obs/report.hpp"
 #include "reach/engine.hpp"
 #include "sym/space.hpp"
@@ -94,6 +95,66 @@ inline reach::ReachResult runOnce(const circuit::Netlist& n,
     return r;
   }
   throw std::logic_error("bad engine");
+}
+
+/// One logical-zonotope engine run (src/lz) — no manager, no order; the
+/// representation is order-free, which is why the lz rows carry a fixed
+/// "n/a" order label in the tables and JSON.
+inline lz::LzResult runLzOnce(const circuit::Netlist& n, double max_seconds,
+                              unsigned max_iterations = 0) {
+  lz::LzOptions o;
+  o.budget.max_seconds = max_seconds;
+  o.max_iterations = max_iterations;
+  return lz::lzReach(n, o);
+}
+
+/// Summary row of an lz run. Deliberately NOT the BDD runObject schema:
+/// there are no nodes and no recursive steps, and emitting them as zeros
+/// would make tools/perf_smoke.py gate future runs against a zero baseline
+/// (an infinite regression ratio). The lz-specific counters ride instead.
+inline JsonObject lzRunObject(const std::string& circuit,
+                              const lz::LzResult& r) {
+  JsonObject o;
+  o.add("circuit", circuit)
+      .add("order", "n/a")
+      .add("engine", "LZ")
+      .add("status", to_string(r.status))
+      .add("seconds", r.seconds)
+      .add("iterations", r.iterations)
+      .add("states", r.states)
+      .add("exact", r.exact)
+      .add("zonotopes", std::uint64_t{r.zonotopes})
+      .add("point_states", std::uint64_t{r.point_states})
+      .add("peak_generators", r.peak_generators)
+      .add("lossy_products", r.lossy_products)
+      .add("message", r.message);
+  return o;
+}
+
+/// "time(s)" cell of an lz run (kInconclusive runs did finish — show their
+/// time, tagged by the separate status/notes columns).
+inline std::string lzTimeCell(const lz::LzResult& r) {
+  if (r.status != RunStatus::kDone &&
+      r.status != RunStatus::kInconclusive) {
+    return to_string(r.status);
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", r.seconds);
+  return buf;
+}
+
+/// "states" cell: the exact count, "<= N" for a sound upper bound, "-"
+/// when the run did not finish.
+inline std::string lzStatesCell(const lz::LzResult& r) {
+  char buf[48];
+  if (r.status == RunStatus::kDone) {
+    std::snprintf(buf, sizeof buf, "%.0f", r.states);
+  } else if (r.status == RunStatus::kInconclusive) {
+    std::snprintf(buf, sizeof buf, "<=%.0f", r.states);
+  } else {
+    std::snprintf(buf, sizeof buf, "-");
+  }
+  return buf;
 }
 
 /// Parse `--json` / `--json=path` out of argv; `bench_name` picks the

@@ -13,6 +13,28 @@ std::string idx(const std::string& base, unsigned i) {
   return base + std::to_string(i);
 }
 
+/// Primitive polynomial tap positions (1-based, Fibonacci form), shared by
+/// the LFSR and CRC generators. Every entry has an even tap count, which
+/// makeLfsrFree relies on: with an even number of taps the XNOR-feedback
+/// lockup state is all-ones, so the all-zero start state is on the long
+/// cycle.
+const std::vector<unsigned>& lfsrTaps(unsigned bits) {
+  static const std::map<unsigned, std::vector<unsigned>> kTaps = {
+      {3, {3, 2}},           {4, {4, 3}},
+      {5, {5, 3}},           {6, {6, 5}},
+      {7, {7, 6}},           {8, {8, 6, 5, 4}},
+      {9, {9, 5}},           {10, {10, 7}},
+      {11, {11, 9}},         {12, {12, 11, 10, 4}},
+      {16, {16, 15, 13, 4}}, {17, {17, 14}},
+      {20, {20, 17}},        {24, {24, 23, 22, 17}},
+      {28, {28, 25}},        {32, {32, 22, 2, 1}}};
+  const auto it = kTaps.find(bits);
+  if (it == kTaps.end()) {
+    throw std::invalid_argument("lfsrTaps: unsupported width");
+  }
+  return it->second;
+}
+
 }  // namespace
 
 Netlist makeCounter(unsigned bits, std::uint64_t modulo) {
@@ -69,31 +91,41 @@ Netlist makeJohnson(unsigned bits) {
 }
 
 Netlist makeLfsr(unsigned bits) {
-  // Primitive polynomial tap positions (1-based, Fibonacci form).
-  static const std::map<unsigned, std::vector<unsigned>> kTaps = {
-      {3, {3, 2}},          {4, {4, 3}},
-      {5, {5, 3}},          {6, {6, 5}},
-      {7, {7, 6}},          {8, {8, 6, 5, 4}},
-      {9, {9, 5}},          {10, {10, 7}},
-      {11, {11, 9}},        {12, {12, 11, 10, 4}},
-      {16, {16, 15, 13, 4}}, {20, {20, 17}}};
-  const auto it = kTaps.find(bits);
-  if (it == kTaps.end()) {
-    throw std::invalid_argument("makeLfsr: unsupported width");
-  }
+  const std::vector<unsigned>& taps = lfsrTaps(bits);
   Netlist n("lfsr" + std::to_string(bits));
   const SignalId en = n.addInput("en");
   std::vector<SignalId> q(bits);
   for (unsigned i = 0; i < bits; ++i) {
     q[i] = n.addLatch(idx("q", i), i == 0);  // seed = 000..01
   }
-  SignalId fb = q[it->second[0] - 1];
-  for (std::size_t t = 1; t < it->second.size(); ++t) {
-    fb = n.mkXor(fb, q[it->second[t] - 1], idx("fb", static_cast<unsigned>(t)));
+  SignalId fb = q[taps[0] - 1];
+  for (std::size_t t = 1; t < taps.size(); ++t) {
+    fb = n.mkXor(fb, q[taps[t] - 1], idx("fb", static_cast<unsigned>(t)));
   }
   for (unsigned i = 0; i < bits; ++i) {
     const SignalId shifted = i == 0 ? fb : q[i - 1];
     n.setLatchData(q[i], n.mkMux(en, shifted, q[i], idx("nq", i)));
+  }
+  n.markOutput(q[bits - 1]);
+  n.validate();
+  return n;
+}
+
+Netlist makeLfsrFree(unsigned bits) {
+  const std::vector<unsigned>& taps = lfsrTaps(bits);
+  Netlist n("lfsrf" + std::to_string(bits));
+  std::vector<SignalId> q(bits);
+  for (unsigned i = 0; i < bits; ++i) q[i] = n.addLatch(idx("q", i), false);
+  // XNOR feedback: fold the taps with XOR, complement on the last step.
+  // From all-zero the feedback is 1, so the register leaves the init state
+  // immediately; the (all-ones) lockup state is never reached.
+  SignalId fb = q[taps[0] - 1];
+  for (std::size_t t = 1; t + 1 < taps.size(); ++t) {
+    fb = n.mkXor(fb, q[taps[t] - 1], idx("fb", static_cast<unsigned>(t)));
+  }
+  fb = n.addGate(GateOp::kXnor, {fb, q[taps.back() - 1]}, "fbn");
+  for (unsigned i = 0; i < bits; ++i) {
+    n.setLatchData(q[i], i == 0 ? fb : q[i - 1]);
   }
   n.markOutput(q[bits - 1]);
   n.validate();
@@ -253,23 +285,12 @@ Netlist makeGrayCounter(unsigned bits) {
 }
 
 Netlist makeCrc(unsigned bits) {
-  // Reuse the LFSR structure but inject a data input into the feedback.
-  Netlist lfsr = makeLfsr(bits);  // validates the width
+  // LFSR structure with a data input injected into the feedback.
   Netlist n("crc" + std::to_string(bits));
   const SignalId din = n.addInput("din");
   std::vector<SignalId> q(bits);
   for (unsigned i = 0; i < bits; ++i) q[i] = n.addLatch(idx("q", i), false);
-  // Taps: mirror makeLfsr by re-deriving the feedback through the parsed
-  // structure is overkill; use the same table via a local copy.
-  // (makeLfsr already threw for unsupported widths above.)
-  static const std::map<unsigned, std::vector<unsigned>> kTaps = {
-      {3, {3, 2}},          {4, {4, 3}},
-      {5, {5, 3}},          {6, {6, 5}},
-      {7, {7, 6}},          {8, {8, 6, 5, 4}},
-      {9, {9, 5}},          {10, {10, 7}},
-      {11, {11, 9}},        {12, {12, 11, 10, 4}},
-      {16, {16, 15, 13, 4}}, {20, {20, 17}}};
-  const auto& taps = kTaps.at(bits);
+  const std::vector<unsigned>& taps = lfsrTaps(bits);
   SignalId fb = q[taps[0] - 1];
   for (std::size_t t = 1; t < taps.size(); ++t) {
     fb = n.mkXor(fb, q[taps[t] - 1], idx("fb", static_cast<unsigned>(t)));

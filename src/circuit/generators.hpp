@@ -18,8 +18,18 @@ Netlist makeCounter(unsigned bits, std::uint64_t modulo);
 Netlist makeJohnson(unsigned bits);
 
 /// Fibonacci LFSR with a primitive polynomial and an enable input, seeded
-/// with 1. Reachable: 2^bits - 1 states. Supported widths: 3..12, 16, 20.
+/// with 1. Reachable: 2^bits - 1 states. Supported widths: 3..12, 16, 17,
+/// 20, 24, 28, 32.
 Netlist makeLfsr(unsigned bits);
+
+/// Free-running Fibonacci LFSR with XNOR feedback and no inputs at all —
+/// the enable mux of makeLfsr is an AND structure, which makes that
+/// circuit non-affine; this one is pure shift + XNOR, i.e. XOR-affine, the
+/// exact class of the logical-zonotope backend (src/lz). XNOR feedback
+/// lets the register start from the all-zero state (the natural DFF init,
+/// expressible in .bench) and still cycle through 2^bits - 1 states; the
+/// excluded lockup state is all-ones. Same width table as makeLfsr.
+Netlist makeLfsrFree(unsigned bits);
 
 /// Twin shift register: two `bits`-deep shift registers fed by the same
 /// serial input. Reachable: the 2^bits states with a == b — the paper's §3

@@ -1,0 +1,178 @@
+#include "lz/genset.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace bfvr::lz {
+
+void xorInto(Bits& a, const Bits& b) noexcept {
+  const std::size_t n = b.size() < a.size() ? b.size() : a.size();
+  for (std::size_t i = 0; i < n; ++i) a[i] ^= b[i];
+}
+
+bool isZero(const Bits& b) noexcept {
+  for (Word w : b) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+unsigned lowestSetBit(const Bits& b) noexcept {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i] != 0) {
+      return static_cast<unsigned>(i * 64 + std::countr_zero(b[i]));
+    }
+  }
+  return ~0u;
+}
+
+GeneratorSet::GeneratorSet(unsigned dims)
+    : dims_(dims), center_(wordsFor(dims), 0) {}
+
+GeneratorSet::GeneratorSet(unsigned dims, Bits center)
+    : dims_(dims), center_(std::move(center)) {
+  center_.resize(wordsFor(dims), 0);
+}
+
+double GeneratorSet::count() const noexcept {
+  return std::ldexp(1.0, static_cast<int>(rank()));
+}
+
+Bits GeneratorSet::reduceAgainst(Bits v) const {
+  for (std::size_t i = 0; i < gens_.size(); ++i) {
+    if (getBit(v, pivots_[i])) xorInto(v, gens_[i]);
+  }
+  return v;
+}
+
+bool GeneratorSet::addGenerator(Bits g) {
+  g.resize(wordsFor(dims_), 0);
+  g = reduceAgainst(std::move(g));
+  if (isZero(g)) return false;
+  const unsigned pivot = lowestSetBit(g);
+  // Clear the new pivot column everywhere else (basis AND center), keeping
+  // the representation canonical: the center is the unique coset member
+  // with zeros in every pivot position.
+  for (Bits& row : gens_) {
+    if (getBit(row, pivot)) xorInto(row, g);
+  }
+  if (getBit(center_, pivot)) xorInto(center_, g);
+  // Insert sorted by pivot.
+  std::size_t at = 0;
+  while (at < pivots_.size() && pivots_[at] < pivot) ++at;
+  gens_.insert(gens_.begin() + static_cast<std::ptrdiff_t>(at), std::move(g));
+  pivots_.insert(pivots_.begin() + static_cast<std::ptrdiff_t>(at), pivot);
+  return true;
+}
+
+bool GeneratorSet::contains(const Bits& point) const {
+  Bits t = point;
+  t.resize(wordsFor(dims_), 0);
+  xorInto(t, center_);
+  return isZero(reduceAgainst(std::move(t)));
+}
+
+bool GeneratorSet::containsSet(const GeneratorSet& o) const {
+  if (!contains(o.center_)) return false;
+  for (const Bits& g : o.gens_) {
+    if (!isZero(reduceAgainst(g))) return false;
+  }
+  return true;
+}
+
+bool GeneratorSet::sameSet(const GeneratorSet& o) const noexcept {
+  return dims_ == o.dims_ && center_ == o.center_ && gens_ == o.gens_;
+}
+
+bool GeneratorSet::intersects(const GeneratorSet& o) const {
+  GeneratorSet span(dims_);  // span(G_a) + span(G_b), centered at 0
+  for (const Bits& g : gens_) span.addGenerator(g);
+  for (const Bits& g : o.gens_) span.addGenerator(g);
+  Bits diff = center_;
+  xorInto(diff, o.center_);
+  return span.contains(diff);
+}
+
+GeneratorSet GeneratorSet::xorOf(const GeneratorSet& a,
+                                 const GeneratorSet& b) {
+  if (a.dims_ != b.dims_) throw std::invalid_argument("lz: dims mismatch");
+  Bits c = a.center_;
+  xorInto(c, b.center_);
+  GeneratorSet out(a.dims_, std::move(c));
+  for (const Bits& g : a.gens_) out.addGenerator(g);
+  for (const Bits& g : b.gens_) out.addGenerator(g);
+  return out;
+}
+
+GeneratorSet GeneratorSet::notOf(const GeneratorSet& a) {
+  GeneratorSet out = a;
+  for (unsigned i = 0; i < a.dims_; ++i) {
+    setBit(out.center_, i, !getBit(out.center_, i));
+  }
+  // Re-canonicalize: the flipped center may have picked up pivot bits.
+  out.center_ = out.reduceAgainst(std::move(out.center_));
+  return out;
+}
+
+GeneratorSet GeneratorSet::xnorOf(const GeneratorSet& a,
+                                  const GeneratorSet& b) {
+  return notOf(xorOf(a, b));
+}
+
+GeneratorSet GeneratorSet::andOf(const GeneratorSet& a, const GeneratorSet& b,
+                                 bool* exact) {
+  if (a.dims_ != b.dims_) throw std::invalid_argument("lz: dims mismatch");
+  const std::size_t words = wordsFor(a.dims_);
+  auto andRows = [words](const Bits& x, const Bits& y) {
+    Bits r(words, 0);
+    for (std::size_t i = 0; i < words; ++i) r[i] = x[i] & y[i];
+    return r;
+  };
+  GeneratorSet out(a.dims_, andRows(a.center_, b.center_));
+  for (const Bits& gb : b.gens_) out.addGenerator(andRows(a.center_, gb));
+  for (const Bits& ga : a.gens_) out.addGenerator(andRows(ga, b.center_));
+  for (const Bits& ga : a.gens_) {
+    for (const Bits& gb : b.gens_) out.addGenerator(andRows(ga, gb));
+  }
+  // A singleton operand distributes through the other's XOR structure:
+  // p & (c ^ sum b_i g_i) = (p&c) ^ sum b_i (p&g_i) — the rule above with
+  // the cross terms vanishing, so the result is exact.
+  if (exact != nullptr) *exact = a.rank() == 0 || b.rank() == 0;
+  return out;
+}
+
+GeneratorSet GeneratorSet::orOf(const GeneratorSet& a, const GeneratorSet& b,
+                                bool* exact) {
+  return notOf(andOf(notOf(a), notOf(b), exact));
+}
+
+GeneratorSet GeneratorSet::unionHull(const GeneratorSet& a,
+                                     const GeneratorSet& b, bool* exact) {
+  if (a.dims_ != b.dims_) throw std::invalid_argument("lz: dims mismatch");
+  if (a.containsSet(b)) {
+    if (exact != nullptr) *exact = true;
+    return a;
+  }
+  if (b.containsSet(a)) {
+    if (exact != nullptr) *exact = true;
+    return b;
+  }
+  GeneratorSet out(a.dims_, a.center_);
+  for (const Bits& g : a.gens_) out.addGenerator(g);
+  for (const Bits& g : b.gens_) out.addGenerator(g);
+  Bits diff = a.center_;
+  xorInto(diff, b.center_);
+  out.addGenerator(std::move(diff));
+  out.center_ = out.reduceAgainst(std::move(out.center_));
+  if (exact != nullptr) {
+    // Neither side contains the other, so |a AND b| < min(|a|, |b|) and
+    // 2^ra + 2^rb - 2^ri factors as 2^ri * (even + even - 1): a power of
+    // two only in the disjoint equal-rank case 2^r + 2^r = 2^(r+1).
+    *exact = !a.intersects(b) && a.rank() == b.rank() &&
+             out.rank() == a.rank() + 1;
+  }
+  return out;
+}
+
+}  // namespace bfvr::lz

@@ -1,0 +1,160 @@
+// Logical zonotopes: sets of binary vectors represented by a center plus a
+// generator matrix over GF(2) (Alanwar et al., "Logical Zonotopes: A Set
+// Representation for the Formal Verification of Boolean Functions").
+//
+// A GeneratorSet over `dims` bits is the affine subspace
+//
+//     L(c, G) = { c XOR sum_i beta_i * g_i  :  beta in {0,1}^m }
+//
+// i.e. the coset c XOR span(G). That structure buys exactness where BDDs
+// pay: XOR/XNOR/NOT of two zonotopes are themselves zonotopes (constant
+// cost in the generator count), membership and containment reduce to
+// GF(2) rank computations, and |L| = 2^rank(G) — no counting traversal.
+// AND/OR are not closed over affine subspaces; andOf/orOf implement the
+// paper's minimal over-approximation (sound: the result contains the true
+// set) and report whether the result happens to be exact.
+//
+// Rows are packed 64 bits per uint64_t word. The generator matrix is kept
+// permanently in reduced form (incremental Gaussian elimination): every
+// basis vector has a distinct pivot (its lowest set bit), pivot bits are
+// cleared from all other rows and from the center. That makes the
+// (center, basis) pair a canonical coset representative, so set equality
+// is plain memberwise comparison and rank() == generators().size().
+//
+// This module depends only on the C++ standard library — no BDD manager —
+// which is the point: src/lz is the first set backend where reachability
+// runs without allocating a single BDD node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bfvr::lz {
+
+using Word = std::uint64_t;
+/// Packed bit row; bit i of the row is bit (i % 64) of word (i / 64).
+using Bits = std::vector<Word>;
+
+/// Words needed to hold `bits` bits.
+inline std::size_t wordsFor(unsigned bits) noexcept {
+  return (static_cast<std::size_t>(bits) + 63) / 64;
+}
+
+inline bool getBit(const Bits& b, unsigned i) noexcept {
+  return ((b[i / 64] >> (i % 64)) & 1u) != 0;
+}
+
+inline void setBit(Bits& b, unsigned i, bool v) noexcept {
+  const Word mask = Word{1} << (i % 64);
+  if (v) {
+    b[i / 64] |= mask;
+  } else {
+    b[i / 64] &= ~mask;
+  }
+}
+
+/// a ^= b (b may be shorter; the tail is treated as zero).
+void xorInto(Bits& a, const Bits& b) noexcept;
+
+bool isZero(const Bits& b) noexcept;
+
+/// Index of the lowest set bit; undefined when isZero(b).
+unsigned lowestSetBit(const Bits& b) noexcept;
+
+/// Low 64 bits of a row — the whole row when dims <= 64, which is the fast
+/// path the explicit point bookkeeping of the engine uses.
+inline std::uint64_t packLow(const Bits& b) noexcept {
+  return b.empty() ? 0 : b[0];
+}
+
+/// A logical zonotope: center XOR span(generators), always reduced.
+class GeneratorSet {
+ public:
+  /// The singleton {0} over `dims` bits.
+  explicit GeneratorSet(unsigned dims);
+  /// The singleton {center}.
+  GeneratorSet(unsigned dims, Bits center);
+
+  unsigned dims() const noexcept { return dims_; }
+  const Bits& center() const noexcept { return center_; }
+  /// Reduced basis, sorted by pivot index. size() == rank().
+  const std::vector<Bits>& generators() const noexcept { return gens_; }
+  unsigned rank() const noexcept {
+    return static_cast<unsigned>(gens_.size());
+  }
+  /// |L| = 2^rank as a double (exact up to rank 53; saturates to inf far
+  /// beyond any dims this codebase builds).
+  double count() const noexcept;
+
+  /// Add one generator, maintaining the reduced canonical form. Returns
+  /// false (and changes nothing) when g is already in the span.
+  bool addGenerator(Bits g);
+
+  /// Exact membership: point XOR center in span(G)?
+  bool contains(const Bits& point) const;
+  /// Exact containment: every point of `o` in *this?
+  bool containsSet(const GeneratorSet& o) const;
+  /// Coset equality (canonical forms compare memberwise).
+  bool sameSet(const GeneratorSet& o) const noexcept;
+  /// Exact emptiness of the intersection: the cosets meet iff
+  /// c_a XOR c_b lies in span(G_a) + span(G_b).
+  bool intersects(const GeneratorSet& o) const;
+
+  // ---- set algebra (independent operands) ---------------------------------
+  // These combine two *independent* zonotopes: each operand ranges over its
+  // own parameter vector. Correlated operands (two gate outputs of the same
+  // circuit evaluation) are the engine's affine-form layer, not this one.
+
+  /// Exact: { x XOR y : x in a, y in b }.
+  static GeneratorSet xorOf(const GeneratorSet& a, const GeneratorSet& b);
+  /// Exact: complement of xorOf bitwise, i.e. { ~(x ^ y) }.
+  static GeneratorSet xnorOf(const GeneratorSet& a, const GeneratorSet& b);
+  /// Exact: { ~x : x in a }.
+  static GeneratorSet notOf(const GeneratorSet& a);
+  /// Minimal over-approximation of { x AND y } (paper rule):
+  /// center a0&b0, generators { a0&g_b }, { g_a&b0 }, { g_a&g_b }.
+  /// `exact` (optional) is set when the result provably equals the true
+  /// set — guaranteed when either operand is a singleton, where AND
+  /// distributes over the other's XOR structure.
+  static GeneratorSet andOf(const GeneratorSet& a, const GeneratorSet& b,
+                            bool* exact = nullptr);
+  /// Over-approximation of { x OR y } via De Morgan on andOf.
+  static GeneratorSet orOf(const GeneratorSet& a, const GeneratorSet& b,
+                           bool* exact = nullptr);
+
+  /// Affine hull of a UNION b: the smallest zonotope containing both —
+  /// center c_a, span(G_a, G_b, c_a XOR c_b). `exact` (optional) reports
+  /// whether the hull IS the union, decided by rank arithmetic:
+  /// |hull| == |a| + |b| - |a AND b| holds only when one side contains the
+  /// other, or the cosets are disjoint with equal rank r and hull rank
+  /// r + 1 (2^ra + 2^rb - 2^ri is a power of two in no other case).
+  static GeneratorSet unionHull(const GeneratorSet& a, const GeneratorSet& b,
+                                bool* exact = nullptr);
+
+  /// Visit all 2^rank points in Gray-code order (one generator XOR per
+  /// step). Caller checks count() against its budget first; rank must be
+  /// < 64. `f` takes (const Bits&).
+  template <typename F>
+  void forEachPoint(F&& f) const {
+    Bits p = center_;
+    f(static_cast<const Bits&>(p));
+    const std::uint64_t n = std::uint64_t{1} << rank();
+    for (std::uint64_t i = 1; i < n; ++i) {
+      unsigned j = 0;
+      while (((i >> j) & 1u) == 0) ++j;  // Gray transition: flip gen j
+      xorInto(p, gens_[j]);
+      f(static_cast<const Bits&>(p));
+    }
+  }
+
+ private:
+  /// Residual of `v` after elimination against the basis (zero iff in span).
+  Bits reduceAgainst(Bits v) const;
+
+  unsigned dims_ = 0;
+  Bits center_;
+  std::vector<Bits> gens_;    ///< reduced basis rows
+  std::vector<unsigned> pivots_;  ///< pivot bit index of each basis row
+};
+
+}  // namespace bfvr::lz

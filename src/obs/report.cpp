@@ -125,7 +125,8 @@ std::string jobsReportJson(const std::string& batch, unsigned workers,
                            std::span<const JobRecord> jobs) {
   std::vector<std::string> rows;
   rows.reserve(jobs.size());
-  std::size_t done = 0, timeout = 0, memout = 0, cancelled = 0, error = 0;
+  std::size_t done = 0, timeout = 0, memout = 0, cancelled = 0, error = 0,
+              inconclusive = 0;
   std::uint64_t retries = 0;
   for (const JobRecord& j : jobs) {
     JsonObject o;
@@ -158,6 +159,7 @@ std::string jobsReportJson(const std::string& batch, unsigned workers,
     else if (j.status == "T.O.") ++timeout;
     else if (j.status == "M.O.") ++memout;
     else if (j.status == "cancelled") ++cancelled;
+    else if (j.status == "inconclusive") ++inconclusive;
     else ++error;
   }
   JsonObject o;
@@ -170,6 +172,7 @@ std::string jobsReportJson(const std::string& batch, unsigned workers,
       .add("jobs_memout", static_cast<std::uint64_t>(memout))
       .add("jobs_cancelled", static_cast<std::uint64_t>(cancelled))
       .add("jobs_error", static_cast<std::uint64_t>(error))
+      .add("jobs_inconclusive", static_cast<std::uint64_t>(inconclusive))
       .add("retries_used", retries)
       .addRaw("jobs", util::jsonArray(rows));
   return o.str();
@@ -270,8 +273,8 @@ std::string svcReportJson(const SvcServerStats& server,
   // Totals across tenants; "jobs_done" and "leaked_nodes" are grepped by
   // the soak harness — keep the keys stable.
   std::uint64_t submitted = 0, rejected = 0, done = 0, timeout = 0,
-                memout = 0, cancelled = 0, error = 0, evictions = 0,
-                resumes = 0;
+                memout = 0, cancelled = 0, error = 0, inconclusive = 0,
+                evictions = 0, resumes = 0;
   for (const SvcTenantStats& t : tenants) {
     submitted += t.submitted;
     rejected += t.rejected;
@@ -280,6 +283,7 @@ std::string svcReportJson(const SvcServerStats& server,
     memout += t.memout;
     cancelled += t.cancelled;
     error += t.error;
+    inconclusive += t.inconclusive;
     evictions += t.evictions;
     resumes += t.resumes;
   }
@@ -296,6 +300,7 @@ std::string svcReportJson(const SvcServerStats& server,
         .add("memout", t.memout)
         .add("cancelled", t.cancelled)
         .add("error", t.error)
+        .add("inconclusive", t.inconclusive)
         .add("evictions", t.evictions)
         .add("resumes", t.resumes)
         .add("queue_seconds", t.queue_seconds)
@@ -316,6 +321,7 @@ std::string svcReportJson(const SvcServerStats& server,
       .add("jobs_memout", memout)
       .add("jobs_cancelled", cancelled)
       .add("jobs_error", error)
+      .add("jobs_inconclusive", inconclusive)
       .add("evictions", evictions)
       .add("resumes", resumes)
       .add("warm_hits", server.warm_hits)

@@ -112,6 +112,9 @@ struct SvcTenantStats {
   std::uint64_t memout = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t error = 0;
+  /// Sound-but-approximate completions (the lz engine's over-approximating
+  /// runs): terminal, not an error, never a conclusive answer.
+  std::uint64_t inconclusive = 0;
   std::uint64_t evictions = 0;  ///< suspend-to-checkpoint events
   std::uint64_t resumes = 0;    ///< jobs restarted from an eviction image
   double queue_seconds = 0.0;   ///< total time jobs waited for a worker
@@ -119,7 +122,7 @@ struct SvcTenantStats {
 
   /// Jobs that reached a terminal status.
   std::uint64_t finished() const noexcept {
-    return done + timeout + memout + cancelled + error;
+    return done + timeout + memout + cancelled + error + inconclusive;
   }
 };
 

@@ -11,6 +11,7 @@
 #include "circuit/bench_io.hpp"
 #include "circuit/generators.hpp"
 #include "io/checkpoint.hpp"
+#include "lz/lz_reach.hpp"
 #include "obs/metrics.hpp"
 #include "run/run.hpp"
 #include "sym/space.hpp"
@@ -32,8 +33,19 @@ const char* to_string(EngineKind e) noexcept {
       return "cdec";
     case EngineKind::kHybrid:
       return "hybrid";
+    case EngineKind::kLz:
+      return "lz";
   }
   return "?";
+}
+
+std::span<const EngineKind> allEngineKinds() noexcept {
+  static const EngineKind kAll[] = {
+      EngineKind::kTr,   EngineKind::kTrMono, EngineKind::kCbm,
+      EngineKind::kBfv,  EngineKind::kCdec,   EngineKind::kHybrid,
+      EngineKind::kLz,
+  };
+  return kAll;
 }
 
 EngineKind parseEngineKind(const std::string& s) {
@@ -43,7 +55,14 @@ EngineKind parseEngineKind(const std::string& s) {
   if (s == "bfv") return EngineKind::kBfv;
   if (s == "cdec") return EngineKind::kCdec;
   if (s == "hybrid") return EngineKind::kHybrid;
-  throw std::invalid_argument("unknown engine: " + s);
+  if (s == "lz") return EngineKind::kLz;
+  std::string known;
+  for (EngineKind e : allEngineKinds()) {
+    if (!known.empty()) known += ", ";
+    known += to_string(e);
+  }
+  throw std::invalid_argument("unknown engine '" + s + "' (known: " + known +
+                              ")");
 }
 
 std::string JobSpec::displayName() const {
@@ -89,8 +108,93 @@ reach::ReachResult dispatchEngine(EngineKind e, sym::StateSpace& s,
       return reach::reachBfv(s, opts);
     case EngineKind::kHybrid:
       return reach::reachHybrid(s, opts);
+    case EngineKind::kLz:
+      // Handled before a StateSpace (or a manager) ever exists; reaching
+      // the BDD dispatcher with kLz is a programming error.
+      throw std::logic_error("lz engine dispatched to the BDD path");
   }
   throw std::logic_error("bad engine kind");
+}
+
+/// The kLz attempt body: no manager, no state space — the netlist goes
+/// straight into the zonotope engine, and the LzResult is adapted onto the
+/// ReachResult the job/report layers already speak. Cancellation is polled
+/// through the job's CancelToken (there is no interrupt hook to install);
+/// the deadline rides on ReachOptions::budget.max_seconds, which the caller
+/// already folded the deadline into.
+reach::ReachResult runLzAttempt(const JobSpec& spec, const circuit::Netlist& n,
+                                const reach::ReachOptions& opts,
+                                const CancelToken* cancel) {
+  lz::LzOptions lo;
+  lo.budget = opts.budget;
+  lo.max_iterations = opts.max_iterations;
+  if (spec.lz_merge != 0) lo.merge_threshold = spec.lz_merge;
+  if (!spec.lz_target.empty()) {
+    const circuit::SignalId sig = n.signal(spec.lz_target);
+    int pos = -1;
+    for (std::size_t i = 0; i < n.outputs().size(); ++i) {
+      if (n.outputs()[i] == sig) pos = static_cast<int>(i);
+    }
+    if (pos < 0) {
+      throw std::invalid_argument("target is not a primary output: " +
+                                  spec.lz_target);
+    }
+    lo.target_output = pos;
+  }
+  if (cancel != nullptr) {
+    lo.cancelled = [cancel] { return cancel->cancelled(); };
+  }
+  obs::RunTrace trace;
+  std::size_t peak_members = 0;
+  if (opts.trace || opts.on_iteration) {
+    lo.on_iteration = [&trace, &peak_members,
+                       &opts](const lz::IterationStats& s) {
+      obs::IterationRecord rec;
+      rec.iteration = s.iteration;
+      rec.frontier_states = s.frontier_states;
+      rec.frontier_nodes = s.frontier_members;
+      // No BDD nodes exist; the member census (zonotopes + points) is the
+      // closest live-size analogue the record can carry.
+      rec.live_nodes = s.zonotopes + s.points;
+      peak_members = std::max(peak_members, rec.live_nodes);
+      rec.peak_nodes = peak_members;
+      if (opts.trace) trace.iterations.push_back(rec);
+      if (opts.on_iteration) {
+        try {
+          opts.on_iteration(rec);
+        } catch (...) {
+          // Streaming hooks must not abort the run (engine contract).
+        }
+      }
+    };
+  }
+  lz::LzResult r = lz::lzReach(n, lo);
+  reach::ReachResult out;
+  out.status = r.status;
+  out.message = r.message;
+  if (r.target_reachable.has_value()) {
+    const std::string verdict = *r.target_reachable
+                                    ? "target '" + spec.lz_target +
+                                          "' reachable"
+                                    : "target '" + spec.lz_target +
+                                          "' unreachable";
+    out.message = out.message.empty() ? verdict : verdict + "; " + out.message;
+  }
+  out.iterations = r.iterations;
+  out.states = r.states;
+  out.seconds = r.seconds;
+  out.peak_live_nodes = 0;  // the whole point: no BDD was ever built
+  if (opts.trace) out.trace = std::move(trace);
+  static obs::Counter& runs =
+      obs::Registry::global().counter("bfvr_lz_runs_total");
+  static obs::Counter& exact =
+      obs::Registry::global().counter("bfvr_lz_exact_runs_total");
+  static obs::Counter& lossy =
+      obs::Registry::global().counter("bfvr_lz_lossy_products_total");
+  runs.inc();
+  if (r.exact) exact.inc();
+  if (r.lossy_products != 0) lossy.inc(r.lossy_products);
+  return out;
 }
 
 }  // namespace
@@ -105,6 +209,9 @@ circuit::Netlist resolveCircuit(const std::string& spec) {
   }
   if (kind == "johnson") return circuit::makeJohnson(argAt(parts, 1, spec));
   if (kind == "lfsr") return circuit::makeLfsr(argAt(parts, 1, spec));
+  if (kind == "lfsr-free") {
+    return circuit::makeLfsrFree(argAt(parts, 1, spec));
+  }
   if (kind == "twinshift") {
     return circuit::makeTwinShift(argAt(parts, 1, spec));
   }
@@ -146,6 +253,20 @@ JobResult executeAttempt(const JobSpec& spec, const CancelToken* cancel,
               : spec.deadline_seconds;
     }
     const circuit::Netlist n = resolveCircuit(spec.circuit);
+    if (spec.engine == EngineKind::kLz) {
+      // The zonotope backend: no manager, no state space, no warm-cache
+      // traffic — the attempt runs entirely on generator matrices. The
+      // deadline was folded into opts.budget above; cancellation is polled
+      // directly (there is no interrupt hook without a manager).
+      out.reach = runLzAttempt(spec, n, opts, cancel);
+      out.status = out.reach.status;
+      out.message = out.reach.message;
+      out.seconds = timer.seconds();
+      rec.status = out.status;
+      rec.message = out.message;
+      rec.seconds = out.seconds;
+      return out;
+    }
     owned = warm != nullptr ? warm->acquire(spec.mgr)
                             : std::make_unique<bdd::Manager>(0, spec.mgr);
     bdd::Manager& m = *owned;

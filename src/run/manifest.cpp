@@ -134,6 +134,10 @@ void applyKey(ManifestEntry& e, const std::string& key,
       j.opts.checkpoint_every = parseU32(value);
     } else if (key == "checkpoint-path") {
       j.opts.checkpoint_path = value;
+    } else if (key == "target") {
+      j.lz_target = value;
+    } else if (key == "lz-merge") {
+      j.lz_merge = parseU64(value);
     } else if (key == "fault-allocs") {
       j.faults.alloc_failures = parseU64List(value);
     } else if (key == "fault-polls") {

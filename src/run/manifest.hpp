@@ -10,7 +10,8 @@
 // Keys:
 //   circuit        .bench path or gen:<kind>:<args> (see run::resolveCircuit)
 //   name           report key (default "<circuit>/<engine>")
-//   engine         tr | tr-mono | cbm | bfv | cdec | hybrid   (default bfv)
+//   engine         tr | tr-mono | cbm | bfv | cdec | hybrid | lz
+//                  (default bfv)
 //   order          natural | topo | reverse | random[:seed]   (default topo)
 //   deadline       wall-clock deadline in seconds, setup included (0 = none)
 //   seconds        engine time budget (ReachOptions::budget.max_seconds)
@@ -30,6 +31,10 @@
 //   checkpoint-every  snapshot each N iterations (ReachOptions)
 //   checkpoint-path   snapshot file (atomic tmp+rename; retries resume
 //                     from it)
+//   target         primary-output name the lz engine checks reachability
+//                  of (pre-filter mode; ignored by the BDD engines)
+//   lz-merge       lz engine merge threshold (LzOptions::merge_threshold;
+//                  0 = engine default)
 //   fault-allocs   comma-separated allocation counts at which the fault
 //                  plan injects an allocation failure (FaultPlan)
 //   fault-polls    comma-separated poll counts at which it injects a

@@ -67,12 +67,19 @@ enum class EngineKind : std::uint8_t {
   kBfv,     ///< the paper's Fig. 2 flow on functional vectors
   kCdec,    ///< Fig. 2 on the conjunctive decomposition
   kHybrid,  ///< per-iteration split-vs-conjoin chooser
+  kLz,      ///< logical-zonotope backend (src/lz): exact on XOR-affine
+            ///< circuits, sound over-approximating pre-filter elsewhere;
+            ///< the only engine that never builds a BDD manager
 };
 
-/// "tr" / "tr-mono" / "cbm" / "bfv" / "cdec" / "hybrid".
+/// "tr" / "tr-mono" / "cbm" / "bfv" / "cdec" / "hybrid" / "lz".
 const char* to_string(EngineKind e) noexcept;
-/// Inverse of to_string; throws std::invalid_argument on an unknown tag.
+/// Inverse of to_string; throws std::invalid_argument naming the known
+/// engines on an unknown tag.
 EngineKind parseEngineKind(const std::string& s);
+/// Every engine kind, in to_string order — the registry the CLI's
+/// --list-engines and the unknown-engine diagnostic enumerate.
+std::span<const EngineKind> allEngineKinds() noexcept;
 
 /// Retry escalation for jobs that run out of nodes. Attempt 1 runs the
 /// spec as given; when it ends kMemOut (and only then — a timeout or an
@@ -180,6 +187,12 @@ struct JobSpec {
   /// requeued/migrated copy of the job stays attached to the same span.
   /// 0 = untraced (batch runner, tests). Never affects execution.
   std::uint64_t trace_id = 0;
+  /// Logical-zonotope engine (kLz) extras, ignored by the BDD engines:
+  /// the pre-filter target — name of a primary output whose reachability
+  /// (output == 1) the run decides, "" for a plain state count — and the
+  /// member cap before the reached set folds into its affine hull.
+  std::string lz_target;
+  std::size_t lz_merge = 64;
 
   std::string displayName() const;
 };

@@ -563,6 +563,9 @@ void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
         case RunStatus::kError:
           ts.error += 1;
           break;
+        case RunStatus::kInconclusive:
+          ts.inconclusive += 1;
+          break;
       }
       ts.queue_seconds += r.queue_seconds;
       ts.exec_seconds += r.seconds;

@@ -14,6 +14,8 @@ std::string to_string(RunStatus s) {
       return "cancelled";
     case RunStatus::kError:
       return "error";
+    case RunStatus::kInconclusive:
+      return "inconclusive";
   }
   return "?";
 }
@@ -24,6 +26,7 @@ std::optional<RunStatus> parse_run_status(std::string_view s) {
   if (s == "M.O.") return RunStatus::kMemOut;
   if (s == "cancelled") return RunStatus::kCancelled;
   if (s == "error") return RunStatus::kError;
+  if (s == "inconclusive") return RunStatus::kInconclusive;
   return std::nullopt;
 }
 

@@ -32,16 +32,20 @@ class Timer {
 /// budget exceeded). The job runner (src/run) adds two more: kCancelled for
 /// runs stopped cooperatively (a portfolio sibling won first) and kError for
 /// failures outside the resource model (bad manifest entry, parse error).
+/// The logical-zonotope backend (src/lz) adds kInconclusive: the run
+/// completed but its answer is a sound over-approximation, not an exact
+/// result — never treated as a conclusive portfolio win, never an error.
 enum class RunStatus : std::uint8_t {
   kDone,
   kTimeOut,
   kMemOut,
   kCancelled,
   kError,
+  kInconclusive,
 };
 
 /// Human-readable tag used by the bench harness ("done" / "T.O." / "M.O." /
-/// "cancelled" / "error").
+/// "cancelled" / "error" / "inconclusive").
 std::string to_string(RunStatus s);
 
 /// Inverse of to_string(RunStatus), so trace/JSON files can be re-ingested

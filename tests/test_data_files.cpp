@@ -29,8 +29,10 @@ TEST_P(DataFiles, ParsesAndValidates) {
 
 INSTANTIATE_TEST_SUITE_P(Shipped, DataFiles,
                          ::testing::Values("arb4.bench", "cnt8m200.bench",
-                                           "crc8.bench", "fifo3.bench",
-                                           "johnson8.bench", "twin6.bench"));
+                                           "crc8.bench", "crc16.bench",
+                                           "fifo3.bench", "johnson8.bench",
+                                           "lfsr16.bench", "lfsr32.bench",
+                                           "twin6.bench"));
 
 TEST(DataFiles, ReachabilityAgreesWithOracleOnParsedCircuit) {
   const circuit::Netlist n =

@@ -1,0 +1,249 @@
+// GeneratorSet (logical zonotopes, src/lz) against brute-force enumeration
+// over small universes: canonical reduced form, membership/containment,
+// the exact XOR family, and the soundness + exactness flags of the
+// over-approximating AND/OR/union rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "lz/genset.hpp"
+
+namespace bfvr::lz {
+namespace {
+
+Bits row(unsigned dims, std::uint64_t v) {
+  Bits b(wordsFor(dims), 0);
+  b[0] = v;
+  return b;
+}
+
+GeneratorSet make(unsigned dims, std::uint64_t center,
+                  std::initializer_list<std::uint64_t> gens) {
+  GeneratorSet g(dims, row(dims, center));
+  for (std::uint64_t v : gens) g.addGenerator(row(dims, v));
+  return g;
+}
+
+std::set<std::uint64_t> pointsOf(const GeneratorSet& g) {
+  std::set<std::uint64_t> s;
+  g.forEachPoint([&](const Bits& p) { s.insert(packLow(p)); });
+  return s;
+}
+
+std::uint64_t mask(unsigned dims) {
+  return dims >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << dims) - 1;
+}
+
+GeneratorSet randomSet(unsigned dims, int max_gens, std::mt19937& rng) {
+  std::uniform_int_distribution<std::uint64_t> d(1, mask(dims));
+  GeneratorSet g(dims, row(dims, d(rng) & mask(dims)));
+  std::uniform_int_distribution<int> k(0, max_gens);
+  for (int i = k(rng); i > 0; --i) g.addGenerator(row(dims, d(rng)));
+  return g;
+}
+
+TEST(LzGenSet, SingletonBasics) {
+  GeneratorSet z(5);
+  EXPECT_EQ(z.rank(), 0U);
+  EXPECT_DOUBLE_EQ(z.count(), 1.0);
+  EXPECT_TRUE(z.contains(row(5, 0)));
+  EXPECT_FALSE(z.contains(row(5, 3)));
+
+  const GeneratorSet s(5, row(5, 0b10110));
+  EXPECT_TRUE(s.contains(row(5, 0b10110)));
+  EXPECT_EQ(pointsOf(s), (std::set<std::uint64_t>{0b10110}));
+}
+
+TEST(LzGenSet, AddGeneratorRejectsDependentRows) {
+  GeneratorSet g(6);
+  EXPECT_TRUE(g.addGenerator(row(6, 0b000011)));
+  EXPECT_TRUE(g.addGenerator(row(6, 0b001100)));
+  EXPECT_FALSE(g.addGenerator(row(6, 0b001111)));  // xor of the two
+  EXPECT_FALSE(g.addGenerator(row(6, 0)));
+  EXPECT_EQ(g.rank(), 2U);
+  EXPECT_DOUBLE_EQ(g.count(), 4.0);
+}
+
+TEST(LzGenSet, CanonicalFormIsInsertionOrderIndependent) {
+  std::mt19937 rng(7);
+  std::vector<std::uint64_t> gens{0b1011, 0b0110, 0b1101, 0b0101};
+  const GeneratorSet ref = make(4, 0b1001, {gens[0], gens[1], gens[2],
+                                            gens[3]});
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(gens.begin(), gens.end(), rng);
+    GeneratorSet g(4, row(4, 0b1001));
+    for (std::uint64_t v : gens) g.addGenerator(row(4, v));
+    ASSERT_TRUE(g.sameSet(ref));
+    // Canonical: not just the same coset, the same representation.
+    EXPECT_EQ(g.center(), ref.center());
+    EXPECT_EQ(g.generators(), ref.generators());
+  }
+}
+
+TEST(LzGenSet, ForEachPointVisitsExactlyTheSet) {
+  const GeneratorSet g = make(8, 0x5A, {0x03, 0x14, 0x60});
+  const std::set<std::uint64_t> pts = pointsOf(g);
+  EXPECT_EQ(pts.size(), static_cast<std::size_t>(g.count()));
+  for (std::uint64_t p : pts) EXPECT_TRUE(g.contains(row(8, p)));
+  unsigned non_members = 0;
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    if (!pts.count(v)) {
+      EXPECT_FALSE(g.contains(row(8, v)));
+      ++non_members;
+    }
+  }
+  EXPECT_EQ(non_members, 256U - 8U);
+}
+
+TEST(LzGenSet, ContainmentAndIntersectionMatchBrute) {
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const GeneratorSet a = randomSet(7, 4, rng);
+    const GeneratorSet b = randomSet(7, 4, rng);
+    const auto pa = pointsOf(a);
+    const auto pb = pointsOf(b);
+    EXPECT_EQ(a.containsSet(b),
+              std::includes(pa.begin(), pa.end(), pb.begin(), pb.end()));
+    bool meet = false;
+    for (std::uint64_t p : pb) meet |= pa.count(p) != 0;
+    EXPECT_EQ(a.intersects(b), meet);
+    EXPECT_EQ(a.sameSet(b), pa == pb);
+  }
+}
+
+TEST(LzGenSet, XorFamilyIsExact) {
+  std::mt19937 rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const GeneratorSet a = randomSet(6, 3, rng);
+    const GeneratorSet b = randomSet(6, 3, rng);
+    std::set<std::uint64_t> want_xor, want_xnor;
+    for (std::uint64_t x : pointsOf(a)) {
+      for (std::uint64_t y : pointsOf(b)) {
+        want_xor.insert(x ^ y);
+        want_xnor.insert(~(x ^ y) & mask(6));
+      }
+    }
+    EXPECT_EQ(pointsOf(GeneratorSet::xorOf(a, b)), want_xor);
+    EXPECT_EQ(pointsOf(GeneratorSet::xnorOf(a, b)), want_xnor);
+    std::set<std::uint64_t> want_not;
+    for (std::uint64_t x : pointsOf(a)) want_not.insert(~x & mask(6));
+    EXPECT_EQ(pointsOf(GeneratorSet::notOf(a)), want_not);
+  }
+}
+
+TEST(LzGenSet, AndOrAreSoundAndFlagExactness) {
+  std::mt19937 rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const GeneratorSet a = randomSet(6, 3, rng);
+    const GeneratorSet b = randomSet(6, 3, rng);
+    std::set<std::uint64_t> want_and, want_or;
+    for (std::uint64_t x : pointsOf(a)) {
+      for (std::uint64_t y : pointsOf(b)) {
+        want_and.insert(x & y);
+        want_or.insert(x | y);
+      }
+    }
+    bool and_exact = false, or_exact = false;
+    const auto got_and = pointsOf(GeneratorSet::andOf(a, b, &and_exact));
+    const auto got_or = pointsOf(GeneratorSet::orOf(a, b, &or_exact));
+    // Sound: over-approximations contain the true image.
+    EXPECT_TRUE(std::includes(got_and.begin(), got_and.end(),
+                              want_and.begin(), want_and.end()));
+    EXPECT_TRUE(std::includes(got_or.begin(), got_or.end(), want_or.begin(),
+                              want_or.end()));
+    // The exactness flag never lies (it may be conservatively false).
+    if (and_exact) {
+      EXPECT_EQ(got_and, want_and);
+    }
+    if (or_exact) {
+      EXPECT_EQ(got_or, want_or);
+    }
+  }
+}
+
+TEST(LzGenSet, AndWithSingletonIsExact) {
+  std::mt19937 rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const GeneratorSet a = randomSet(6, 3, rng);
+    const GeneratorSet s(6, row(6, trial * 5 % 64));
+    bool exact = false;
+    const auto got = pointsOf(GeneratorSet::andOf(a, s, &exact));
+    EXPECT_TRUE(exact);
+    std::set<std::uint64_t> want;
+    for (std::uint64_t x : pointsOf(a)) {
+      want.insert(x & static_cast<std::uint64_t>(trial * 5 % 64));
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(LzGenSet, UnionHullExactFlagMatchesBrute) {
+  std::mt19937 rng(23);
+  int exact_seen = 0, inexact_seen = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const GeneratorSet a = randomSet(6, 3, rng);
+    const GeneratorSet b = randomSet(6, 3, rng);
+    bool exact = false;
+    const GeneratorSet h = GeneratorSet::unionHull(a, b, &exact);
+    std::set<std::uint64_t> want = pointsOf(a);
+    for (std::uint64_t p : pointsOf(b)) want.insert(p);
+    const auto got = pointsOf(h);
+    EXPECT_TRUE(std::includes(got.begin(), got.end(), want.begin(),
+                              want.end()));
+    EXPECT_EQ(exact, got == want);
+    (exact ? exact_seen : inexact_seen) += 1;
+  }
+  // The trial mix must exercise both verdicts for the flag check to mean
+  // anything.
+  EXPECT_GT(exact_seen, 0);
+  EXPECT_GT(inexact_seen, 0);
+}
+
+TEST(LzGenSet, UnionHullKnownCases) {
+  // Containment: hull of nested sets is the larger set, exactly.
+  const GeneratorSet big = make(5, 0, {0b00001, 0b00010, 0b00100});
+  const GeneratorSet small = make(5, 0b00011, {0b00100});
+  bool exact = false;
+  const GeneratorSet h1 = GeneratorSet::unionHull(big, small, &exact);
+  EXPECT_TRUE(exact);
+  EXPECT_TRUE(h1.sameSet(big));
+
+  // Disjoint equal-rank cosets whose hull has rank r+1: exact union.
+  const GeneratorSet even = make(4, 0b0000, {0b0011});
+  const GeneratorSet odd = make(4, 0b1000, {0b0011});
+  const GeneratorSet h2 = GeneratorSet::unionHull(even, odd, &exact);
+  EXPECT_TRUE(exact);
+  EXPECT_EQ(h2.rank(), 2U);
+
+  // Disjoint with rank gap: hull over-approximates and says so.
+  const GeneratorSet one = make(4, 0b0100, {});
+  const GeneratorSet four = make(4, 0b0000, {0b0001, 0b0010});
+  const GeneratorSet h3 = GeneratorSet::unionHull(one, four, &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_GE(h3.count(), 5.0);
+}
+
+TEST(LzGenSet, WideRowsSpanMultipleWords) {
+  // dims > 64 exercises the multi-word row paths.
+  const unsigned dims = 100;
+  Bits c(wordsFor(dims), 0);
+  setBit(c, 80, true);
+  GeneratorSet g(dims, c);
+  Bits g1(wordsFor(dims), 0);
+  setBit(g1, 3, true);
+  setBit(g1, 97, true);
+  ASSERT_TRUE(g.addGenerator(g1));
+  EXPECT_EQ(g.rank(), 1U);
+
+  Bits member = c;
+  xorInto(member, g1);
+  EXPECT_TRUE(g.contains(member));
+  setBit(member, 50, true);
+  EXPECT_FALSE(g.contains(member));
+}
+
+}  // namespace
+}  // namespace bfvr::lz

@@ -1,0 +1,247 @@
+// The logical-zonotope reachability engine (src/lz): bit-exact counts on
+// the XOR-affine class, sound over-approximation elsewhere, the target
+// pre-filter protocol, and the resource statuses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/concrete_sim.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/orders.hpp"
+#include "lz/lz_reach.hpp"
+#include "reach/engine.hpp"
+#include "sym/space.hpp"
+
+#ifndef BFVR_DATA_DIR
+#define BFVR_DATA_DIR "data"
+#endif
+
+namespace bfvr {
+namespace {
+
+circuit::Netlist fromData(const char* name) {
+  return circuit::parseBenchFile(std::string(BFVR_DATA_DIR) + "/" + name);
+}
+
+lz::Bits rowFromMask(unsigned dims, std::uint64_t mask) {
+  lz::Bits b(lz::wordsFor(dims), 0);
+  b[0] = mask;
+  return b;
+}
+
+TEST(LzReach, ExactOnFreeLfsr) {
+  const circuit::Netlist n = circuit::makeLfsrFree(8);
+  const lz::LzResult r = lz::lzReach(n);
+  ASSERT_EQ(r.status, RunStatus::kDone);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.states, 255.0);  // all but the XNOR lockup state
+  EXPECT_EQ(r.lossy_products, 0U);
+
+  const auto oracle = circuit::explicitReach(n);
+  ASSERT_TRUE(oracle.has_value());
+  ASSERT_EQ(oracle->size(), 255U);
+  for (std::uint64_t s : *oracle) {
+    EXPECT_TRUE(r.reached.containsPoint(rowFromMask(8, s)));
+  }
+}
+
+TEST(LzReach, ExactOnShippedCrcFiles) {
+  {
+    const lz::LzResult r = lz::lzReach(fromData("crc8.bench"));
+    ASSERT_EQ(r.status, RunStatus::kDone);
+    EXPECT_TRUE(r.exact);
+    EXPECT_DOUBLE_EQ(r.states, 256.0);
+  }
+  {
+    const lz::LzResult r = lz::lzReach(fromData("crc16.bench"));
+    ASSERT_EQ(r.status, RunStatus::kDone);
+    EXPECT_TRUE(r.exact);
+    EXPECT_DOUBLE_EQ(r.states, 65536.0);
+  }
+}
+
+TEST(LzReach, FullLfsr16FixpointMatchesOracle) {
+  const circuit::Netlist n = fromData("lfsr16.bench");
+  const lz::LzResult r = lz::lzReach(n);
+  ASSERT_EQ(r.status, RunStatus::kDone);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.states, 65535.0);
+  EXPECT_EQ(r.iterations, 65535U);
+
+  const auto oracle = circuit::explicitReach(n);
+  ASSERT_TRUE(oracle.has_value());
+  EXPECT_EQ(oracle->size(), 65535U);
+}
+
+TEST(LzReach, WideAffineCircuitCountsWithoutEnumeration) {
+  // twin40 has 80 latches and 2^40 reachable states: far beyond any
+  // enumeration cap, countable only through the single-zonotope 2^rank
+  // fast path (and the dims > 64 wide-row machinery).
+  const lz::LzResult r = lz::lzReach(circuit::makeTwinShift(40));
+  ASSERT_EQ(r.status, RunStatus::kDone);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.states, std::ldexp(1.0, 40));
+}
+
+TEST(LzReach, SoundOverApproximationOnNonAffineCircuits) {
+  for (const char* name :
+       {"arb4.bench", "fifo3.bench", "johnson8.bench", "cnt8m200.bench"}) {
+    const circuit::Netlist n = fromData(name);
+    const lz::LzResult r = lz::lzReach(n);
+    ASSERT_EQ(r.status, RunStatus::kInconclusive) << name;
+    EXPECT_FALSE(r.exact) << name;
+    EXPECT_FALSE(r.message.empty()) << name;
+
+    const auto oracle = circuit::explicitReach(n);
+    ASSERT_TRUE(oracle.has_value()) << name;
+    const unsigned dims = static_cast<unsigned>(n.latches().size());
+    for (std::uint64_t s : *oracle) {
+      ASSERT_TRUE(r.reached.containsPoint(rowFromMask(dims, s)))
+          << name << " lost state " << s;
+    }
+    EXPECT_GE(r.states, static_cast<double>(oracle->size())) << name;
+  }
+}
+
+TEST(LzReach, IterationCapMatchesBddEngineAtEqualCap) {
+  const circuit::Netlist n = fromData("lfsr32.bench");
+  lz::LzOptions o;
+  o.max_iterations = 300;
+  const lz::LzResult z = lz::lzReach(n, o);
+  ASSERT_EQ(z.status, RunStatus::kDone);  // exact prefix is a done answer
+  EXPECT_TRUE(z.exact);
+
+  bdd::Manager m(0);
+  sym::StateSpace s(m, n,
+                    circuit::makeOrder(n, {circuit::OrderKind::kTopo, 0}));
+  reach::ReachOptions ro;
+  ro.max_iterations = 300;
+  const reach::ReachResult b = reach::reachTr(s, ro);
+  ASSERT_EQ(b.status, RunStatus::kDone);
+  EXPECT_EQ(b.iterations, z.iterations);
+  EXPECT_DOUBLE_EQ(b.states, z.states);
+}
+
+TEST(LzReach, TargetReachableOnAffineCircuitConcludes) {
+  // lfsrf8's output q7 goes high within the cycle: exact hit, early exit.
+  const circuit::Netlist n = circuit::makeLfsrFree(8);
+  lz::LzOptions o;
+  o.target_output = 0;
+  const lz::LzResult r = lz::lzReach(n, o);
+  ASSERT_EQ(r.status, RunStatus::kDone);
+  ASSERT_TRUE(r.target_reachable.has_value());
+  EXPECT_TRUE(*r.target_reachable);
+}
+
+TEST(LzReach, TargetUnreachableOnAffineCircuitConcludes) {
+  // twin6's mismatch output XORs two identical shift chains: never 1.
+  const circuit::Netlist n = fromData("twin6.bench");
+  lz::LzOptions o;
+  o.target_output = 0;
+  const lz::LzResult r = lz::lzReach(n, o);
+  ASSERT_EQ(r.status, RunStatus::kDone);
+  ASSERT_TRUE(r.target_reachable.has_value());
+  EXPECT_FALSE(*r.target_reachable);
+}
+
+TEST(LzReach, TargetMissedByLossyOverApproximationIsConclusive) {
+  // The pre-filter contract: even when AND gates made the reached set an
+  // over-approximation, a target that is never asserted in the BIGGER set
+  // is conclusively unreachable in the real one.
+  circuit::Netlist n("prefilter");
+  const auto a = n.addInput("a");
+  const auto b = n.addInput("b");
+  const auto p = n.addLatch("p", false);
+  const auto q = n.addLatch("q", false);
+  n.setLatchData(p, n.mkAnd(a, b, "pa"));  // lossy cross term
+  n.setLatchData(q, n.addGate(circuit::GateOp::kBuf, {q}, "qh"));
+  n.markOutput(q);  // exactly {0} forever
+  n.validate();
+
+  lz::LzOptions o;
+  o.target_output = 0;
+  const lz::LzResult r = lz::lzReach(n, o);
+  EXPECT_GT(r.lossy_products, 0U);
+  ASSERT_EQ(r.status, RunStatus::kDone);
+  ASSERT_TRUE(r.target_reachable.has_value());
+  EXPECT_FALSE(*r.target_reachable);
+}
+
+TEST(LzReach, TargetHitThroughLossyGateIsInconclusive) {
+  // The asserted output itself rides a lossy AND: the hit may be an
+  // artifact of the over-approximation, so no verdict is allowed.
+  circuit::Netlist n("lossyhit");
+  const auto a = n.addInput("a");
+  const auto b = n.addInput("b");
+  const auto q = n.addLatch("q", false);
+  n.setLatchData(q, n.mkAnd(a, b, "qa"));
+  n.markOutput(n.mkAnd(q, a, "o"));
+  n.validate();
+
+  lz::LzOptions o;
+  o.target_output = 0;
+  const lz::LzResult r = lz::lzReach(n, o);
+  EXPECT_EQ(r.status, RunStatus::kInconclusive);
+  EXPECT_FALSE(r.target_reachable.has_value());
+}
+
+TEST(LzReach, TargetOutOfRangeThrows) {
+  lz::LzOptions o;
+  o.target_output = 3;
+  EXPECT_THROW((void)lz::lzReach(circuit::makeLfsrFree(8), o),
+               std::invalid_argument);
+}
+
+TEST(LzReach, CancellationAndTimeout) {
+  const circuit::Netlist n = circuit::makeLfsrFree(16);
+  {
+    lz::LzOptions o;
+    o.cancelled = [] { return true; };
+    const lz::LzResult r = lz::lzReach(n, o);
+    EXPECT_EQ(r.status, RunStatus::kCancelled);
+    EXPECT_FALSE(r.exact);
+  }
+  {
+    lz::LzOptions o;
+    o.budget.max_seconds = 1e-9;
+    const lz::LzResult r = lz::lzReach(n, o);
+    EXPECT_EQ(r.status, RunStatus::kTimeOut);
+    EXPECT_FALSE(r.exact);
+  }
+}
+
+TEST(LzReach, MergePressureStaysSoundAndTerminates) {
+  // An aggressive merge threshold forces hull folds on a lossy circuit;
+  // the result must stay a superset of the true reached set.
+  const circuit::Netlist n = circuit::makeRandomSeq(12, 4, 60, 7);
+  lz::LzOptions o;
+  o.merge_threshold = 2;
+  const lz::LzResult r = lz::lzReach(n, o);
+  ASSERT_EQ(r.status, RunStatus::kInconclusive);
+
+  const auto oracle = circuit::explicitReach(n);
+  ASSERT_TRUE(oracle.has_value());
+  for (std::uint64_t s : *oracle) {
+    ASSERT_TRUE(r.reached.containsPoint(rowFromMask(12, s)));
+  }
+  EXPECT_GE(r.states, static_cast<double>(oracle->size()));
+}
+
+TEST(LzReach, StreamsIterationStats) {
+  unsigned calls = 0, last = 0;
+  lz::LzOptions o;
+  o.on_iteration = [&](const lz::IterationStats& it) {
+    ++calls;
+    EXPECT_EQ(it.iteration, calls);
+    EXPECT_GE(it.reached_upper, it.frontier_states);
+    last = it.iteration;
+  };
+  const lz::LzResult r = lz::lzReach(circuit::makeLfsrFree(8), o);
+  EXPECT_EQ(calls, r.iterations);
+  EXPECT_EQ(last, r.iterations);
+}
+
+}  // namespace
+}  // namespace bfvr

@@ -645,12 +645,100 @@ TEST(RunPool, WarmPoolCountsHitsAcrossJobs) {
 }
 
 TEST(RunEngineKind, RoundTripsAllTags) {
-  for (const EngineKind e :
-       {EngineKind::kTr, EngineKind::kTrMono, EngineKind::kCbm,
-        EngineKind::kBfv, EngineKind::kCdec, EngineKind::kHybrid}) {
+  for (const EngineKind e : allEngineKinds()) {
     EXPECT_EQ(parseEngineKind(to_string(e)), e);
   }
   EXPECT_THROW(parseEngineKind("warp"), std::invalid_argument);
+}
+
+TEST(RunEngineKind, UnknownEngineErrorNamesTheKnownOnes) {
+  try {
+    (void)parseEngineKind("frob");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("frob"), std::string::npos) << msg;
+    for (const EngineKind k : allEngineKinds()) {
+      EXPECT_NE(msg.find(to_string(k)), std::string::npos)
+          << "missing " << to_string(k) << " in: " << msg;
+    }
+  }
+}
+
+TEST(RunManifest, LzKeysParse) {
+  const std::vector<ManifestEntry> entries = parseManifestString(
+      "circuit=data/a.bench engine=lz target=q15 lz-merge=8\n");
+  ASSERT_EQ(entries.size(), 1U);
+  EXPECT_EQ(entries[0].spec.engine, EngineKind::kLz);
+  EXPECT_EQ(entries[0].spec.lz_target, "q15");
+  EXPECT_EQ(entries[0].spec.lz_merge, 8U);
+}
+
+TEST(RunJob, LzEngineCompletesAffineCircuit) {
+  JobSpec spec;
+  spec.circuit = "gen:lfsr-free:8";
+  spec.engine = EngineKind::kLz;
+  const JobResult r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kDone);
+  EXPECT_EQ(r.reach.states, 255.0);
+  EXPECT_EQ(r.reach.iterations, 255U);
+}
+
+TEST(RunJob, LzEngineReportsInconclusiveOnLossyCircuit) {
+  JobSpec spec;
+  spec.circuit = "gen:arbiter:4";
+  spec.engine = EngineKind::kLz;
+  const JobResult r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kInconclusive);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(RunJob, LzEngineTargetPrefilterVerdictInMessage) {
+  JobSpec spec;
+  spec.circuit = "gen:twinshift:6";  // mismatch output is never asserted
+  spec.engine = EngineKind::kLz;
+  spec.lz_target = "mismatch";
+  const JobResult r = executeJob(spec);
+  EXPECT_EQ(r.status, RunStatus::kDone);
+  EXPECT_NE(r.message.find("unreachable"), std::string::npos) << r.message;
+
+  spec.lz_target = "nosuchoutput";
+  const JobResult bad = executeJob(spec);
+  EXPECT_EQ(bad.status, RunStatus::kError);
+  EXPECT_NE(bad.message.find("nosuchoutput"), std::string::npos)
+      << bad.message;
+}
+
+TEST(RunPortfolio, LzWinsAffineRaceAndNeverWinsInconclusive) {
+  WorkerPool pool(3);
+  {
+    // Affine circuit: lz is conclusive (and fast); it must be a valid
+    // winner against the BDD engines.
+    JobSpec base;
+    base.circuit = "gen:lfsr-free:8";
+    const std::vector<EngineKind> engines{EngineKind::kLz, EngineKind::kTr,
+                                          EngineKind::kBfv};
+    const PortfolioResult race = runPortfolio(pool, base, engines);
+    ASSERT_GE(race.winner, 0);
+    EXPECT_EQ(race.jobs[static_cast<std::size_t>(race.winner)].status,
+              RunStatus::kDone);
+    EXPECT_EQ(race.jobs[static_cast<std::size_t>(race.winner)].reach.states,
+              255.0);
+  }
+  {
+    // Lossy circuit: the lz leg finishes first but inconclusive — the BDD
+    // leg must be crowned instead.
+    JobSpec base;
+    base.circuit = "gen:arbiter:4";
+    const std::vector<EngineKind> engines{EngineKind::kLz, EngineKind::kTr};
+    const PortfolioResult race = runPortfolio(pool, base, engines);
+    ASSERT_GE(race.winner, 0);
+    EXPECT_EQ(engines[static_cast<std::size_t>(race.winner)],
+              EngineKind::kTr);
+    // The lz leg either finished inconclusive before the crowning or was
+    // cancelled by it; it is never the done winner.
+    EXPECT_NE(race.jobs[0].status, RunStatus::kDone);
+  }
 }
 
 }  // namespace

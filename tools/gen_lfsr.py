@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Generate LFSR / CRC .bench workloads for the reachability benches.
+
+Two circuit families, structurally identical to the C++ generators in
+src/circuit/generators.cpp (same tap tables, same signal names, same gate
+fold order), so a parsed file and the generated netlist are bit-equivalent
+under concrete simulation:
+
+  lfsr <bits>   free-running XNOR-feedback LFSR ("lfsrf<bits>"): no primary
+                input, all-zero start state, 2^bits - 1 reachable states
+                (the all-ones lockup state is the single unreachable one).
+                Exercises the .bench parser's XNOR path and is XOR-affine,
+                so the lz engine tracks it exactly.
+  crc  <bits>   serial CRC ("crc<bits>"): the same tap polynomial with a
+                data input XORed into the feedback. All 2^bits states
+                reachable; also XOR-affine.
+
+Usage:
+  tools/gen_lfsr.py lfsr 16                 # .bench on stdout
+  tools/gen_lfsr.py crc 16 -o data/crc16.bench
+  tools/gen_lfsr.py --shipped data         # write lfsr16/lfsr32/crc16
+                                           # and print their manifest rows
+
+Widths must appear in TAPS below. Every entry has an even tap count: with
+XNOR feedback that pins the lockup state at all-ones, keeping the all-zero
+start state on the long cycle (the same invariant generators.cpp documents).
+"""
+
+import argparse
+import os
+import sys
+
+# Mirror of lfsrTaps() in src/circuit/generators.cpp. Keep the two tables
+# in sync: tests cross-check generated files against the C++ netlists.
+TAPS = {
+    3: [3, 2],
+    4: [4, 3],
+    5: [5, 3],
+    6: [6, 5],
+    7: [7, 6],
+    8: [8, 6, 5, 4],
+    9: [9, 5],
+    10: [10, 7],
+    11: [11, 9],
+    12: [12, 11, 10, 4],
+    16: [16, 15, 13, 4],
+    17: [17, 14],
+    20: [20, 17],
+    24: [24, 23, 22, 17],
+    28: [28, 25],
+    32: [32, 22, 2, 1],
+}
+
+
+def taps_for(bits):
+    if bits not in TAPS:
+        raise SystemExit(f"gen_lfsr: no tap polynomial for width {bits} "
+                         f"(known: {sorted(TAPS)})")
+    return TAPS[bits]
+
+
+def lfsr_free(bits):
+    """Free-running XNOR LFSR; mirrors circuit::makeLfsrFree."""
+    taps = taps_for(bits)
+    lines = [f"# lfsrf{bits}", f"OUTPUT(q{bits - 1})"]
+    lines += [f"q0 = DFF(fbn)"]
+    lines += [f"q{i} = DFF(q{i - 1})" for i in range(1, bits)]
+    # XOR-fold all taps but the last, complement on the last step.
+    fb = f"q{taps[0] - 1}"
+    for t in range(1, len(taps) - 1):
+        lines.append(f"fb{t} = XOR({fb}, q{taps[t] - 1})")
+        fb = f"fb{t}"
+    lines.append(f"fbn = XNOR({fb}, q{taps[-1] - 1})")
+    return "\n".join(lines) + "\n"
+
+
+def crc(bits):
+    """Serial CRC (LFSR with data input); mirrors circuit::makeCrc."""
+    taps = taps_for(bits)
+    lines = [f"# crc{bits}", "INPUT(din)", f"OUTPUT(q{bits - 1})"]
+    lines += [f"q0 = DFF(fbd)"]
+    lines += [f"q{i} = DFF(q{i - 1})" for i in range(1, bits)]
+    fb = f"q{taps[0] - 1}"
+    for t in range(1, len(taps)):
+        lines.append(f"fb{t} = XOR({fb}, q{taps[t] - 1})")
+        fb = f"fb{t}"
+    lines.append(f"fbd = XOR({fb}, din)")
+    return "\n".join(lines) + "\n"
+
+
+# The circuits shipped in data/ plus their all_circuits.manifest rows. The
+# LFSRs get an iteration cap: a free-running LFSR reaches one new state per
+# frontier step, so a full lfsr16 fixpoint is 2^16 - 1 iterations — fine
+# for the lz engine, pointless for a BDD portfolio smoke.
+SHIPPED = [
+    ("lfsr16.bench", lfsr_free, 16,
+     "circuit=data/lfsr16.bench   name=lfsr16    deadline=30 iters=300"),
+    ("crc16.bench", crc, 16,
+     "circuit=data/crc16.bench    name=crc16     deadline=30"),
+    ("lfsr32.bench", lfsr_free, 32,
+     "circuit=data/lfsr32.bench   name=lfsr32    deadline=30 iters=300"),
+]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("family", nargs="?", choices=["lfsr", "crc"])
+    ap.add_argument("bits", nargs="?", type=int)
+    ap.add_argument("-o", "--output", help="write here instead of stdout")
+    ap.add_argument("--shipped", metavar="DIR",
+                    help="write the shipped workload set into DIR and print "
+                         "the matching manifest rows")
+    args = ap.parse_args()
+
+    if args.shipped:
+        for fname, fn, bits, row in SHIPPED:
+            path = os.path.join(args.shipped, fname)
+            with open(path, "w") as f:
+                f.write(fn(bits))
+            print(row)
+        return
+
+    if args.family is None or args.bits is None:
+        ap.error("need <family> <bits> (or --shipped DIR)")
+    text = lfsr_free(args.bits) if args.family == "lfsr" else crc(args.bits)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+if __name__ == "__main__":
+    main()
