@@ -1,0 +1,120 @@
+// Experiment: thread scaling of the parallel BDD kernel (sharded unique
+// table + concurrent computed cache + task-parallel apply, DESIGN.md §15).
+//
+// Every circuit/engine pair is swept over a thread list (default 1,2,4).
+// The threads=1 run is the reference: parallel runs must reproduce its
+// status, iteration count, and state count exactly — the kernel may differ
+// in op schedule, never in results — and the speedup column is wall-clock
+// of threads=1 over wall-clock of threads=N.
+//
+// JSON rows carry `threads`, `host_cpus` and `speedup` alongside the usual
+// run object. `host_cpus` is what makes committed baselines honest: a row
+// recorded on a 1-CPU builder legitimately shows speedup ~1.0, and the CI
+// speedup gate (tools/perf_smoke.py --speedup) only binds when the row was
+// produced on a machine with enough cores.
+//
+// `--quick` keeps the two rows the CI gate reads (fifo4/BFV, twin14/TR);
+// the full sweep adds the bigger table-2 circuits.
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support.hpp"
+
+using namespace bfvr;
+using namespace bfvr::bench;
+
+namespace {
+
+std::vector<unsigned> parseThreadList(const std::string& s) {
+  std::vector<unsigned> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string tok = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::stoul(tok)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<unsigned> threads = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = parseThreadList(argv[i] + 10);
+    }
+  }
+  if (threads.empty() || threads.front() != 1) {
+    threads.insert(threads.begin(), 1);  // the reference run is mandatory
+  }
+  JsonLog log = jsonLogFromArgs(argc, argv, "parallel");
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  struct Row {
+    circuit::Netlist n;
+    RunSpec::Engine engine;
+  };
+  std::vector<Row> rows;
+  rows.push_back({circuit::makeFifoCtrl(4), RunSpec::Engine::kBfv});
+  rows.push_back({circuit::makeTwinShift(14), RunSpec::Engine::kTr});
+  if (!quick) {
+    rows.push_back({circuit::makeTwinShift(16), RunSpec::Engine::kTr});
+    rows.push_back({circuit::makeRandomSeq(16, 5, 100, 23),
+                    RunSpec::Engine::kTr});
+    rows.push_back({circuit::makeFifoCtrl(4), RunSpec::Engine::kCdec});
+  }
+
+  std::printf("Parallel-kernel thread scaling (host has %u cpu%s)\n",
+              host_cpus, host_cpus == 1 ? "" : "s");
+  std::printf("%-12s %-10s %8s %10s %9s %12s\n", "circuit", "engine",
+              "threads", "time(s)", "speedup", "states");
+  hr(68);
+  bool ok = true;
+  for (const Row& row : rows) {
+    reach::ReachResult base;
+    for (const unsigned t : threads) {
+      RunSpec spec;
+      spec.engine = row.engine;
+      spec.opts.budget.max_seconds = quick ? 20.0 : 60.0;
+      spec.mgr.max_nodes = 400000;
+      spec.mgr.threads = t;
+      const circuit::OrderSpec order{circuit::OrderKind::kTopo, 0};
+      const reach::ReachResult r = runOnce(row.n, order, spec);
+      if (t == 1) base = r;
+      double speedup = 0.0;
+      if (base.status == RunStatus::kDone && r.status == RunStatus::kDone &&
+          r.seconds > 0.0) {
+        speedup = base.seconds / r.seconds;
+      }
+      // Results contract: any thread count computes the same fixpoint.
+      const bool match = r.status == base.status &&
+                         r.iterations == base.iterations &&
+                         r.states == base.states;
+      if (!match) ok = false;
+      log.push(runObject(row.n.name(), order.label(), engineName(row.engine), r)
+                   .add("threads", static_cast<std::uint64_t>(t))
+                   .add("host_cpus", static_cast<std::uint64_t>(host_cpus))
+                   .add("speedup", speedup));
+      char states[32];
+      std::snprintf(states, sizeof states, "%.6g", r.states);
+      std::printf("%-12s %-10s %8u %10s %9.2f %12s%s\n", row.n.name().c_str(),
+                  engineName(row.engine), t, timeCell(r).c_str(), speedup,
+                  r.status == RunStatus::kDone ? states : "-",
+                  match ? "" : "  <- MISMATCH vs threads=1");
+    }
+  }
+  hr(68);
+  if (!ok) {
+    std::printf("\nFAIL: a parallel run diverged from its threads=1 "
+                "reference.\n");
+  }
+  return ok && log.write() ? 0 : 1;
+}

@@ -1,0 +1,660 @@
+// Task-parallel apply kernels and the work-stealing pool behind them (see
+// par.hpp for the fork/join discipline and DESIGN.md §15 for the design).
+//
+// Every *ParRec kernel is a semantically exact twin of its sequential
+// counterpart in ops.cpp / cofactor.cpp: same terminal cases, same cache
+// keys, same mkNode calls. The only difference is that the LOW Shannon
+// branch may be forked to the pool while the caller descends the HIGH
+// branch inline. Because mkNode is canonicalizing and the unique table is
+// shared (under shard locks), the RESULT edges are identical to the
+// sequential kernels'; what differs is which thread performed which step
+// and hence the per-counter split (totals stay exact after the region's
+// stats merge).
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "bdd/par.hpp"
+
+namespace bfvr::bdd {
+
+// ---------------------------------------------------------------------------
+// ParPool
+// ---------------------------------------------------------------------------
+
+ParPool::ParPool(Manager& mgr, unsigned workers)
+    : mgr_(mgr),
+      workers_(workers),
+      hungry_limit_(static_cast<int>(2 * (workers + 1))),
+      deques_(std::make_unique<Deque[]>(workers + 1)),
+      slots_(std::make_unique<WorkerSlot[]>(workers + 1)) {
+  threads_.reserve(workers_);
+  for (unsigned i = 1; i <= workers_; ++i) {
+    threads_.emplace_back([this, i] { workerMain(i); });
+  }
+}
+
+ParPool::~ParPool() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParPool::fork(ParTask& t) {
+  Deque& d = deques_[selfId()];
+  {
+    detail::SpinGuard g(d.lk);
+    d.q.push_back(&t);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) cv_.notify_one();
+}
+
+void ParPool::execute(ParTask& t) noexcept {
+  t.state.store(ParTask::kRunning, std::memory_order_relaxed);
+  try {
+    t.mgr->runParTask(t);
+  } catch (...) {
+    t.error = std::current_exception();
+  }
+  t.state.store(ParTask::kDone, std::memory_order_release);
+}
+
+bool ParPool::runOne(unsigned self) {
+  const unsigned n = workers_ + 1;
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned victim = (self + k) % n;  // own deque first
+    Deque& d = deques_[victim];
+    ParTask* t = nullptr;
+    {
+      detail::SpinGuard g(d.lk);
+      if (!d.q.empty()) {
+        // Own deque: LIFO (cache-hot, the task just forked). Others: FIFO
+        // steal from the front, taking the largest pending subtree.
+        if (victim == self) {
+          t = d.q.back();
+          d.q.pop_back();
+        } else {
+          t = d.q.front();
+          d.q.erase(d.q.begin());
+        }
+      }
+    }
+    if (t != nullptr) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      if (victim != self) stolen_.fetch_add(1, std::memory_order_relaxed);
+      execute(*t);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ParPool::join(ParTask& t) {
+  const unsigned self = selfId();
+  // Fast path: the task is still the tail of our own deque — un-fork and
+  // run it inline, exactly as the sequential kernel would have.
+  {
+    Deque& d = deques_[self];
+    bool mine = false;
+    {
+      detail::SpinGuard g(d.lk);
+      if (!d.q.empty() && d.q.back() == &t) {
+        d.q.pop_back();
+        mine = true;
+      }
+    }
+    if (mine) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      execute(t);
+      if (t.error) std::rethrow_exception(t.error);
+      return;
+    }
+  }
+  // Stolen (or already running): help with other pending work until done.
+  unsigned spins = 0;
+  while (t.state.load(std::memory_order_acquire) != ParTask::kDone) {
+    if (runOne(self)) {
+      spins = 0;
+      continue;
+    }
+    detail::cpuRelax();
+    if (++spins >= 256) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  if (t.error) std::rethrow_exception(t.error);
+}
+
+void ParPool::joinQuiet(ParTask& t) noexcept {
+  try {
+    join(t);
+  } catch (...) {
+    // Unwind path: a primary exception is already propagating; the forked
+    // branch's own failure is redundant (its partial results are garbage).
+  }
+}
+
+void ParPool::invoke(std::span<const std::function<void()>> fns) {
+  if (fns.empty()) return;
+  std::vector<ParTask> tasks(fns.size());
+  for (std::size_t i = 1; i < fns.size(); ++i) {
+    tasks[i].mgr = &mgr_;
+    tasks[i].kind = ParTask::kInvoke;
+    tasks[i].fn = &fns[i];
+    fork(tasks[i]);
+  }
+  tasks[0].mgr = &mgr_;
+  tasks[0].kind = ParTask::kInvoke;
+  tasks[0].fn = &fns[0];
+  execute(tasks[0]);
+  std::exception_ptr first = tasks[0].error;
+  for (std::size_t i = 1; i < fns.size(); ++i) {
+    if (first) {
+      joinQuiet(tasks[i]);
+    } else {
+      try {
+        join(tasks[i]);
+      } catch (...) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ParPool::workerMain(unsigned id) {
+  tl_pool_ = this;
+  tl_id_ = id;
+  Manager::tl_stats_ = &slots_[id].stats;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (runOne(id)) continue;
+    // Brief spin for imminent work, then park with a short timeout (fork
+    // only signals when sleepers are registered; the timeout bounds the
+    // cost of a lost wakeup).
+    unsigned spins = 0;
+    bool found = false;
+    while (spins < 2048) {
+      if (pending_.load(std::memory_order_relaxed) > 0 ||
+          shutdown_.load(std::memory_order_relaxed)) {
+        found = true;
+        break;
+      }
+      detail::cpuRelax();
+      ++spins;
+    }
+    if (found) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait_for(lk, std::chrono::microseconds(200), [this] {
+      return shutdown_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParRegion — the per-operation bracket
+// ---------------------------------------------------------------------------
+
+Manager::ParRegion::ParRegion(Manager& mgr) {
+  if (!mgr.par_enabled_ || mgr.pool_ == nullptr) return;
+  if (mgr.in_par_region_.load(std::memory_order_relaxed)) return;  // nested
+  mgr.ensureParHeadroom();
+  mgr.in_par_region_.store(true, std::memory_order_relaxed);
+  m = &mgr;
+}
+
+Manager::ParRegion::~ParRegion() {
+  if (m == nullptr) return;
+  // All forked tasks have been joined by their ForkGuards (including on
+  // unwind), so the pool is quiescent here and the merge is race-free.
+  m->in_par_region_.store(false, std::memory_order_relaxed);
+  m->mergeParStats();
+}
+
+void Manager::mergeParStats() noexcept {
+  if (pool_ == nullptr) return;
+  for (unsigned i = 1; i <= pool_->workers(); ++i) {
+    OpStats& s = pool_->slotStats(i);
+    stats_ += s;
+    s = OpStats{};
+  }
+}
+
+void Manager::ensureParHeadroom() {
+  // Workers read nodes_[i] lock-free, so the store must not reallocate
+  // while a region is open. Reserve generously up front: with a node
+  // budget the full budget (the budget throw then always fires before the
+  // capacity guard in allocNodePar), otherwise doubling plus a fixed
+  // floor. A mid-region capacity hit surfaces as NodeBudgetExceeded when
+  // the budget is spent, else as ParCapacityExhausted, which withPressure
+  // answers with growParCapacity() + rerun.
+  std::size_t want =
+      std::max(nodes_.size() * 2 + (std::size_t{1} << 17), std::size_t{1}
+                                                               << 20);
+  if (cfg_.max_nodes != 0) {
+    want = std::min(want, std::max(cfg_.max_nodes, nodes_.size()));
+  }
+  if (want > nodes_.capacity()) nodes_.reserve(want);
+}
+
+void Manager::growParCapacity() {
+  // Only called at a sequential point (no open region, every task joined),
+  // so reallocating the store is safe. Double the reservation; with a
+  // budget configured the cap mirrors ensureParHeadroom's clamp.
+  std::size_t want = std::max(nodes_.capacity() * 2, std::size_t{1} << 20);
+  if (cfg_.max_nodes != 0) {
+    want = std::min(want, std::max(cfg_.max_nodes, nodes_.size()));
+  }
+  if (want > nodes_.capacity()) nodes_.reserve(want);
+}
+
+// ---------------------------------------------------------------------------
+// Public parallel API
+// ---------------------------------------------------------------------------
+
+void Manager::parallelInvoke(std::span<const std::function<void()>> fns) {
+  if (!par_enabled_ || pool_ == nullptr || fns.size() <= 1 ||
+      in_par_region_.load(std::memory_order_relaxed)) {
+    for (const auto& fn : fns) fn();
+    return;
+  }
+  // The pressure ladder wraps the whole batch: a NodeBudgetExceeded thrown
+  // inside a worker surfaces here after the region quiesces, the ladder
+  // GCs, and the batch reruns — tasks only (re)write their own slots, so a
+  // rerun is safe.
+  withPressure([&] {
+    ParRegion region(*this);
+    pool_->invoke(fns);
+    return 0;
+  });
+}
+
+Manager::ParCounters Manager::parCounters() const noexcept {
+  ParCounters c;
+  if (pool_ != nullptr) {
+    c.tasks_spawned = pool_->spawned();
+    c.tasks_stolen = pool_->stolen();
+  }
+  if (shard_locks_ != nullptr) {
+    for (std::size_t i = 0; i < kNumShards; ++i) {
+      c.shard_contention +=
+          shard_locks_[i].lk.contended.load(std::memory_order_relaxed);
+    }
+  }
+  c.shard_contention += alloc_lock_.contended.load(std::memory_order_relaxed);
+  c.cache_races = pcache_races_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::size_t Manager::parPendingTasks() const noexcept {
+  return pool_ != nullptr ? pool_->pendingTasks() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Task dispatch
+// ---------------------------------------------------------------------------
+
+void Manager::runParTask(ParTask& t) {
+  switch (t.kind) {
+    case ParTask::kAnd:
+      t.result = andParRec(t.a, t.b, t.depth);
+      break;
+    case ParTask::kXor:
+      t.result = xorParRec(t.a, t.b, t.depth);
+      break;
+    case ParTask::kIte:
+      t.result = iteParRec(t.a, t.b, t.c, t.depth);
+      break;
+    case ParTask::kExists:
+      t.result = existsParRec(t.a, t.b, t.depth);
+      break;
+    case ParTask::kAndExists:
+      t.result = andExistsParRec(t.a, t.b, t.c, t.depth);
+      break;
+    case ParTask::kCof2: {
+      Edge hi = kFalseEdge;
+      t.result = cofactor2ParRec(t.a, t.var, hi, t.depth);
+      t.result2 = hi;
+      break;
+    }
+    case ParTask::kInvoke:
+      (*t.fn)();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel kernels
+// ---------------------------------------------------------------------------
+
+// Fork gate: above the depth cutoff, with a hungry pool, and only when the
+// forked branch is non-trivial (a constant operand makes it terminal).
+
+Edge Manager::andParRec(Edge f, Edge g, unsigned depth) {
+  if (f == g) return f;
+  if (f == negate(g)) return kFalseEdge;
+  if (f == kTrueEdge) return g;
+  if (g == kTrueEdge) return f;
+  if (f == kFalseEdge || g == kFalseEdge) return kFalseEdge;
+  if (f > g) std::swap(f, g);
+  Edge out;
+  if (cacheLookup(kOpAnd, f, g, 0, out)) return out;
+  ++curStats().recursive_steps;
+  const std::uint32_t lf = level(f);
+  const std::uint32_t lg = level(g);
+  const std::uint32_t top = std::min(lf, lg);
+  const Edge fh = lf == top ? highOf(f) : f;
+  const Edge fl = lf == top ? lowOf(f) : f;
+  const Edge gh = lg == top ? highOf(g) : g;
+  const Edge gl = lg == top ? lowOf(g) : g;
+  Edge rh, rl;
+  if (depth < kParMaxForkDepth && !isConstEdge(fl) && !isConstEdge(gl) &&
+      pool_->hungry()) {
+    ParTask t;
+    t.mgr = this;
+    t.kind = ParTask::kAnd;
+    t.a = fl;
+    t.b = gl;
+    t.depth = static_cast<std::uint8_t>(depth + 1);
+    ForkGuard fork(*pool_, t);
+    rh = andParRec(fh, gh, depth + 1);
+    rl = fork.join();
+  } else {
+    rh = andParRec(fh, gh, depth + 1);
+    rl = andParRec(fl, gl, depth + 1);
+  }
+  const Edge r = mkNode(level2var_[top], rh, rl);
+  cacheStore(kOpAnd, f, g, 0, r);
+  return r;
+}
+
+Edge Manager::xorParRec(Edge f, Edge g, unsigned depth) {
+  if (f == g) return kFalseEdge;
+  if (f == negate(g)) return kTrueEdge;
+  if (f == kFalseEdge) return g;
+  if (g == kFalseEdge) return f;
+  if (f == kTrueEdge) return negate(g);
+  if (g == kTrueEdge) return negate(f);
+  std::uint32_t parity = 0;
+  if (isCompl(f)) {
+    f = regular(f);
+    parity ^= 1;
+  }
+  if (isCompl(g)) {
+    g = regular(g);
+    parity ^= 1;
+  }
+  if (f > g) std::swap(f, g);
+  Edge out;
+  if (cacheLookup(kOpXor, f, g, 0, out)) return out ^ parity;
+  ++curStats().recursive_steps;
+  const std::uint32_t lf = level(f);
+  const std::uint32_t lg = level(g);
+  const std::uint32_t top = std::min(lf, lg);
+  const Edge fh = lf == top ? highOf(f) : f;
+  const Edge fl = lf == top ? lowOf(f) : f;
+  const Edge gh = lg == top ? highOf(g) : g;
+  const Edge gl = lg == top ? lowOf(g) : g;
+  Edge rh, rl;
+  if (depth < kParMaxForkDepth && !isConstEdge(fl) && !isConstEdge(gl) &&
+      pool_->hungry()) {
+    ParTask t;
+    t.mgr = this;
+    t.kind = ParTask::kXor;
+    t.a = fl;
+    t.b = gl;
+    t.depth = static_cast<std::uint8_t>(depth + 1);
+    ForkGuard fork(*pool_, t);
+    rh = xorParRec(fh, gh, depth + 1);
+    rl = fork.join();
+  } else {
+    rh = xorParRec(fh, gh, depth + 1);
+    rl = xorParRec(fl, gl, depth + 1);
+  }
+  const Edge r = mkNode(level2var_[top], rh, rl);
+  cacheStore(kOpXor, f, g, 0, r);
+  return r ^ parity;
+}
+
+Edge Manager::iteParRec(Edge f, Edge g, Edge h, unsigned depth) {
+  if (f == kTrueEdge) return g;
+  if (f == kFalseEdge) return h;
+  if (g == h) return g;
+  if (g == kTrueEdge && h == kFalseEdge) return f;
+  if (g == kFalseEdge && h == kTrueEdge) return negate(f);
+  if (f == g) g = kTrueEdge;
+  if (f == negate(g)) g = kFalseEdge;
+  if (f == h) h = kFalseEdge;
+  if (f == negate(h)) h = kTrueEdge;
+  if (g == kTrueEdge && h == kFalseEdge) return f;
+  if (g == kFalseEdge && h == kTrueEdge) return negate(f);
+  if (g == h) return g;
+  if (g == kTrueEdge)
+    return negate(andParRec(negate(f), negate(h), depth));  // f | h
+  if (h == kFalseEdge) return andParRec(f, g, depth);
+  if (g == kFalseEdge) return andParRec(negate(f), h, depth);
+  if (h == kTrueEdge) return negate(andParRec(f, negate(g), depth));
+  if (g == negate(h)) return xorParRec(f, h, depth);
+  if (isCompl(f)) {
+    f = negate(f);
+    std::swap(g, h);
+  }
+  std::uint32_t parity = 0;
+  if (isCompl(g)) {
+    g = negate(g);
+    h = negate(h);
+    parity = 1;
+  }
+  Edge out;
+  if (cacheLookup(kOpIte, f, g, h, out)) return out ^ parity;
+  ++curStats().recursive_steps;
+  const std::uint32_t lf = level(f);
+  const std::uint32_t lg = level(g);
+  const std::uint32_t lh = level(h);
+  const std::uint32_t top = std::min(lf, std::min(lg, lh));
+  const Edge fh = lf == top ? highOf(f) : f;
+  const Edge fl = lf == top ? lowOf(f) : f;
+  const Edge gh = lg == top ? highOf(g) : g;
+  const Edge gl = lg == top ? lowOf(g) : g;
+  const Edge hh = lh == top ? highOf(h) : h;
+  const Edge hl = lh == top ? lowOf(h) : h;
+  Edge rh, rl;
+  if (depth < kParMaxForkDepth && !isConstEdge(fl) && pool_->hungry()) {
+    ParTask t;
+    t.mgr = this;
+    t.kind = ParTask::kIte;
+    t.a = fl;
+    t.b = gl;
+    t.c = hl;
+    t.depth = static_cast<std::uint8_t>(depth + 1);
+    ForkGuard fork(*pool_, t);
+    rh = iteParRec(fh, gh, hh, depth + 1);
+    rl = fork.join();
+  } else {
+    rh = iteParRec(fh, gh, hh, depth + 1);
+    rl = iteParRec(fl, gl, hl, depth + 1);
+  }
+  const Edge r = mkNode(level2var_[top], rh, rl);
+  cacheStore(kOpIte, f, g, h, r);
+  return r ^ parity;
+}
+
+Edge Manager::existsParRec(Edge f, Edge cube, unsigned depth) {
+  if (isConstEdge(f) || cube == kTrueEdge) return f;
+  while (!isConstEdge(cube) && level(cube) < level(f)) {
+    cube = highOf(cube);
+  }
+  if (cube == kTrueEdge) return f;
+  Edge out;
+  if (cacheLookup(kOpExists, f, cube, 0, out)) return out;
+  ++curStats().recursive_steps;
+  const std::uint32_t top = level(f);
+  const Edge fh = highOf(f);
+  const Edge fl = lowOf(f);
+  Edge r;
+  if (level(cube) == top) {
+    const Edge rest = highOf(cube);
+    if (depth < kParMaxForkDepth && !isConstEdge(fl) && pool_->hungry()) {
+      // Forked form computes both cofactor quantifications, giving up the
+      // sequential rh == TRUE shortcut for branch parallelism.
+      ParTask t;
+      t.mgr = this;
+      t.kind = ParTask::kExists;
+      t.a = fl;
+      t.b = rest;
+      t.depth = static_cast<std::uint8_t>(depth + 1);
+      ForkGuard fork(*pool_, t);
+      const Edge rh = existsParRec(fh, rest, depth + 1);
+      const Edge rl = fork.join();
+      r = negate(andParRec(negate(rh), negate(rl), depth + 1));  // rh | rl
+    } else {
+      const Edge rh = existsParRec(fh, rest, depth + 1);
+      if (rh == kTrueEdge) {
+        r = kTrueEdge;
+      } else {
+        const Edge rl = existsParRec(fl, rest, depth + 1);
+        r = negate(andParRec(negate(rh), negate(rl), depth + 1));  // rh | rl
+      }
+    }
+  } else {
+    if (depth < kParMaxForkDepth && !isConstEdge(fl) && pool_->hungry()) {
+      ParTask t;
+      t.mgr = this;
+      t.kind = ParTask::kExists;
+      t.a = fl;
+      t.b = cube;
+      t.depth = static_cast<std::uint8_t>(depth + 1);
+      ForkGuard fork(*pool_, t);
+      const Edge rh = existsParRec(fh, cube, depth + 1);
+      const Edge rl = fork.join();
+      r = mkNode(level2var_[top], rh, rl);
+    } else {
+      r = mkNode(level2var_[top], existsParRec(fh, cube, depth + 1),
+                 existsParRec(fl, cube, depth + 1));
+    }
+  }
+  cacheStore(kOpExists, f, cube, 0, r);
+  return r;
+}
+
+Edge Manager::andExistsParRec(Edge f, Edge g, Edge cube, unsigned depth) {
+  if (f == kFalseEdge || g == kFalseEdge || f == negate(g)) return kFalseEdge;
+  if (f == kTrueEdge && g == kTrueEdge) return kTrueEdge;
+  if (f == g || g == kTrueEdge) return existsParRec(f, cube, depth);
+  if (f == kTrueEdge) return existsParRec(g, cube, depth);
+  if (f > g) std::swap(f, g);
+  const std::uint32_t top = std::min(level(f), level(g));
+  while (!isConstEdge(cube) && level(cube) < top) {
+    cube = highOf(cube);
+  }
+  if (cube == kTrueEdge) return andParRec(f, g, depth);
+  Edge out;
+  if (cacheLookup(kOpAndExists, f, g, cube, out)) return out;
+  ++curStats().recursive_steps;
+  const std::uint32_t lf = level(f);
+  const std::uint32_t lg = level(g);
+  const Edge fh = lf == top ? highOf(f) : f;
+  const Edge fl = lf == top ? lowOf(f) : f;
+  const Edge gh = lg == top ? highOf(g) : g;
+  const Edge gl = lg == top ? lowOf(g) : g;
+  Edge r;
+  const bool forkable = depth < kParMaxForkDepth && !isConstEdge(fl) &&
+                        !isConstEdge(gl) && pool_->hungry();
+  if (level(cube) == top) {
+    const Edge rest = highOf(cube);
+    if (forkable) {
+      ParTask t;
+      t.mgr = this;
+      t.kind = ParTask::kAndExists;
+      t.a = fl;
+      t.b = gl;
+      t.c = rest;
+      t.depth = static_cast<std::uint8_t>(depth + 1);
+      ForkGuard fork(*pool_, t);
+      const Edge rh = andExistsParRec(fh, gh, rest, depth + 1);
+      const Edge rl = fork.join();
+      r = negate(andParRec(negate(rh), negate(rl), depth + 1));  // rh | rl
+    } else {
+      const Edge rh = andExistsParRec(fh, gh, rest, depth + 1);
+      if (rh == kTrueEdge) {
+        r = kTrueEdge;
+      } else {
+        const Edge rl = andExistsParRec(fl, gl, rest, depth + 1);
+        r = negate(andParRec(negate(rh), negate(rl), depth + 1));  // rh | rl
+      }
+    }
+  } else {
+    if (forkable) {
+      ParTask t;
+      t.mgr = this;
+      t.kind = ParTask::kAndExists;
+      t.a = fl;
+      t.b = gl;
+      t.c = cube;
+      t.depth = static_cast<std::uint8_t>(depth + 1);
+      ForkGuard fork(*pool_, t);
+      const Edge rh = andExistsParRec(fh, gh, cube, depth + 1);
+      const Edge rl = fork.join();
+      r = mkNode(level2var_[top], rh, rl);
+    } else {
+      r = mkNode(level2var_[top], andExistsParRec(fh, gh, cube, depth + 1),
+                 andExistsParRec(fl, gl, cube, depth + 1));
+    }
+  }
+  cacheStore(kOpAndExists, f, g, cube, r);
+  return r;
+}
+
+Edge Manager::cofactor2ParRec(Edge f, std::uint32_t var, Edge& hi,
+                              unsigned depth) {
+  if (isConstEdge(f) || level(f) > var2level_[var]) {
+    hi = f;
+    return f;
+  }
+  const Edge parity = f & 1U;
+  f = regular(f);
+  const std::uint32_t top = varOf(f);
+  const Edge fh = highOf(f);
+  const Edge fl = lowOf(f);
+  if (top == var) {
+    hi = fh ^ parity;
+    return fl ^ parity;
+  }
+  Edge lo;
+  if (cacheLookup2(kOpCofactor2, f, var, 0, lo, hi)) {
+    hi ^= parity;
+    return lo ^ parity;
+  }
+  ++curStats().recursive_steps;
+  Edge fh1, fl1, fh0, fl0;
+  if (depth < kParMaxForkDepth && !isConstEdge(fl) && pool_->hungry()) {
+    ParTask t;
+    t.mgr = this;
+    t.kind = ParTask::kCof2;
+    t.a = fl;
+    t.var = var;
+    t.depth = static_cast<std::uint8_t>(depth + 1);
+    ForkGuard fork(*pool_, t);
+    fh0 = cofactor2ParRec(fh, var, fh1, depth + 1);
+    fl0 = fork.join();
+    fl1 = fork.result2();
+  } else {
+    fh0 = cofactor2ParRec(fh, var, fh1, depth + 1);
+    fl0 = cofactor2ParRec(fl, var, fl1, depth + 1);
+  }
+  lo = mkNode(top, fh0, fl0);
+  const Edge hi_reg = mkNode(top, fh1, fl1);
+  cacheStore2(kOpCofactor2, f, var, 0, lo, hi_reg);
+  hi = hi_reg ^ parity;
+  return lo ^ parity;
+}
+
+}  // namespace bfvr::bdd

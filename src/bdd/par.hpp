@@ -1,0 +1,182 @@
+// Work-stealing fork/join pool behind the Manager's intra-operation
+// parallelism (Config::threads > 1). Deliberately minimal, Sylvan-flavored:
+//
+//  * Tasks are STACK-ALLOCATED in the forking frame (ParTask below), pushed
+//    by pointer onto the forker's deque, and always joined by that same
+//    frame before it returns or unwinds (ForkGuard). There is therefore no
+//    task ownership problem, no allocation on the fork path, and — the
+//    property the Manager's sequential safe points rely on — the pool is
+//    structurally quiescent whenever no public operation is running: a
+//    pending task cannot outlive the operation that forked it.
+//
+//  * fork() pushes to the calling thread's own deque tail; join() pops its
+//    own tail when the task is still there (the common case — runs it
+//    inline, zero synchronization beyond the deque lock), and otherwise
+//    HELPS: it steals and runs other pending tasks until its own task is
+//    done, so a joining thread never blocks while work exists.
+//
+//  * Idle workers spin briefly, then park on a condition variable with a
+//    short timeout; fork() only signals when a sleeper is registered, so
+//    the steady-state fork cost is a locked push plus two relaxed atomics.
+//
+//  * Exceptions (node budget, cancellation) are captured per task and
+//    rethrown at join; helping frames swallow nothing. The Manager's
+//    cancellation poll runs inside allocNode on every thread, so a cancel
+//    interrupts all branches of a parallel apply within one stride.
+//
+// One pool serves exactly one Manager; worker threads bind their OpStats
+// slot (Manager::tl_stats_) once at startup and must never touch another
+// manager.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace bfvr::bdd {
+
+/// One forked subproblem. Plain data filled by the forker; `result`
+/// (and `result2` for the dual-cofactor kind) is written by whoever runs
+/// the task, before the release-store of `state` that join() acquires.
+struct ParTask {
+  enum Kind : std::uint8_t {
+    kAnd,
+    kXor,
+    kIte,
+    kExists,
+    kAndExists,
+    kCof2,
+    kInvoke,
+  };
+  enum State : int { kQueued = 0, kRunning = 1, kDone = 2 };
+
+  Manager* mgr = nullptr;
+  Edge a = 0, b = 0, c = 0;
+  std::uint32_t var = 0;
+  Kind kind = kAnd;
+  std::uint8_t depth = 0;
+  Edge result = 0;
+  Edge result2 = 0;
+  const std::function<void()>* fn = nullptr;  // kInvoke body
+  std::exception_ptr error;
+  std::atomic<int> state{kQueued};
+};
+
+class ParPool {
+ public:
+  /// Spawns `workers` threads (may be 0: the owner thread still forks and
+  /// immediately joins inline, which keeps the code paths testable).
+  ParPool(Manager& mgr, unsigned workers);
+  ~ParPool();
+  ParPool(const ParPool&) = delete;
+  ParPool& operator=(const ParPool&) = delete;
+
+  /// Make `t` stealable. The task must stay alive until joined.
+  void fork(ParTask& t);
+  /// Wait for `t`, running it inline or helping with other tasks; rethrows
+  /// the task's captured exception.
+  void join(ParTask& t);
+  /// join() that swallows the task's exception — used on unwind paths where
+  /// another exception is already in flight.
+  void joinQuiet(ParTask& t) noexcept;
+
+  /// True while fewer tasks are pending than there are threads to eat them
+  /// — the kernels' fork gate. One relaxed load.
+  bool hungry() const noexcept {
+    return pending_.load(std::memory_order_relaxed) < hungry_limit_;
+  }
+
+  /// Run the bodies concurrently: fns[0] inline on the caller, the rest as
+  /// tasks. First captured exception rethrown after ALL bodies finished.
+  void invoke(std::span<const std::function<void()>> fns);
+
+  unsigned workers() const noexcept { return workers_; }
+  /// Worker stats slots are 1-based (slot 0 is unused: the owner thread
+  /// writes Manager::stats_ directly).
+  OpStats& slotStats(unsigned i) noexcept { return slots_[i].stats; }
+  std::size_t pendingTasks() const noexcept {
+    return static_cast<std::size_t>(pending_.load(std::memory_order_relaxed));
+  }
+  std::uint64_t spawned() const noexcept {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stolen() const noexcept {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) WorkerSlot {
+    OpStats stats;
+  };
+  struct alignas(64) Deque {
+    detail::Spinlock lk;
+    std::vector<ParTask*> q;  // tail = back (owner side), steal from front
+  };
+
+  /// Deque index of the calling thread: its worker id on pool threads, 0
+  /// (the owner's deque) everywhere else.
+  unsigned selfId() const noexcept {
+    return tl_pool_ == this ? tl_id_ : 0;
+  }
+  /// Steal one task (own deque included, others from the front) and run
+  /// it; false when nothing was pending.
+  bool runOne(unsigned self);
+  void execute(ParTask& t) noexcept;
+  void workerMain(unsigned id);
+
+  Manager& mgr_;
+  unsigned workers_;
+  int hungry_limit_;
+  std::unique_ptr<Deque[]> deques_;   // workers_ + 1 (index 0 = owner)
+  std::unique_ptr<WorkerSlot[]> slots_;
+  std::vector<std::thread> threads_;
+  std::atomic<int> pending_{0};
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> sleepers_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  inline static thread_local ParPool* tl_pool_ = nullptr;
+  inline static thread_local unsigned tl_id_ = 0;
+};
+
+/// Fork-with-guaranteed-join. Joins quietly on unwind (an exception from
+/// the inline branch must not orphan the forked task — the pool would
+/// dangle a pointer into this dead frame), loudly via join().
+class ForkGuard {
+ public:
+  ForkGuard(ParPool& pool, ParTask& t) : pool_(pool), task_(t) {
+    pool_.fork(task_);
+  }
+  ~ForkGuard() {
+    if (!joined_) pool_.joinQuiet(task_);
+  }
+  ForkGuard(const ForkGuard&) = delete;
+  ForkGuard& operator=(const ForkGuard&) = delete;
+
+  /// Join and return the task's primary result.
+  Edge join() {
+    joined_ = true;
+    pool_.join(task_);
+    return task_.result;
+  }
+  /// Secondary result (valid after join; kCof2 only).
+  Edge result2() const noexcept { return task_.result2; }
+
+ private:
+  ParPool& pool_;
+  ParTask& task_;
+  bool joined_ = false;
+};
+
+}  // namespace bfvr::bdd

@@ -1,0 +1,281 @@
+// The parallel kernel (DESIGN.md §15): sharded unique table, concurrent
+// computed cache, and the task pool. The contract under test is always the
+// same — any thread count computes the same functions as the sequential
+// kernel; parallelism may change schedules and op counts, never results.
+//
+// The three named concurrency tests (BddParShardHammer, BddParCachePublish,
+// BddParForkJoinCancel) are the ones CI additionally builds under
+// ThreadSanitizer: they drive the unique-table shard locks, the lossy
+// seqlock cache publish, and pool fork/join under cancellation, which is
+// where a missed barrier would surface as a TSan report.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bfv/bfv.hpp"
+#include "circuit/bench_io.hpp"
+#include "circuit/orders.hpp"
+#include "reach/engine.hpp"
+#include "sym/space.hpp"
+
+#ifndef BFVR_DATA_DIR
+#define BFVR_DATA_DIR "data"
+#endif
+
+namespace bfvr {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+Manager::Config parCfg(unsigned threads) {
+  Manager::Config cfg;
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Deterministic formula family: mixes XOR chains (wide, cache-heavy) with
+/// AND/ITE structure so every task exercises mkNode on many variables.
+Bdd buildFormula(Manager& m, unsigned seed) {
+  Bdd acc = (seed & 1U) != 0 ? m.one() : m.zero();
+  for (unsigned k = 0; k < 24; ++k) {
+    const unsigned v = (seed * 7U + k * 5U) % 48U;
+    const Bdd x = m.var(v);
+    switch ((seed + k) % 3U) {
+      case 0:
+        acc = acc ^ x;
+        break;
+      case 1:
+        acc = acc | (x & m.var((v + 13U) % 48U));
+        break;
+      default:
+        acc = m.ite(x, acc, ~acc);
+        break;
+    }
+  }
+  return acc;
+}
+
+// -- BddParShardHammer -------------------------------------------------------
+// Many tasks build node-heavy functions over overlapping variable ranges:
+// every subtable shard sees concurrent probe/insert/grow traffic. Results
+// must match a sequential manager function-for-function.
+TEST(BddParShardHammer, ConcurrentMkNodeMatchesSequential) {
+  Manager par(48, parCfg(4));
+  Manager seq(48, parCfg(1));
+  constexpr unsigned kTasks = 32;
+  std::vector<Bdd> got(kTasks);
+  std::vector<std::function<void()>> fns;
+  fns.reserve(kTasks);
+  for (unsigned i = 0; i < kTasks; ++i) {
+    fns.push_back([&par, &got, i] { got[i] = buildFormula(par, i); });
+  }
+  par.parallelInvoke(fns);
+  for (unsigned i = 0; i < kTasks; ++i) {
+    ASSERT_FALSE(got[i].isNull()) << "task " << i;
+    const Bdd ref = buildFormula(seq, i);
+    EXPECT_DOUBLE_EQ(par.satCount(got[i], 48), seq.satCount(ref, 48))
+        << "task " << i;
+    EXPECT_EQ(par.support(got[i]), seq.support(ref)) << "task " << i;
+  }
+  // Canonicity survived the hammer: rebuilding on the owner thread must hit
+  // the very same nodes.
+  for (unsigned i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(buildFormula(par, i).raw(), got[i].raw()) << "task " << i;
+  }
+  EXPECT_EQ(par.parPendingTasks(), 0U);
+}
+
+// -- BddParCachePublish ------------------------------------------------------
+// All tasks compute the SAME operations concurrently: identical cache keys
+// published and probed from every worker at once. The seqlock lines may
+// drop inserts under a race (lossy), but every returned edge must be the
+// one canonical result.
+TEST(BddParCachePublish, RacingIdenticalOpsAgree) {
+  Manager m(48, parCfg(4));
+  const Bdd f = buildFormula(m, 3);
+  const Bdd g = buildFormula(m, 11);
+  const Bdd h = buildFormula(m, 19);
+  constexpr unsigned kTasks = 24;
+  std::vector<Bdd> and_r(kTasks), ite_r(kTasks), xor_r(kTasks);
+  std::vector<std::function<void()>> fns;
+  fns.reserve(kTasks);
+  for (unsigned i = 0; i < kTasks; ++i) {
+    fns.push_back([&, i] {
+      and_r[i] = f & g;
+      ite_r[i] = m.ite(f, g, h);
+      xor_r[i] = g ^ h;
+    });
+  }
+  m.parallelInvoke(fns);
+  const Bdd and_ref = f & g;
+  const Bdd ite_ref = m.ite(f, g, h);
+  const Bdd xor_ref = g ^ h;
+  for (unsigned i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(and_r[i].raw(), and_ref.raw()) << "task " << i;
+    EXPECT_EQ(ite_r[i].raw(), ite_ref.raw()) << "task " << i;
+    EXPECT_EQ(xor_r[i].raw(), xor_ref.raw()) << "task " << i;
+  }
+}
+
+// -- BddParForkJoinCancel ----------------------------------------------------
+// A cancellation raised inside the pool: the worker's Interrupted unwinds
+// through the fork guards (each join()s its outstanding child), so the op
+// aborts without leaking queued tasks and the manager stays usable.
+TEST(BddParForkJoinCancel, CancelledApplyLeavesNoPendingTasks) {
+  Manager m(48, parCfg(4));
+  const Bdd f = buildFormula(m, 5);
+  const Bdd g = buildFormula(m, 23);
+  bool armed = false;
+  m.setInterruptCheck([&armed] {
+    if (armed) throw bdd::Interrupted(bdd::Interrupted::Reason::kCancelled);
+  });
+  armed = true;
+  EXPECT_THROW(
+      {
+        Bdd r = f & g;
+        // Enough fresh structure to guarantee allocations (and thus interrupt
+        // polls) even if the AND above was fully cached.
+        for (unsigned i = 0; i < 64; ++i) r = r ^ buildFormula(m, 100 + i);
+      },
+      bdd::Interrupted);
+  EXPECT_EQ(m.parPendingTasks(), 0U);
+  // Disarm: the manager must still run parallel ops and produce canonical
+  // results after the aborted one.
+  armed = false;
+  const Bdd back = f & g;
+  EXPECT_EQ((g & f).raw(), back.raw());
+  EXPECT_EQ(m.parPendingTasks(), 0U);
+}
+
+// -- apply equivalence -------------------------------------------------------
+TEST(BddParallel, ParallelApplyMatchesSequentialOnFormulaFamily) {
+  Manager par(48, parCfg(4));
+  Manager seq(48, parCfg(1));
+  for (unsigned i = 0; i < 5; ++i) {
+    const Bdd pf = buildFormula(par, i);
+    const Bdd pg = buildFormula(par, i + 40);
+    const Bdd sf = buildFormula(seq, i);
+    const Bdd sg = buildFormula(seq, i + 40);
+    EXPECT_DOUBLE_EQ(par.satCount(pf & pg, 48), seq.satCount(sf & sg, 48));
+    EXPECT_DOUBLE_EQ(par.satCount(pf ^ pg, 48), seq.satCount(sf ^ sg, 48));
+    const std::vector<unsigned> cube_vars = {1, 5, 9};
+    const Bdd pc = par.cube(cube_vars);
+    const Bdd sc = seq.cube(cube_vars);
+    EXPECT_DOUBLE_EQ(par.satCount(par.exists(pf, pc), 48),
+                     seq.satCount(seq.exists(sf, sc), 48));
+    EXPECT_DOUBLE_EQ(par.satCount(par.andExists(pf, pg, pc), 48),
+                     seq.satCount(seq.andExists(sf, sg, sc), 48));
+    auto [plo, phi] = par.cofactor2(pf, 7);
+    auto [slo, shi] = seq.cofactor2(sf, 7);
+    EXPECT_DOUBLE_EQ(par.satCount(plo, 48), seq.satCount(slo, 48));
+    EXPECT_DOUBLE_EQ(par.satCount(phi, 48), seq.satCount(shi, 48));
+  }
+  EXPECT_EQ(par.parPendingTasks(), 0U);
+}
+
+TEST(BddParallel, CountersReportPoolActivity) {
+  Manager m(48, parCfg(4));
+  EXPECT_EQ(m.threads(), 4U);
+  std::vector<Bdd> out(16);
+  std::vector<std::function<void()>> fns;
+  for (unsigned i = 0; i < 16; ++i) {
+    fns.push_back([&m, &out, i] { out[i] = buildFormula(m, i); });
+  }
+  m.parallelInvoke(fns);
+  EXPECT_GT(m.parCounters().tasks_spawned, 0U);
+}
+
+TEST(BddParallel, ThreadsOneNeverSpawnsTasks) {
+  Manager m(48, parCfg(1));
+  const Bdd f = buildFormula(m, 2);
+  const Bdd g = buildFormula(m, 9);
+  (void)(f & g);
+  (void)m.ite(f, g, ~f);
+  const Manager::ParCounters c = m.parCounters();
+  EXPECT_EQ(c.tasks_spawned, 0U);
+  EXPECT_EQ(c.tasks_stolen, 0U);
+}
+
+// -- BFV component-parallel steps -------------------------------------------
+TEST(BddParallel, BfvSetOpsMatchSequentialAcrossThreadCounts) {
+  const std::vector<unsigned> vars = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<std::uint64_t> a_members = {0, 3, 17, 42, 100, 200, 255};
+  const std::vector<std::uint64_t> b_members = {3, 5, 42, 99, 128, 255};
+  Manager seq(8, parCfg(1));
+  const bfv::Bfv sa = bfv::Bfv::fromMembers(seq, vars, a_members);
+  const bfv::Bfv sb = bfv::Bfv::fromMembers(seq, vars, b_members);
+  const double seq_union = bfv::setUnion(sa, sb).countStates();
+  const double seq_inter = bfv::setIntersect(sa, sb).countStates();
+  for (const unsigned t : {2U, 4U}) {
+    Manager par(8, parCfg(t));
+    const bfv::Bfv pa = bfv::Bfv::fromMembers(par, vars, a_members);
+    const bfv::Bfv pb = bfv::Bfv::fromMembers(par, vars, b_members);
+    EXPECT_DOUBLE_EQ(bfv::setUnion(pa, pb).countStates(), seq_union)
+        << "threads=" << t;
+    EXPECT_DOUBLE_EQ(bfv::setIntersect(pa, pb).countStates(), seq_inter)
+        << "threads=" << t;
+    std::string why;
+    EXPECT_TRUE(bfv::setUnion(pa, pb).checkCanonical(&why)) << why;
+    EXPECT_EQ(par.parPendingTasks(), 0U);
+  }
+}
+
+// -- differential suite: shipped circuits × engines × thread counts ----------
+// Every data/*.bench runs under every BDD engine at 1, 2 and 4 threads with
+// capped iterations/budgets; the parallel runs must reproduce the
+// threads=1 status, iteration count and state count exactly.
+class ParDiff : public ::testing::TestWithParam<const char*> {};
+
+reach::ReachResult runEngine(const circuit::Netlist& n, unsigned engine,
+                             unsigned threads) {
+  Manager m(0, parCfg(threads));
+  sym::StateSpace s(m, n,
+                    circuit::makeOrder(n, {circuit::OrderKind::kTopo, 0}));
+  reach::ReachOptions opts;
+  opts.max_iterations = 6;
+  opts.budget.max_seconds = 30.0;
+  switch (engine) {
+    case 0:
+      return reach::reachTr(s, opts);
+    case 1:
+      return reach::reachCbm(s, opts);
+    case 2:
+      opts.backend = reach::SetBackend::kBfv;
+      return reach::reachBfv(s, opts);
+    default:
+      opts.backend = reach::SetBackend::kCdec;
+      return reach::reachBfv(s, opts);
+  }
+}
+
+TEST_P(ParDiff, EnginesAgreeAcrossThreadCounts) {
+  const circuit::Netlist n = circuit::parseBenchFile(
+      std::string(BFVR_DATA_DIR) + "/" + GetParam());
+  static const char* const kEngines[] = {"tr", "cbm", "bfv", "cdec"};
+  for (unsigned e = 0; e < 4; ++e) {
+    const reach::ReachResult ref = runEngine(n, e, 1);
+    for (const unsigned t : {2U, 4U}) {
+      const reach::ReachResult r = runEngine(n, e, t);
+      EXPECT_EQ(to_string(r.status), to_string(ref.status))
+          << kEngines[e] << " threads=" << t;
+      EXPECT_EQ(r.iterations, ref.iterations)
+          << kEngines[e] << " threads=" << t;
+      EXPECT_DOUBLE_EQ(r.states, ref.states)
+          << kEngines[e] << " threads=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, ParDiff,
+                         ::testing::Values("arb4.bench", "cnt8m200.bench",
+                                           "crc8.bench", "crc16.bench",
+                                           "fifo3.bench", "johnson8.bench",
+                                           "lfsr16.bench", "lfsr32.bench",
+                                           "twin6.bench"));
+
+}  // namespace
+}  // namespace bfvr
