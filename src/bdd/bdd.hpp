@@ -1112,6 +1112,10 @@ class Manager {
   bool par_enabled_ = false;                  // cfg_.threads > 1
   std::unique_ptr<ParPool> pool_;             // workers + deques (par.hpp)
   std::unique_ptr<ShardLock[]> shard_locks_;  // kNumShards, keyed by var
+  /// Parallel-mode interrupt stride clock: a monotonic allocation counter
+  /// shared by all threads, polled OUTSIDE alloc_lock_ so a slow user
+  /// callback never stalls other allocating threads (allocNodePar).
+  std::atomic<std::uint32_t> par_interrupt_tick_{0};
   detail::Spinlock alloc_lock_;    // free list / node store / fault clocks
   detail::Spinlock handle_lock_;   // Bdd handle registry (link/unlink)
   detail::Spinlock event_lock_;    // serializes sink callbacks in par mode
@@ -1291,6 +1295,13 @@ inline void Manager::pcacheInsert(std::uint32_t op, Edge a, Edge b, Edge c,
     pcache_races_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // Canonical seqlock writer ordering: the odd version must be visible
+  // before any payload store (the CAS alone does not order the relaxed
+  // stores below after it on weakly-ordered hardware). This release fence
+  // pairs with the reader's acquire fence: a reader that observes any of
+  // the new payload must also observe the odd/advanced version on its
+  // validation load, so a torn way can never validate.
+  std::atomic_thread_fence(std::memory_order_release);
   const std::uint8_t now = static_cast<std::uint8_t>(
       pcache_gen_.load(std::memory_order_relaxed));
   // Victim selection mirrors the sequential cache: first empty way, else

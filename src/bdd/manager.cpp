@@ -409,8 +409,14 @@ std::uint32_t Manager::allocNode() {
 }
 
 /// Parallel twin of allocNode: the free list, in-use accounting, fault
-/// clocks, interrupt stride and store growth all live under alloc_lock_
-/// (SpinGuard unlocks on the throw paths). The extra capacity guard keeps
+/// clocks and store growth all live under alloc_lock_ (SpinGuard unlocks
+/// on the throw paths). The user interrupt callback is polled BEFORE the
+/// lock: it is arbitrary user code and may be slow or block, and every
+/// other allocating thread would spin-wait at full CPU for the duration
+/// if it ran inside the critical section. The fault hooks stay under the
+/// lock — their clocks are plain members, and the hooks themselves are
+/// internal O(1) throw-or-return points, never blocking.
+/// The extra capacity guard keeps
 /// nodes_ from reallocating while workers read it lock-free — ParRegion
 /// reserved headroom at region entry. A mid-region capacity hit surfaces
 /// as NodeBudgetExceeded when the configured budget is genuinely spent
@@ -418,14 +424,23 @@ std::uint32_t Manager::allocNode() {
 /// as ParCapacityExhausted otherwise, which withPressure answers with a
 /// quiesced growParCapacity() + rerun.
 std::uint32_t Manager::allocNodePar() {
+  // Cooperative interrupt poll, outside the spinlock (see above). The
+  // stride clock is a shared monotonic counter; the modulo keeps it
+  // reset-free and race-free under concurrent increments. interrupt_check_
+  // is only (un)installed at sequential points, so the unlocked read is
+  // safe.
+  if (!reordering_ && interrupt_check_ &&
+      (par_interrupt_tick_.fetch_add(1, std::memory_order_relaxed) + 1) %
+              kInterruptStride ==
+          0) {
+    interrupt_check_();
+  }
   detail::SpinGuard g(alloc_lock_);
-  if (!reordering_) {
-    if (fault_armed_) faultAllocTick();
-    if ((interrupt_check_ || fault_armed_) &&
-        ++interrupt_tick_ >= kInterruptStride) {
+  if (!reordering_ && fault_armed_) {
+    faultAllocTick();
+    if (++interrupt_tick_ >= kInterruptStride) {
       interrupt_tick_ = 0;
-      if (fault_armed_) faultPollTick();
-      if (interrupt_check_) interrupt_check_();
+      faultPollTick();
     }
   }
   if (free_list_ != kNil) {

@@ -11,7 +11,6 @@
 // and hence the per-counter split (totals stay exact after the region's
 // stats merge).
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "bdd/par.hpp"
@@ -49,9 +48,20 @@ void ParPool::fork(ParTask& t) {
     detail::SpinGuard g(d.lk);
     d.q.push_back(&t);
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  // Publish-then-check, the mirror image of the parking worker's
+  // register-then-check (both seq_cst): in every interleaving either this
+  // thread sees sleepers_ > 0 and notifies under mu_, or the worker sees
+  // pending_ > 0 in its predicate and never blocks. Notifying under the
+  // lock makes the signal reliable — the worker is either not yet inside
+  // wait() (then its predicate, evaluated under mu_ after we release it,
+  // sees the new task) or it is blocked and receives the notify. This is
+  // what lets idle workers park on an UNTIMED wait.
+  pending_.fetch_add(1, std::memory_order_seq_cst);
   spawned_.fetch_add(1, std::memory_order_relaxed);
-  if (sleepers_.load(std::memory_order_relaxed) > 0) cv_.notify_one();
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_one();
+  }
 }
 
 void ParPool::execute(ParTask& t) noexcept {
@@ -174,9 +184,12 @@ void ParPool::workerMain(unsigned id) {
   Manager::tl_stats_ = &slots_[id].stats;
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (runOne(id)) continue;
-    // Brief spin for imminent work, then park with a short timeout (fork
-    // only signals when sleepers are registered; the timeout bounds the
-    // cost of a lost wakeup).
+    // Brief spin for imminent work, then park until fork() or shutdown
+    // signals. The untimed wait is safe because registration and signal
+    // are ordered: we register in sleepers_ and THEN check the predicate
+    // (both seq_cst, under mu_), while fork() publishes pending_ and THEN
+    // checks sleepers_ (also seq_cst) — at least one side always sees the
+    // other, so a wakeup cannot be lost and idle workers burn no CPU.
     unsigned spins = 0;
     bool found = false;
     while (spins < 2048) {
@@ -190,10 +203,10 @@ void ParPool::workerMain(unsigned id) {
     }
     if (found) continue;
     std::unique_lock<std::mutex> lk(mu_);
-    sleepers_.fetch_add(1, std::memory_order_relaxed);
-    cv_.wait_for(lk, std::chrono::microseconds(200), [this] {
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lk, [this] {
       return shutdown_.load(std::memory_order_relaxed) ||
-             pending_.load(std::memory_order_relaxed) > 0;
+             pending_.load(std::memory_order_seq_cst) > 0;
     });
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -230,12 +243,14 @@ void Manager::mergeParStats() noexcept {
 
 void Manager::ensureParHeadroom() {
   // Workers read nodes_[i] lock-free, so the store must not reallocate
-  // while a region is open. Reserve generously up front: with a node
-  // budget the full budget (the budget throw then always fires before the
-  // capacity guard in allocNodePar), otherwise doubling plus a fixed
-  // floor. A mid-region capacity hit surfaces as NodeBudgetExceeded when
+  // while a region is open. Reserve INCREMENTALLY — current size doubled
+  // plus a fixed floor — never the whole node budget up front (a large
+  // safety cap would otherwise become a multi-GB allocation on tiny
+  // workloads); the budget only CLAMPS the request, with the max(...,
+  // nodes_.size()) keeping the clamp a no-op when reordering overshot the
+  // budget. A mid-region capacity hit surfaces as NodeBudgetExceeded when
   // the budget is spent, else as ParCapacityExhausted, which withPressure
-  // answers with growParCapacity() + rerun.
+  // answers with a quiesced growParCapacity() + rerun.
   std::size_t want =
       std::max(nodes_.size() * 2 + (std::size_t{1} << 17), std::size_t{1}
                                                                << 20);

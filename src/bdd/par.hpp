@@ -15,9 +15,12 @@
 //    HELPS: it steals and runs other pending tasks until its own task is
 //    done, so a joining thread never blocks while work exists.
 //
-//  * Idle workers spin briefly, then park on a condition variable with a
-//    short timeout; fork() only signals when a sleeper is registered, so
-//    the steady-state fork cost is a locked push plus two relaxed atomics.
+//  * Idle workers spin briefly, then park on a condition variable with an
+//    untimed wait; fork() only signals when a sleeper is registered. The
+//    register-then-check / publish-then-check protocol (seq_cst on
+//    sleepers_/pending_, notify under the mutex) makes the wakeup
+//    race-free, so parked workers consume no CPU and the steady-state
+//    fork cost is a locked push plus two atomics.
 //
 //  * Exceptions (node budget, cancellation) are captured per task and
 //    rethrown at join; helping frames swallow nothing. The Manager's

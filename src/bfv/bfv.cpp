@@ -124,15 +124,19 @@ Bdd Bfv::toChar() const {
   if (mgr_->threads() > 1 && comps_.size() > 1) {
     // Materialize the choice-variable BDDs up front: variable creation may
     // grow manager tables and must stay on the owner thread.
-    std::vector<Bdd> terms(comps_.size());
+    std::vector<Bdd> vs(comps_.size());
     for (std::size_t i = 0; i < comps_.size(); ++i) {
-      terms[i] = mgr_->var(vars_[i]);
+      vs[i] = mgr_->var(vars_[i]);
     }
+    // Inputs (vs, comps_) and outputs (terms) stay disjoint so each body is
+    // idempotent: the pressure ladder inside parallelInvoke may rerun the
+    // whole batch after a mid-batch NodeBudgetExceeded/capacity throw.
+    std::vector<Bdd> terms(comps_.size());
     std::vector<std::function<void()>> fns;
     fns.reserve(comps_.size());
     for (std::size_t i = 0; i < comps_.size(); ++i) {
       fns.push_back(
-          [this, &terms, i] { terms[i] = mgr_->xnorB(terms[i], comps_[i]); });
+          [this, &vs, &terms, i] { terms[i] = mgr_->xnorB(vs[i], comps_[i]); });
     }
     mgr_->parallelInvoke(fns);
     // Balanced pairwise AND tree: independent conjunctions per level give

@@ -224,6 +224,43 @@ TEST(BddParallel, BfvSetOpsMatchSequentialAcrossThreadCounts) {
   }
 }
 
+// -- toChar under the pressure ladder ---------------------------------------
+// Regression: every parallelInvoke body must be idempotent, because a
+// NodeBudgetExceeded thrown mid-batch makes withPressure rerun the WHOLE
+// batch after relief. toChar's XNOR fan-out once wrote v_i XNOR f_i back
+// into the slot holding v_i, so components that completed the first
+// attempt computed (v_i XNOR f_i) XNOR f_i == v_i on the rerun — silently
+// dropping their constraint from chi. Injected allocation failures at
+// exact ticks force the rerun; the characteristic function must still
+// count exactly the member set.
+TEST(BddParallel, ToCharSurvivesPressureLadderRerun) {
+  std::vector<unsigned> vars(16);
+  for (unsigned i = 0; i < 16; ++i) vars[i] = i;
+  std::vector<std::uint64_t> members;
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    members.push_back((k * 2654435761ULL) & 0xFFFFU);  // odd stride: distinct
+  }
+  Manager seq(16, parCfg(1));
+  const double want =
+      bfv::Bfv::fromMembers(seq, vars, members).countStates();
+  ASSERT_DOUBLE_EQ(want, 40.0);
+
+  Manager::Config cfg = parCfg(4);
+  cfg.pressure_ladder.enabled = true;  // three rungs: one per injected fault
+  Manager m(16, cfg);
+  const bfv::Bfv s = bfv::Bfv::fromMembers(m, vars, members);
+  bdd::FaultPlan plan;
+  plan.alloc_failures = {10, 60, 150};
+  m.setFaultPlan(plan);
+  const Bdd chi = s.toChar();
+  // At least one fault must have fired inside toChar, or this test proved
+  // nothing (read before disarming: setFaultPlan resets the counter).
+  EXPECT_GE(m.faultsInjected(), 1U);
+  m.setFaultPlan({});
+  EXPECT_DOUBLE_EQ(m.satCount(chi, 16), want);
+  EXPECT_EQ(m.parPendingTasks(), 0U);
+}
+
 // -- differential suite: shipped circuits × engines × thread counts ----------
 // Every data/*.bench runs under every BDD engine at 1, 2 and 4 threads with
 // capped iterations/budgets; the parallel runs must reproduce the
