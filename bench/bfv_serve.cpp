@@ -10,6 +10,8 @@
 //             [--checkpoint-every K] [--no-warm] [--no-stream]
 //             [--report[=path]] [--name TAG] [--metrics-every S]
 //             [--metrics-dir DIR] [--flight[=DIR]] [--log-level LEVEL]
+//             [--journal DIR] [--fsync POLICY] [--no-compact]
+//             [--idle-timeout S] [--frame-timeout S] [--send-timeout S]
 //
 //   --listen SPEC        unix:PATH (default unix:bfv_serve.sock) or
 //                        tcp:HOST:PORT
@@ -30,11 +32,28 @@
 //   --flight[=DIR]       dump FLIGHT_<name>.json to DIR (default .) on job
 //                        error, injected worker fault, and shutdown
 //   --log-level LEVEL    stderr verbosity: error (default), info, debug
+//   --journal DIR        durable job journal: accepted jobs survive kill -9
+//                        and replay (with checkpoint resume) on restart
+//   --fsync POLICY       journal durability: never|batch|always
+//                        (default batch)
+//   --no-compact         keep the full journal at clean shutdown (no
+//                        compaction rewrite) — drill/debug aid
+//   --idle-timeout S     reap sessions silent for S seconds (0 = never)
+//   --frame-timeout S    cap seconds between a frame's first and last byte
+//                        (0 = unlimited) — slow-loris defence
+//   --send-timeout S     cap seconds a send may block on a full client
+//                        socket (0 = unlimited)
 //
-// Runs until a client sends Shutdown (bfv_client --shutdown). Exit 0 on a
-// clean stop, 1 on a startup failure.
+// Runs until a client sends Shutdown (bfv_client --shutdown), SIGTERM or
+// SIGINT arrives (first signal drains — finish queued + running jobs, stop
+// accepting; a second signal escalates to immediate cancel), exiting 0 on
+// a clean stop and 1 on a startup failure.
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "obs/log.hpp"
 #include "svc/server.hpp"
@@ -91,6 +110,18 @@ Args parseArgs(int argc, char** argv) {
         a.opts.flight_dir = ".";
       } else if (arg.rfind("--flight=", 0) == 0) {
         a.opts.flight_dir = arg.substr(9);
+      } else if (arg == "--journal") {
+        a.opts.journal_dir = value("--journal");
+      } else if (arg == "--fsync") {
+        a.opts.journal_fsync = svc::parseFsyncPolicy(value("--fsync"));
+      } else if (arg == "--no-compact") {
+        a.opts.journal_compact_on_shutdown = false;
+      } else if (arg == "--idle-timeout") {
+        a.opts.idle_timeout = std::stod(value("--idle-timeout"));
+      } else if (arg == "--frame-timeout") {
+        a.opts.frame_timeout = std::stod(value("--frame-timeout"));
+      } else if (arg == "--send-timeout") {
+        a.opts.send_timeout = std::stod(value("--send-timeout"));
       } else if (arg == "--log-level") {
         const std::string level = value("--log-level");
         obs::LogLevel parsed;
@@ -117,6 +148,18 @@ Args parseArgs(int argc, char** argv) {
   return a;
 }
 
+// SIGTERM/SIGINT → graceful drain, via the self-pipe trick: the handler
+// only write()s one byte (async-signal-safe); a dedicated thread turns the
+// bytes into requestShutdown calls. The first signal drains, a second
+// escalates to immediate cancel (requestShutdown(drain=false) on a drain
+// in progress escalates it).
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void onShutdownSignal(int) {
+  const char b = 1;
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &b, 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,17 +170,42 @@ int main(int argc, char** argv) {
                  "[--tenants FILE] [--spool DIR] [--checkpoint-every K] "
                  "[--no-warm] [--no-stream] [--report[=path]] [--name TAG] "
                  "[--metrics-every S] [--metrics-dir DIR] [--flight[=DIR]] "
-                 "[--log-level error|info|debug]\n",
+                 "[--log-level error|info|debug] [--journal DIR] "
+                 "[--fsync never|batch|always] [--no-compact] "
+                 "[--idle-timeout S] [--frame-timeout S] [--send-timeout S]\n",
                  argv[0]);
+    return 1;
+  }
+  svc::ignoreSigpipe();
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("bfv_serve: pipe");
     return 1;
   }
   try {
     svc::Server server(args.opts);
+    std::signal(SIGTERM, onShutdownSignal);
+    std::signal(SIGINT, onShutdownSignal);
+    std::thread signal_thread([&server] {
+      int signals_seen = 0;
+      char b = 0;
+      while (::read(g_signal_pipe[0], &b, 1) == 1) {
+        if (b == 0) return;  // quit sentinel from main
+        ++signals_seen;
+        // First signal: drain (finish queued + running, stop accepting).
+        // Second: escalate to immediate cancel.
+        server.requestShutdown(signals_seen < 2);
+      }
+    });
     std::printf("%s listening on %s (%u workers, %zu tenants)\n",
                 args.opts.name.c_str(), args.opts.endpoint.c_str(),
                 args.opts.workers, args.opts.tenants.size());
     std::fflush(stdout);
     server.run();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    const char quit = 0;
+    [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &quit, 1);
+    signal_thread.join();
     std::printf("%s stopped\n", args.opts.name.c_str());
     return 0;
   } catch (const std::exception& e) {

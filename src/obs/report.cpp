@@ -253,8 +253,9 @@ std::string spanJson(const JobSpan& s) {
   util::JsonObject o;
   o.add("trace_id", s.trace_id)
       .add("job", s.job)
-      .add("tenant", s.tenant)
-      .add("status", s.status.empty() ? "in-flight" : s.status)
+      .add("tenant", s.tenant);
+  if (!s.idem.empty()) o.add("idem", s.idem);
+  o.add("status", s.status.empty() ? "in-flight" : s.status)
       .add("start", s.start)
       .add("evictions", s.evictions)
       .addRaw("workers", util::jsonArray(workers))

@@ -158,6 +158,9 @@ struct JobSpan {
   std::uint64_t trace_id = 0;
   std::uint64_t job = 0;  ///< server job id (0 until admitted)
   std::string tenant;
+  /// Client idempotency key, when the submission carried one — the handle
+  /// a retrying client uses to find its job again in SVC_*.json.
+  std::string idem;
   std::string status;  ///< terminal status tag; empty while in flight
   double start = 0.0;  ///< seconds since server start when the span opened
   unsigned evictions = 0;

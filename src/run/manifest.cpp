@@ -1,6 +1,7 @@
 #include "run/manifest.hpp"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -174,13 +175,26 @@ std::vector<ManifestEntry> parseManifest(std::istream& in) {
     std::string tok;
     ManifestEntry entry;
     bool any = false;
+    // key -> the value it first appeared with, for the duplicate
+    // diagnostic. Silent last-wins would make `deadline=30 ... deadline=5`
+    // a hidden bug in a long sweep row, so duplicates are errors that name
+    // both occurrences.
+    std::map<std::string, std::string> seen;
     try {
       while (tokens >> tok) {
         const std::size_t eq = tok.find('=');
         if (eq == std::string::npos || eq == 0) {
           throw std::invalid_argument("expected key=value, got: " + tok);
         }
-        applyKey(entry, tok.substr(0, eq), tok.substr(eq + 1));
+        const std::string key = tok.substr(0, eq);
+        const std::string value = tok.substr(eq + 1);
+        const auto [it, inserted] = seen.emplace(key, value);
+        if (!inserted) {
+          throw std::invalid_argument(
+              "duplicate key '" + key + "' (first " + key + "=" + it->second +
+              ", then " + key + "=" + value + ")");
+        }
+        applyKey(entry, key, value);
         any = true;
       }
       if (!any) continue;  // blank / comment-only line

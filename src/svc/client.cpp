@@ -20,10 +20,12 @@ Client::Client(const std::string& endpoint_spec, const std::string& tenant)
   server_ = ack.server;
 }
 
-std::uint64_t Client::submit(const std::string& manifest_line) {
+std::uint64_t Client::submit(const std::string& manifest_line,
+                             const std::string& idem) {
   Submit s;
   s.tag = next_tag_++;
   s.line = manifest_line;
+  s.idem = idem;
   sendFrame(fd_, s.encode());
   return s.tag;
 }
@@ -61,8 +63,12 @@ void Client::bye() {
   }
 }
 
-std::optional<Event> Client::next() {
-  std::optional<Frame> f = recvFrame(fd_);
+std::optional<Event> Client::next() { return next(0.0); }
+
+std::optional<Event> Client::next(double timeout_seconds) {
+  RecvDeadlines dl;
+  dl.idle_seconds = timeout_seconds;
+  std::optional<Frame> f = recvFrame(fd_, dl);
   if (!f.has_value()) return std::nullopt;
   switch (f->type) {
     case FrameType::kAccepted:

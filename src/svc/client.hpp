@@ -29,8 +29,12 @@ class Client {
   const std::string& serverName() const noexcept { return server_; }
 
   /// Submit one job (manifest-line grammar). Returns the client-side tag
-  /// echoed by the matching Accepted/Rejected event.
-  std::uint64_t submit(const std::string& manifest_line);
+  /// echoed by the matching Accepted/Rejected event. `idem` is the
+  /// optional idempotency key (wire v3): a journaling server answers a
+  /// duplicate key with the original job instead of running it again, so
+  /// a resubmit after a reconnect is safe.
+  std::uint64_t submit(const std::string& manifest_line,
+                       const std::string& idem = "");
   void cancel(std::uint64_t job);
   void evict(std::uint64_t job);
   /// Ask for the live stats report; `flags` selects the optional sections
@@ -45,6 +49,11 @@ class Client {
   /// Block for the next server event. nullopt on orderly connection close;
   /// throws svc::Error on a broken or corrupted stream.
   std::optional<Event> next();
+
+  /// Deadline-aware next(): additionally throws svc::Timeout when no
+  /// event starts arriving within `timeout_seconds` (<= 0 blocks
+  /// forever) — the engine of bfv_client --deadline.
+  std::optional<Event> next(double timeout_seconds);
 
   /// Convenience: pump events until the Accepted/Rejected for `tag`
   /// arrives; intervening events are discarded. Returns the job id, or

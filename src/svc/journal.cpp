@@ -1,0 +1,271 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "io/checkpoint.hpp"
+
+namespace bfvr::svc {
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'B', 'F', 'V', 'J'};
+
+std::string errnoText(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Write all of `n` bytes to a plain file descriptor, retrying EINTR and
+/// short writes.
+void writeAllFd(int fd, const std::uint8_t* p, std::size_t n,
+                const std::string& path) {
+  while (n > 0) {
+    const ssize_t k = ::write(fd, p, n);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      throw Error(errnoText("journal: write " + path));
+    }
+    p += static_cast<std::size_t>(k);
+    n -= static_cast<std::size_t>(k);
+  }
+}
+
+void fsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) throw Error(errnoText("journal: fsync " + path));
+}
+
+/// fsync the directory so a fresh file / rename is itself durable.
+void fsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best-effort: not all filesystems allow it
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+FsyncPolicy parseFsyncPolicy(const std::string& s) {
+  if (s == "never") return FsyncPolicy::kNever;
+  if (s == "batch") return FsyncPolicy::kBatch;
+  if (s == "always") return FsyncPolicy::kAlways;
+  throw Error("journal: expected fsync policy never|batch|always, got '" + s +
+              "'");
+}
+
+const char* to_string(FsyncPolicy p) noexcept {
+  switch (p) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "?";
+}
+
+const char* to_string(JournalEvent e) noexcept {
+  switch (e) {
+    case JournalEvent::kAccepted:
+      return "accepted";
+    case JournalEvent::kDispatched:
+      return "dispatched";
+    case JournalEvent::kCheckpointed:
+      return "checkpointed";
+    case JournalEvent::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> Journal::encodeRecord(const JournalRecord& rec) {
+  Writer w;
+  w.u64(rec.job);
+  w.str(rec.tenant);
+  w.str(rec.idem);
+  w.str(rec.line);
+  w.u64(rec.iteration);
+  w.str(rec.status);
+  w.str(rec.message);
+  w.f64(rec.states);
+  w.f64(rec.seconds);
+  if (w.buf.size() > kMaxFramePayload) {
+    throw Error("journal: record payload too large");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kJournalHeaderBytes + w.buf.size());
+  out.insert(out.end(), kJournalMagic, kJournalMagic + 4);
+  out.push_back(kJournalVersion);
+  out.push_back(static_cast<std::uint8_t>(rec.event));
+  out.push_back(0);
+  out.push_back(0);
+  const std::uint32_t len = static_cast<std::uint32_t>(w.buf.size());
+  const std::uint32_t crc = io::crc32(w.buf.data(), w.buf.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  out.insert(out.end(), w.buf.begin(), w.buf.end());
+  return out;
+}
+
+std::size_t Journal::decodeRecord(const std::uint8_t* p, std::size_t n,
+                                  JournalRecord* out) {
+  if (n < kJournalHeaderBytes) return 0;
+  if (std::memcmp(p, kJournalMagic, 4) != 0) return 0;
+  if (p[4] != kJournalVersion) return 0;
+  const std::uint8_t event = p[5];
+  if (event < static_cast<std::uint8_t>(JournalEvent::kAccepted) ||
+      event > static_cast<std::uint8_t>(JournalEvent::kDone)) {
+    return 0;
+  }
+  if (p[6] != 0 || p[7] != 0) return 0;
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{p[8 + i]} << (8 * i);
+  for (int i = 0; i < 4; ++i) crc |= std::uint32_t{p[12 + i]} << (8 * i);
+  if (len > kMaxFramePayload) return 0;
+  if (n - kJournalHeaderBytes < len) return 0;  // torn mid-payload
+  const std::uint8_t* payload = p + kJournalHeaderBytes;
+  if (io::crc32(payload, len) != crc) return 0;
+  try {
+    Reader r(payload, len);
+    JournalRecord rec;
+    rec.event = static_cast<JournalEvent>(event);
+    rec.job = r.u64();
+    rec.tenant = r.str();
+    rec.idem = r.str();
+    rec.line = r.str();
+    rec.iteration = r.u64();
+    rec.status = r.str();
+    rec.message = r.str();
+    rec.states = r.f64();
+    rec.seconds = r.f64();
+    r.done();
+    if (out != nullptr) *out = std::move(rec);
+  } catch (const Error&) {
+    return 0;  // CRC-valid but structurally wrong: treat as end of log
+  }
+  return kJournalHeaderBytes + len;
+}
+
+Journal::Journal(std::string dir, FsyncPolicy policy)
+    : dir_(std::move(dir)), policy_(policy) {
+  if (dir_.empty()) throw Error("journal: empty directory");
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw Error(errnoText("journal: mkdir " + dir_));
+  }
+  path_ = dir_ + "/journal.bin";
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw Error(errnoText("journal: open " + path_));
+  replayAndTruncate();
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::replayAndTruncate() {
+  // Slurp the whole file: journals are small (a handful of records per
+  // job) and the scan needs random access for the record framing anyway.
+  std::vector<std::uint8_t> bytes;
+  {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+      throw Error(errnoText("journal: stat " + path_));
+    }
+    bytes.resize(static_cast<std::size_t>(st.st_size));
+    std::size_t got = 0;
+    while (got < bytes.size()) {
+      const ssize_t k = ::pread(fd_, bytes.data() + got, bytes.size() - got,
+                                static_cast<off_t>(got));
+      if (k < 0) {
+        if (errno == EINTR) continue;
+        throw Error(errnoText("journal: read " + path_));
+      }
+      if (k == 0) break;  // raced a concurrent truncate; scan what we have
+      got += static_cast<std::size_t>(k);
+    }
+    bytes.resize(got);
+  }
+  std::size_t pos = 0;
+  for (;;) {
+    JournalRecord rec;
+    const std::size_t used =
+        decodeRecord(bytes.data() + pos, bytes.size() - pos, &rec);
+    if (used == 0) break;
+    replayed_.push_back(std::move(rec));
+    pos += used;
+  }
+  stats_.replayed_records = replayed_.size();
+  if (pos < bytes.size()) {
+    // Torn tail from a crash mid-append: drop it so the next append starts
+    // at a record boundary.
+    stats_.torn_bytes = bytes.size() - pos;
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+      throw Error(errnoText("journal: truncate " + path_));
+    }
+  }
+}
+
+void Journal::append(const JournalRecord& rec) {
+  const std::vector<std::uint8_t> bytes = encodeRecord(rec);
+  const std::lock_guard<std::mutex> lock(mu_);
+  writeAllFd(fd_, bytes.data(), bytes.size(), path_);
+  stats_.appended += 1;
+  const bool flush =
+      policy_ == FsyncPolicy::kAlways ||
+      (policy_ == FsyncPolicy::kBatch &&
+       (rec.event == JournalEvent::kAccepted ||
+        rec.event == JournalEvent::kDone));
+  if (flush) {
+    fsyncFd(fd_, path_);
+    stats_.fsyncs += 1;
+  }
+}
+
+void Journal::compact(const std::vector<JournalRecord>& keep) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw Error(errnoText("journal: open " + tmp));
+  try {
+    for (const JournalRecord& rec : keep) {
+      const std::vector<std::uint8_t> bytes = encodeRecord(rec);
+      writeAllFd(fd, bytes.data(), bytes.size(), tmp);
+    }
+    fsyncFd(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error(errnoText("journal: rename " + tmp));
+  }
+  fsyncDir(dir_);
+  // Swap the append fd onto the fresh file.
+  const int nfd = ::open(path_.c_str(), O_RDWR | O_APPEND, 0644);
+  if (nfd < 0) throw Error(errnoText("journal: reopen " + path_));
+  ::close(fd_);
+  fd_ = nfd;
+  stats_.compactions += 1;
+  stats_.fsyncs += 1;
+}
+
+JournalStats Journal::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace bfvr::svc

@@ -56,6 +56,7 @@ Frame Submit::encode() const {
   Writer w;
   w.u64(tag);
   w.str(line);
+  w.str(idem);
   return {FrameType::kSubmit, std::move(w.buf)};
 }
 Submit Submit::decode(const Frame& f) {
@@ -63,6 +64,7 @@ Submit Submit::decode(const Frame& f) {
   Submit m;
   m.tag = r.u64();
   m.line = r.str();
+  m.idem = r.str();
   r.done();
   return m;
 }

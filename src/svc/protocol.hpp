@@ -50,9 +50,16 @@ struct HelloAck {
 /// (key=value ..., see run::parseManifest) — the same vocabulary as the
 /// batch runner, so clients and manifests are interchangeable. `tag` is a
 /// client-chosen correlation id echoed in Accepted/Rejected.
+///
+/// `idem` (wire v3) is an optional client-chosen idempotency key: a
+/// journaling server remembers it across submissions — and across its own
+/// restarts — and answers a duplicate with the original job's identity
+/// (and its terminal result, if already finished) instead of running the
+/// job twice. Empty means "no dedup, every submit is a fresh job".
 struct Submit {
   std::uint64_t tag = 0;
   std::string line;
+  std::string idem;
 
   Frame encode() const;
   static Submit decode(const Frame& f);

@@ -216,6 +216,18 @@ std::optional<QueuedJob> FairQueue::dropJob(std::uint64_t id) {
   return std::nullopt;
 }
 
+bool FairQueue::reattachSession(std::uint64_t job_id, std::uint64_t session) {
+  for (auto& t : tenants_) {
+    for (QueuedJob& j : t->waiting) {
+      if (j.id == job_id) {
+        j.session = session;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 std::size_t FairQueue::queuedCount() const noexcept {
   std::size_t n = 0;
   for (const auto& t : tenants_) n += t->waiting.size();

@@ -55,6 +55,9 @@ struct QueuedJob {
   unsigned avoid_worker = run::WorkerPool::kAnyWorker;
   /// Evictions this job has survived so far.
   std::uint32_t evictions = 0;
+  /// Client idempotency key ("" = none): duplicate submissions carrying
+  /// the same key reattach to this job instead of enqueuing a new one.
+  std::string idem;
 };
 
 /// The fair submission queue. Not thread-safe: the server serializes all
@@ -93,6 +96,11 @@ class FairQueue {
 
   /// Remove one specific queued job (client cancel before dispatch).
   std::optional<QueuedJob> dropJob(std::uint64_t id);
+
+  /// Re-point a queued job at a new owning session (a client reconnected
+  /// and resubmitted with the job's idempotency key). Returns false when
+  /// no such job is queued (it may be running or already finished).
+  bool reattachSession(std::uint64_t job_id, std::uint64_t session);
 
   std::size_t queuedCount() const noexcept;
   std::uint32_t runningCount(const std::string& tenant) const;

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "run/manifest.hpp"
 #include "svc/protocol.hpp"
+#include "util/json.hpp"
 
 namespace bfvr::svc {
 
@@ -65,6 +66,11 @@ Server::Server(const Options& opts)
     s.weight = t.weight;
     tenant_stats_.push_back(std::move(s));
   }
+  if (!opts_.journal_dir.empty()) {
+    journal_ =
+        std::make_unique<Journal>(opts_.journal_dir, opts_.journal_fsync);
+    replayJournal();
+  }
 }
 
 Server::~Server() {
@@ -80,26 +86,42 @@ void Server::start() {
   obs::logLine(obs::LogLevel::kInfo, "svc",
                "listening on " + endpoint_.describe() + " with " +
                    std::to_string(pool_.workers()) + " workers");
+  // Jobs replayed from the journal are already queued; nothing else will
+  // pump them until a client shows up, so dispatch them now.
+  if (journal_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pump();
+  }
 }
 
 void Server::requestShutdown(bool drain) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_requested_) return;
+    // A repeat request is a no-op, except the escalation a second SIGTERM
+    // means: a drain in progress hardens into an immediate stop. After the
+    // server already stopped there is nothing left to escalate.
+    if (stopped_) return;
+    if (shutdown_requested_ && (drain || !shutdown_drain_)) return;
+    const bool escalated = shutdown_requested_;
     shutdown_requested_ = true;
     shutdown_drain_ = drain;
     draining_ = true;
     obs::logLine(obs::LogLevel::kInfo, "svc",
-                 std::string("shutdown requested (") +
+                 std::string(escalated ? "shutdown escalated ("
+                                       : "shutdown requested (") +
                      (drain ? "drain" : "immediate") + ")");
     flight_.record(obs::FlightSeverity::kInfo, "shutdown",
-                   drain ? "drain requested" : "immediate stop requested");
+                   escalated ? "drain escalated to immediate stop"
+                             : (drain ? "drain requested"
+                                      : "immediate stop requested"));
     if (!drain) {
       // Immediate: cancel every running job and drop the queue. Dropped
       // jobs' owners get no JobDone — their sessions are about to close.
+      // With a journal the dropped work is not lost, only deferred: the
+      // jobs stay non-terminal in the log and replay on the next start.
       for (auto& [id, r] : running_) r.cancel->cancel();
       for (QueuedJob& dropped : queue_.dropAll()) {
-        statsFor(dropped.tenant).cancelled += 1;
+        if (journal_ == nullptr) statsFor(dropped.tenant).cancelled += 1;
       }
     } else {
       pump();  // capped tenants may have runnable work and idle workers
@@ -131,6 +153,7 @@ void Server::waitStopped() {
                      "cannot write " + opts_.report_path);
       }
     }
+    if (journal_ != nullptr) finishJournalLocked();
     stopped_ = true;
     // Wake the accept thread out of accept(2) and every session reader out
     // of recv(2).
@@ -180,8 +203,10 @@ void Server::acceptLoop() {
 void Server::sessionLoop(std::shared_ptr<Session> s) {
   // First frame must be Hello; everything else on this connection is a
   // protocol error reported back (best-effort) before closing.
+  const RecvDeadlines deadlines{opts_.idle_timeout, opts_.frame_timeout};
   try {
-    std::optional<Frame> first = recvFrame(s->fd);
+    if (opts_.send_timeout > 0.0) setSendTimeout(s->fd, opts_.send_timeout);
+    std::optional<Frame> first = recvFrame(s->fd, deadlines);
     if (!first.has_value()) throw Error("session: closed before hello");
     const Hello hello = Hello::decode(*first);
     if (hello.proto != kWireVersion) {
@@ -198,10 +223,37 @@ void Server::sessionLoop(std::shared_ptr<Session> s) {
     obs::logLine(obs::LogLevel::kDebug, "svc",
                  "session " + std::to_string(s->id) + " opened", s->tenant);
     while (s->alive.load(std::memory_order_relaxed)) {
-      std::optional<Frame> f = recvFrame(s->fd);
+      std::optional<Frame> f = recvFrame(s->fd, deadlines);
       if (!f.has_value()) break;  // orderly close without Bye: fine
       if (!handleFrame(s, *f)) break;
     }
+  } catch (const Timeout& e) {
+    if (e.idle) {
+      // The reaper's case: a connected-but-silent peer. Not a protocol
+      // error — just reclaim the thread, telling the peer why if its pipe
+      // still works.
+      sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("bfvr_svc_sessions_reaped_total").inc();
+      obs::logLine(obs::LogLevel::kInfo, "svc",
+                   "session " + std::to_string(s->id) + " reaped: " + e.what(),
+                   s->tenant);
+      flight_.record(obs::FlightSeverity::kInfo, "reaper", e.what(),
+                     s->tenant);
+    } else {
+      // A frame that started but never finished arriving: slow-loris or a
+      // torn send. Protocol-error territory.
+      frame_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("bfvr_svc_frame_timeouts_total").inc();
+      obs::Registry::global().counter("bfvr_svc_session_errors_total").inc();
+      obs::logLine(obs::LogLevel::kError, "svc",
+                   "session " + std::to_string(s->id) + ": " + e.what(),
+                   s->tenant);
+      flight_.record(obs::FlightSeverity::kError, "wire", e.what(),
+                     s->tenant);
+    }
+    WireError err;
+    err.message = e.what();
+    sendTo(s, err.encode());
   } catch (const Error& e) {
     // Malformed traffic (bad magic/CRC/truncation) or version skew: tell
     // the client why, if the pipe still works, then drop the session. The
@@ -215,16 +267,21 @@ void Server::sessionLoop(std::shared_ptr<Session> s) {
     err.message = e.what();
     sendTo(s, err.encode());
   }
-  // Session teardown: orphan its queued jobs and cancel its running ones —
-  // results with no one to read them are wasted worker time.
+  // Session teardown. Without a journal: orphan its queued jobs and cancel
+  // its running ones — results with no one to read them are wasted worker
+  // time. With a journal the jobs are kept (detached from the dead
+  // session): the client is expected to reconnect and resubmit with its
+  // idempotency keys, and the work already done must not be thrown away.
   {
     const std::lock_guard<std::mutex> lock(mu_);
     s->alive.store(false, std::memory_order_relaxed);
-    for (QueuedJob& dropped : queue_.dropSession(s->id)) {
-      statsFor(dropped.tenant).cancelled += 1;
-    }
-    for (auto& [id, r] : running_) {
-      if (r.job.session == s->id) r.cancel->cancel();
+    if (journal_ == nullptr) {
+      for (QueuedJob& dropped : queue_.dropSession(s->id)) {
+        statsFor(dropped.tenant).cancelled += 1;
+      }
+      for (auto& [id, r] : running_) {
+        if (r.job.session == s->id) r.cancel->cancel();
+      }
     }
     sessions_.erase(s->id);
     pump();  // dropping queued jobs may unblock a tenant's queue cap
@@ -252,6 +309,18 @@ bool Server::handleFrame(const std::shared_ptr<Session>& s, const Frame& f) {
         done.status = to_string(RunStatus::kCancelled);
         done.message = "cancelled while queued";
         done.evictions = dropped->evictions;
+        if (journal_ != nullptr) {
+          // An explicit client cancel is terminal: journal it so the job
+          // does not rise from the dead on the next restart.
+          JournalRecord rec;
+          rec.event = JournalEvent::kDone;
+          rec.job = dropped->id;
+          rec.status = done.status;
+          rec.message = done.message;
+          journalAppend(rec);
+          journal_live_.erase(dropped->id);
+          done_cache_[dropped->id] = done;
+        }
         sendTo(s, done.encode());
         pump();
       }
@@ -317,11 +386,43 @@ void Server::handleSubmit(const std::shared_ptr<Session>& s, const Frame& f) {
   }
   job.session = s->id;
   job.tenant = s->tenant;
+  job.idem = sub.idem;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     obs::SvcTenantStats& ts = statsFor(s->tenant);
     ts.submitted += 1;
     tenantCounter("bfvr_svc_submissions_total", s->tenant).inc();
+    // Idempotent resubmission: a key the journal already knows answers
+    // with the original job's identity — and its terminal result when it
+    // already finished — instead of executing a second time. A live job
+    // is reattached to this session so its remaining frames land here.
+    if (journal_ != nullptr && !sub.idem.empty()) {
+      if (auto it = idem_to_job_.find(sub.idem); it != idem_to_job_.end()) {
+        const std::uint64_t id = it->second;
+        dedup_hits_ += 1;
+        tenantCounter("bfvr_svc_dedup_hits_total", s->tenant).inc();
+        flight_.record(obs::FlightSeverity::kInfo, "dedup",
+                       "idem '" + sub.idem + "' matched job " +
+                           std::to_string(id),
+                       s->tenant, id);
+        if (auto rit = running_.find(id); rit != running_.end()) {
+          rit->second.job.session = s->id;
+        } else {
+          queue_.reattachSession(id, s->id);
+        }
+        Accepted acc;
+        acc.tag = sub.tag;
+        acc.job = id;
+        if (auto sit = spans_.find(id); sit != spans_.end()) {
+          acc.trace = sit->second.trace_id;
+        }
+        sendTo(s, acc.encode());
+        if (auto dit = done_cache_.find(id); dit != done_cache_.end()) {
+          sendTo(s, dit->second.encode());
+        }
+        return;
+      }
+    }
     if (draining_) {
       ts.rejected += 1;
       tenantCounter("bfvr_svc_rejected_total", s->tenant).inc();
@@ -350,12 +451,36 @@ void Server::handleSubmit(const std::shared_ptr<Session>& s, const Frame& f) {
       sendTo(s, rej.encode());
       return;
     }
+    // Write-ahead: the accept must be durable before the client hears it,
+    // or a crash between the two could lose a job the client believes is
+    // in flight. A journal that cannot take the record refuses the job.
+    if (journal_ != nullptr) {
+      JournalRecord rec;
+      rec.event = JournalEvent::kAccepted;
+      rec.job = id;
+      rec.tenant = s->tenant;
+      rec.idem = sub.idem;
+      rec.line = sub.line;
+      if (!journalAppend(rec)) {
+        queue_.dropJob(id);
+        ts.rejected += 1;
+        tenantCounter("bfvr_svc_rejected_total", s->tenant).inc();
+        rej.reason = "journal write failed";
+        flight_.record(obs::FlightSeverity::kError, "journal",
+                       "rejected submit: journal write failed", s->tenant);
+        sendTo(s, rej.encode());
+        return;
+      }
+      journal_live_[id] = rec;
+      if (!sub.idem.empty()) idem_to_job_[sub.idem] = id;
+    }
     // The job exists: open its span. The received/admitted/queued stamps
     // land together — one frame handler performed all three transitions.
     obs::JobSpan& span = spans_[id];
     span.trace_id = next_trace_++;
     span.job = id;
     span.tenant = s->tenant;
+    span.idem = sub.idem;
     span.start = uptime_.seconds();
     span_counts_[s->tenant] += 1;
     spanEventLocked(id, "received", display);
@@ -387,20 +512,39 @@ void Server::pump() {
     run::JobSpec spec = r.job.spec;  // the Running keeps the pristine copy
     const unsigned avoid = r.job.avoid_worker;
     const bool resumed = spec.resume_image != nullptr;
-    // Stream iteration records to the owning session. The hook runs on the
-    // worker thread; it takes only the session write mutex (inner to mu_),
-    // and swallows everything — a dead client must not disturb the engine.
-    if (opts_.stream_iterations) {
+    // Stream iteration records to the owning session, and — with a
+    // journal — append a checkpoint watermark at the job's snapshot
+    // cadence. The hook runs on the worker thread; it takes only the
+    // session write mutex (inner to mu_), and swallows everything — a
+    // dead client must not disturb the engine. The hook fires *before*
+    // the engine writes the post-iteration snapshot, so a journaled
+    // watermark means "progress reached", not "snapshot durable": replay
+    // always trusts the spool file itself (atomic tmp+rename, so it is
+    // complete whenever it exists), never the watermark.
+    const bool stream = opts_.stream_iterations;
+    const bool watermark = journal_ != nullptr &&
+                           !spec.opts.checkpoint_path.empty() &&
+                           spec.opts.checkpoint_every > 0;
+    if (stream || watermark) {
       const std::uint64_t session_id = r.job.session;
+      const unsigned ckpt_every = spec.opts.checkpoint_every;
       // `last_mark` carries the previous iteration's timestamp across hook
       // invocations (one lambda per dispatch, called sequentially on the
       // worker thread), so each observation is one iteration's wall-clock.
       auto last_mark = std::make_shared<double>(uptime_.seconds());
-      spec.opts.on_iteration = [this, id, session_id,
-                                last_mark](const obs::IterationRecord& it) {
+      spec.opts.on_iteration = [this, id, session_id, last_mark, stream,
+                                watermark,
+                                ckpt_every](const obs::IterationRecord& it) {
         const double now_s = uptime_.seconds();
         iterationHistogram().observeSeconds(now_s - *last_mark);
         *last_mark = now_s;
+        if (watermark && it.iteration % ckpt_every == 0) {
+          JournalRecord rec;
+          rec.event = JournalEvent::kCheckpointed;
+          rec.job = id;
+          rec.iteration = it.iteration;
+          journalAppend(rec);
+        }
         // Worker thread: take mu_ only to look the session up (lock order
         // mu_ -> write_mu, same as everywhere else), send outside it.
         std::shared_ptr<Session> owner;
@@ -422,7 +566,7 @@ void Server::pump() {
             }
           }
         }
-        if (owner == nullptr) return;
+        if (!stream || owner == nullptr) return;
         IterationUpdate u;
         u.job = id;
         u.iteration = it.iteration;
@@ -432,6 +576,12 @@ void Server::pump() {
         u.frontier_states = it.frontier_states;
         sendTo(owner, u.encode());
       };
+    }
+    if (journal_ != nullptr) {
+      JournalRecord rec;
+      rec.event = JournalEvent::kDispatched;
+      rec.job = id;
+      journalAppend(rec);
     }
     const std::uint64_t session_id = r.job.session;
     outstanding_ += 1;
@@ -505,7 +655,25 @@ void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
     const bool evicting =
         rec.evict_requested->load(std::memory_order_relaxed) &&
         r.status == RunStatus::kCancelled && !draining_;
-    if (evicting) {
+    // A running job cancelled by an *immediate shutdown* under a journal
+    // is not terminal — it stays non-terminal in the log (with its spool
+    // snapshot intact) and replays on the next start. Only explicit
+    // client cancels and real completions retire a journaled job.
+    const bool preserved = !evicting && journal_ != nullptr &&
+                           shutdown_requested_ && !shutdown_drain_ &&
+                           r.status == RunStatus::kCancelled;
+    if (preserved) {
+      spanEventLocked(id, "preserved",
+                      "immediate shutdown at iter=" +
+                          std::to_string(r.reach.iterations) +
+                          "; will replay");
+      flight_.record(obs::FlightSeverity::kInfo, "journal",
+                     "job preserved for restart replay (iteration " +
+                         std::to_string(r.reach.iterations) + ")",
+                     rec.job.tenant, id);
+      obs::logLine(obs::LogLevel::kInfo, "svc",
+                   "preserved for restart replay", rec.job.tenant, id);
+    } else if (evicting) {
       // Lift the latest spool snapshot into memory and requeue at the
       // front, steered away from the worker that ran the job. No snapshot
       // yet (evicted before the first checkpoint) still migrates — the
@@ -599,9 +767,25 @@ void Server::onJobDone(std::uint64_t id, const run::JobResult& r) {
       done.evictions = rec.job.evictions;
       done.resumed = rec.job.spec.resume_image != nullptr ||
                      (!r.attempts.empty() && r.attempts.back().resumed);
+      if (journal_ != nullptr) {
+        // Write-ahead again: the terminal record must be durable before
+        // the client hears JobDone, so a crash right after the send
+        // cannot re-run a job the client saw finish.
+        JournalRecord jrec;
+        jrec.event = JournalEvent::kDone;
+        jrec.job = id;
+        jrec.iteration = r.reach.iterations;
+        jrec.status = done.status;
+        jrec.message = done.message;
+        jrec.states = done.states;
+        jrec.seconds = done.seconds;
+        journalAppend(jrec);
+        journal_live_.erase(id);
+        done_cache_[id] = done;
+      }
       out = done.encode();
     }
-    if (owner != nullptr) sendTo(owner, out);
+    if (!preserved && owner != nullptr) sendTo(owner, out);
     pump();
   }
   if (!dump_reason.empty()) dumpFlight(dump_reason);
@@ -642,6 +826,220 @@ obs::SvcTenantStats& Server::statsFor(const std::string& tenant) {
 
 std::string Server::spoolPathFor(std::uint64_t job_id) const {
   return opts_.spool_dir + "/svc_job_" + std::to_string(job_id) + ".ckpt";
+}
+
+void Server::replayJournal() {
+  // Constructor context: no sessions, no workers running, mu_ not needed.
+  // Fold the log into per-job state — last transition wins.
+  struct State {
+    const JournalRecord* accepted = nullptr;
+    const JournalRecord* done = nullptr;
+    std::uint64_t last_checkpoint = 0;
+  };
+  std::map<std::uint64_t, State> by_job;
+  for (const JournalRecord& rec : journal_->replayed()) {
+    State& st = by_job[rec.job];
+    switch (rec.event) {
+      case JournalEvent::kAccepted:
+        st.accepted = &rec;
+        break;
+      case JournalEvent::kDispatched:
+        break;
+      case JournalEvent::kCheckpointed:
+        st.last_checkpoint = rec.iteration;
+        break;
+      case JournalEvent::kDone:
+        st.done = &rec;
+        break;
+    }
+    if (rec.job >= next_job_) next_job_ = rec.job + 1;
+  }
+  obs::Counter& replayed_ctr =
+      obs::Registry::global().counter("bfvr_svc_journal_replayed_jobs_total");
+  for (const auto& [id, st] : by_job) {
+    if (st.accepted == nullptr) continue;  // compacted remnant; nothing to do
+    if (st.done != nullptr) {
+      // Terminal: remember the result so a duplicate submission after the
+      // crash gets the original answer instead of a re-execution.
+      replayed_terminal_ += 1;
+      JobDone done;
+      done.job = id;
+      done.status = st.done->status;
+      done.message = st.done->message;
+      done.iterations = st.done->iteration;
+      done.states = st.done->states;
+      done.seconds = st.done->seconds;
+      done_cache_[id] = std::move(done);
+      if (!st.accepted->idem.empty()) idem_to_job_[st.accepted->idem] = id;
+      continue;
+    }
+    // Non-terminal: rebuild the job from its journaled manifest line and
+    // re-enqueue, resuming from the spool snapshot when one exists (the
+    // snapshot is trustworthy whenever present: io::save is atomic).
+    QueuedJob job;
+    job.id = id;
+    job.session = 0;  // detached until a client reattaches via idem
+    job.tenant = st.accepted->tenant;
+    job.idem = st.accepted->idem;
+    std::string fail;
+    try {
+      std::vector<run::ManifestEntry> entries =
+          run::parseManifestString(st.accepted->line);
+      if (entries.size() != 1 || !entries[0].portfolio.empty()) {
+        throw std::invalid_argument("journaled line is not one plain job");
+      }
+      job.spec = std::move(entries[0].spec);
+    } catch (const std::exception& e) {
+      fail = e.what();
+    }
+    if (fail.empty()) {
+      if (job.spec.opts.checkpoint_path.empty() &&
+          opts_.checkpoint_every > 0) {
+        job.spec.opts.checkpoint_every = opts_.checkpoint_every;
+        job.spec.opts.checkpoint_path = spoolPathFor(id);
+      }
+      if (!job.spec.opts.checkpoint_path.empty()) {
+        job.spec.resume_image = slurpSpool(job.spec.opts.checkpoint_path);
+      }
+      if (std::optional<std::string> reason = queue_.admit(job);
+          reason.has_value()) {
+        fail = *reason;
+      }
+    }
+    if (!fail.empty()) {
+      // Cannot be re-run (manifest no longer parses, tenant caps shrank,
+      // ...): retire it in the journal so it stops replaying forever.
+      obs::logLine(obs::LogLevel::kError, "svc",
+                   "journal replay failed for job " + std::to_string(id) +
+                       ": " + fail,
+                   job.tenant, id);
+      JournalRecord rec;
+      rec.event = JournalEvent::kDone;
+      rec.job = id;
+      rec.status = to_string(RunStatus::kError);
+      rec.message = "replay failed: " + fail;
+      journalAppend(rec);
+      continue;
+    }
+    const bool resumed = job.spec.resume_image != nullptr;
+    replayed_jobs_ += 1;
+    replayed_ctr.inc();
+    if (resumed) {
+      replayed_resumed_ += 1;
+      statsFor(job.tenant).resumes += 1;
+      tenantCounter("bfvr_svc_resumes_total", job.tenant).inc();
+    }
+    journal_live_[id] = *st.accepted;
+    if (!job.idem.empty()) idem_to_job_[job.idem] = id;
+    obs::JobSpan& span = spans_[id];
+    span.trace_id = next_trace_++;
+    span.job = id;
+    span.tenant = job.tenant;
+    span.idem = job.idem;
+    span.start = uptime_.seconds();
+    span_counts_[job.tenant] += 1;
+    spanEventLocked(id, "replayed",
+                    resumed ? "resume from spool snapshot (watermark iter=" +
+                                  std::to_string(st.last_checkpoint) + ")"
+                            : "no snapshot; fresh start");
+    spanEventLocked(id, "queued");
+    flight_.record(obs::FlightSeverity::kInfo, "journal",
+                   resumed ? "replayed; resuming from spool snapshot"
+                           : "replayed; no snapshot, restarting",
+                   job.tenant, id);
+    obs::logLine(obs::LogLevel::kInfo, "svc",
+                 std::string("replayed from journal (") +
+                     (resumed ? "resume" : "fresh") + ")",
+                 job.tenant, id);
+  }
+  const JournalStats js = journal_->stats();
+  if (js.torn_bytes > 0) {
+    flight_.record(obs::FlightSeverity::kWarn, "journal",
+                   "truncated torn tail: " + std::to_string(js.torn_bytes) +
+                       " byte(s)");
+  }
+  obs::logLine(obs::LogLevel::kInfo, "svc",
+               "journal replay: " + std::to_string(js.replayed_records) +
+                   " record(s), " + std::to_string(replayed_jobs_) +
+                   " job(s) re-enqueued (" +
+                   std::to_string(replayed_resumed_) + " resuming), " +
+                   std::to_string(replayed_terminal_) +
+                   " already terminal, torn tail " +
+                   std::to_string(js.torn_bytes) + " byte(s)");
+}
+
+bool Server::journalAppend(const JournalRecord& rec) noexcept {
+  try {
+    journal_->append(rec);
+    return true;
+  } catch (const std::exception& e) {
+    journal_errors_ += 1;
+    obs::Registry::global().counter("bfvr_svc_journal_errors_total").inc();
+    obs::logLine(obs::LogLevel::kError, "svc",
+                 std::string("journal append failed: ") + e.what());
+    return false;
+  }
+}
+
+void Server::finishJournalLocked() {
+  if (opts_.journal_compact_on_shutdown) {
+    std::vector<JournalRecord> keep;
+    keep.reserve(journal_live_.size());
+    for (const auto& [id, rec] : journal_live_) keep.push_back(rec);
+    try {
+      journal_->compact(keep);
+      obs::logLine(obs::LogLevel::kInfo, "svc",
+                   "journal compacted to " + std::to_string(keep.size()) +
+                       " live job(s)");
+    } catch (const std::exception& e) {
+      obs::logLine(obs::LogLevel::kError, "svc",
+                   std::string("journal compaction failed: ") + e.what());
+    }
+  }
+  const JournalStats js = journal_->stats();
+  util::JsonObject o;
+  o.add("name", opts_.name)
+      .add("path", journal_->path())
+      .add("fsync", to_string(journal_->policy()))
+      .add("appended", js.appended)
+      .add("fsyncs", js.fsyncs)
+      .add("replayed_records", js.replayed_records)
+      .add("replayed_jobs", replayed_jobs_)
+      .add("replayed_resumed", replayed_resumed_)
+      .add("replayed_terminal", replayed_terminal_)
+      .add("dedup_hits", dedup_hits_)
+      .add("journal_errors", journal_errors_)
+      .add("torn_bytes", js.torn_bytes)
+      .add("compactions", js.compactions)
+      .add("live_at_shutdown",
+           static_cast<std::uint64_t>(journal_live_.size()));
+  const std::string path =
+      opts_.journal_dir + "/JOURNAL_" + opts_.name + ".json";
+  std::ofstream out(path);
+  if (out) {
+    out << o.str() << "\n";
+    obs::logLine(obs::LogLevel::kInfo, "svc", "wrote " + path);
+  } else {
+    obs::logLine(obs::LogLevel::kError, "svc", "cannot write " + path);
+  }
+}
+
+std::uint64_t Server::replayedJobs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return replayed_jobs_;
+}
+
+std::uint64_t Server::dedupHits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dedup_hits_;
+}
+
+std::uint64_t Server::sessionsReaped() const {
+  return sessions_reaped_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Server::frameTimeouts() const {
+  return frame_timeouts_.load(std::memory_order_relaxed);
 }
 
 void Server::spanEventLocked(std::uint64_t id, const char* what,
@@ -690,6 +1088,17 @@ void Server::sampleGaugesLocked() const {
       .set(acquires == 0 ? 0
                          : static_cast<std::int64_t>(warm.hits * 1000000 /
                                                      acquires));
+  if (journal_ != nullptr) {
+    const JournalStats js = journal_->stats();
+    reg.gauge("bfvr_journal_appended")
+        .set(static_cast<std::int64_t>(js.appended));
+    reg.gauge("bfvr_journal_fsyncs")
+        .set(static_cast<std::int64_t>(js.fsyncs));
+    reg.gauge("bfvr_journal_torn_bytes")
+        .set(static_cast<std::int64_t>(js.torn_bytes));
+    reg.gauge("bfvr_journal_live_jobs")
+        .set(static_cast<std::int64_t>(journal_live_.size()));
+  }
 }
 
 std::string Server::buildReportLocked(std::uint32_t flags) const {

@@ -34,6 +34,8 @@
 #include "obs/flight.hpp"
 #include "obs/report.hpp"
 #include "run/run.hpp"
+#include "svc/journal.hpp"
+#include "svc/protocol.hpp"
 #include "svc/queue.hpp"
 #include "svc/socket.hpp"
 #include "util/stats.hpp"
@@ -78,6 +80,27 @@ class Server {
     /// in-flight spans are always kept. Per-tenant span counts survive
     /// the trim.
     std::size_t span_retain = 4096;
+    /// Durability: directory of the append-only job journal ("" = no
+    /// journal — crash forgets everything, exactly the pre-journal
+    /// behaviour). With a journal, accepted jobs survive kill -9: on the
+    /// next start the log is replayed, non-terminal jobs re-enqueue
+    /// (resuming from their spool checkpoint when one exists) and
+    /// duplicate submissions keyed by Submit.idem are answered from the
+    /// journal instead of executing twice.
+    std::string journal_dir;
+    /// When journal appends reach the disk (--fsync grammar).
+    FsyncPolicy journal_fsync = FsyncPolicy::kBatch;
+    /// Rewrite the journal at clean shutdown keeping only non-terminal
+    /// jobs. Tests disable this to inspect the full log.
+    bool journal_compact_on_shutdown = true;
+    /// Reap sessions that send nothing for this long (seconds; 0 = never).
+    double idle_timeout = 0.0;
+    /// Cap the time between a frame's first and last byte (seconds;
+    /// 0 = unlimited) — a slow-loris client cannot pin a session thread.
+    double frame_timeout = 0.0;
+    /// Cap how long a send may block on a full client socket (seconds;
+    /// 0 = unlimited).
+    double send_timeout = 0.0;
   };
 
   /// Binds and listens on the endpoint (throws svc::Error on failure); the
@@ -118,6 +141,16 @@ class Server {
   std::uint64_t spanCount(const std::string& tenant) const;
   /// The server's flight recorder (for tests and embedding).
   const obs::FlightRecorder& flight() const noexcept { return flight_; }
+  /// The job journal, or nullptr when running without one.
+  const Journal* journal() const noexcept { return journal_.get(); }
+  /// Jobs re-enqueued from the journal at startup / duplicate submissions
+  /// answered from it (test + drill evidence).
+  std::uint64_t replayedJobs() const;
+  std::uint64_t dedupHits() const;
+  /// Sessions closed by the idle reaper.
+  std::uint64_t sessionsReaped() const;
+  /// Sessions dropped for stalling a started frame past frame_timeout.
+  std::uint64_t frameTimeouts() const;
 
  private:
   struct Session {
@@ -151,6 +184,17 @@ class Server {
   std::shared_ptr<Session> sessionById(std::uint64_t id);
   obs::SvcTenantStats& statsFor(const std::string& tenant);
   std::string spoolPathFor(std::uint64_t job_id) const;
+  /// Re-enqueue every non-terminal journaled job and remember terminal
+  /// ones for idempotent replay. Runs in the constructor, before any
+  /// session exists.
+  void replayJournal();
+  /// Append to the journal, absorbing write failures into a log line and
+  /// a counter (worker threads and frame handlers must not die on a full
+  /// disk). Returns false when the record did not reach the journal.
+  bool journalAppend(const JournalRecord& rec) noexcept;
+  /// Compact the journal down to live jobs and write the
+  /// JOURNAL_<name>.json summary. Caller holds mu_.
+  void finishJournalLocked();
   std::string buildReportLocked(std::uint32_t flags) const;
   /// Stamp one event on job `id`'s span timeline. Caller holds mu_.
   void spanEventLocked(std::uint64_t id, const char* what,
@@ -189,6 +233,23 @@ class Server {
   std::uint64_t sessions_accepted_ = 0;
   std::uint64_t dispatches_ = 0;
   std::vector<obs::SvcTenantStats> tenant_stats_;
+
+  // Durability state (populated only when opts_.journal_dir is set).
+  std::unique_ptr<Journal> journal_;
+  /// idempotency key -> server job id, spanning this process's accepts
+  /// and everything replayed from the journal.
+  std::map<std::string, std::uint64_t> idem_to_job_;
+  /// Terminal results remembered for duplicate submissions (by job id).
+  std::map<std::uint64_t, JobDone> done_cache_;
+  /// Accepted-records of jobs not yet terminal — the compaction set.
+  std::map<std::uint64_t, JournalRecord> journal_live_;
+  std::uint64_t replayed_jobs_ = 0;
+  std::uint64_t replayed_resumed_ = 0;
+  std::uint64_t replayed_terminal_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t journal_errors_ = 0;
+  std::atomic<std::uint64_t> sessions_reaped_{0};
+  std::atomic<std::uint64_t> frame_timeouts_{0};
 
   // Observability state. Spans are keyed by server job id; finished ones
   // are trimmed FIFO to opts_.span_retain while per-tenant counts persist.

@@ -4,10 +4,15 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
+
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -51,27 +56,56 @@ std::string errnoText(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
-/// A peer that disappears mid-write raises SIGPIPE by default, which would
-/// kill the whole server for one dead client. MSG_NOSIGNAL covers send();
-/// this covers any straggler paths.
-void ignoreSigpipeOnce() {
-  static const bool done = [] {
-    std::signal(SIGPIPE, SIG_IGN);
-    return true;
-  }();
-  (void)done;
-}
-
-/// Write all of `n` bytes, retrying EINTR and short writes.
+/// Write all of `n` bytes, retrying EINTR and short writes. Every library
+/// send passes MSG_NOSIGNAL, so a vanished peer surfaces as EPIPE here
+/// instead of a process-wide SIGPIPE — see ignoreSigpipe() for the
+/// binary-level belt-and-braces.
 void writeAll(int fd, const std::uint8_t* p, std::size_t n) {
   while (n > 0) {
     const ssize_t k = ::send(fd, p, n, MSG_NOSIGNAL);
     if (k < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Only reachable with SO_SNDTIMEO set (setSendTimeout): the peer
+        // stopped draining its socket for the configured window.
+        throw Error("wire: send timed out");
+      }
       throw Error(errnoText("wire: send failed"));
     }
     p += static_cast<std::size_t>(k);
     n -= static_cast<std::size_t>(k);
+  }
+}
+
+double monoSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Block until `fd` is readable or the absolute monotonic deadline passes
+/// (0 = no deadline). Returns false on deadline expiry.
+bool waitReadable(int fd, double deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline > 0.0) {
+      const double left = deadline - monoSeconds();
+      if (left <= 0.0) return false;
+      // +1 rounds up so a sub-millisecond remainder still sleeps instead
+      // of spinning.
+      timeout_ms = static_cast<int>(std::min(left * 1000.0 + 1.0, 3.6e6));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;  // readable, EOF, or error: recv resolves it
+    if (rc == 0) {
+      if (deadline <= 0.0) continue;  // spurious zero without a deadline
+      continue;  // re-check the clock at the top of the loop
+    }
+    if (errno == EINTR) continue;
+    throw Error(errnoText("wire: poll failed"));
   }
 }
 
@@ -94,7 +128,47 @@ bool readAll(int fd, std::uint8_t* p, std::size_t n) {
   return true;
 }
 
+/// Deadline-aware readAll: polls before every recv. `*deadline` is the
+/// absolute limit (0 = none); `first_frame_byte` marks the read that
+/// starts a frame, whose expiry is the *idle* flavour of Timeout.
+bool readAllDeadline(int fd, std::uint8_t* p, std::size_t n, double deadline,
+                     bool first_frame_byte) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (!waitReadable(fd, deadline)) {
+      throw Timeout(first_frame_byte && got == 0
+                        ? "wire: session idle past deadline"
+                        : "wire: frame stalled past deadline",
+                    first_frame_byte && got == 0);
+    }
+    const ssize_t k = ::recv(fd, p + got, n - got, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      throw Error(errnoText("wire: recv failed"));
+    }
+    if (k == 0) {
+      if (got == 0 && first_frame_byte) return false;
+      throw Error("wire: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
 }  // namespace
+
+void ignoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+void setSendTimeout(const Fd& fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - double(tv.tv_sec)) * 1e6);
+  }
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw Error(errnoText("wire: setsockopt(SO_SNDTIMEO)"));
+  }
+}
 
 void Fd::close() noexcept {
   if (fd_ >= 0) {
@@ -138,7 +212,6 @@ std::string Endpoint::describe() const {
 }
 
 Fd listenOn(const Endpoint& ep, int backlog) {
-  ignoreSigpipeOnce();
   if (ep.is_unix) {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -197,7 +270,6 @@ Fd acceptOn(const Fd& listener) {
 }
 
 Fd connectTo(const Endpoint& ep) {
-  ignoreSigpipeOnce();
   if (ep.is_unix) {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -268,6 +340,47 @@ std::optional<Frame> recvFrame(const Fd& fd) {
     f.payload.resize(len);
     if (len > 0 && !readAll(fd.get(), f.payload.data(), len)) {
       throw Error("wire: connection closed mid-frame");
+    }
+    checkPayloadCrc(f.payload.data(), f.payload.size(), crc);
+    wm.decode_seconds.observeSeconds(t.seconds());
+    wm.frames_received.inc();
+    wm.bytes_received.inc(kFrameHeaderBytes + f.payload.size());
+    return f;
+  } catch (...) {
+    wm.errors.inc();
+    throw;
+  }
+}
+
+std::optional<Frame> recvFrame(const Fd& fd, const RecvDeadlines& deadlines) {
+  if (deadlines.idle_seconds <= 0.0 && deadlines.frame_seconds <= 0.0) {
+    return recvFrame(fd);  // no deadlines: the plain blocking path
+  }
+  WireMetrics& wm = WireMetrics::get();
+  const double idle_deadline =
+      deadlines.idle_seconds > 0.0 ? monoSeconds() + deadlines.idle_seconds
+                                   : 0.0;
+  std::uint8_t header[kFrameHeaderBytes];
+  try {
+    // The idle clock covers only the wait for byte 0; the moment a frame
+    // starts, the (usually much shorter) frame clock takes over so a
+    // peer trickling one byte per idle-window cannot hold the session.
+    if (!readAllDeadline(fd.get(), header, 1, idle_deadline, true)) {
+      return std::nullopt;
+    }
+    const double frame_deadline =
+        deadlines.frame_seconds > 0.0
+            ? monoSeconds() + deadlines.frame_seconds
+            : 0.0;
+    readAllDeadline(fd.get(), header + 1, sizeof(header) - 1, frame_deadline,
+                    false);
+    const Timer t;
+    Frame f;
+    std::uint32_t crc = 0;
+    const std::uint32_t len = decodeFrameHeader(header, &f.type, &crc);
+    f.payload.resize(len);
+    if (len > 0) {
+      readAllDeadline(fd.get(), f.payload.data(), len, frame_deadline, false);
     }
     checkPayloadCrc(f.payload.data(), f.payload.size(), crc);
     wm.decode_seconds.observeSeconds(t.seconds());

@@ -11,6 +11,23 @@
 
 namespace bfvr::svc {
 
+/// A read deadline expired (svc::Error subclass, so generic error paths
+/// keep working). `idle` distinguishes "peer sent nothing at all" (the
+/// reaper's case) from "peer stalled mid-frame" (a slow-loris or a torn
+/// send — protocol-error territory).
+struct Timeout : Error {
+  bool idle = false;
+  Timeout(const std::string& what, bool idle_) : Error(what), idle(idle_) {}
+};
+
+/// Per-recv deadlines, both in seconds, 0 = no limit. `idle_seconds` caps
+/// the wait for the *first* byte of the next frame; once a frame has
+/// started, `frame_seconds` caps the time until its last byte arrives.
+struct RecvDeadlines {
+  double idle_seconds = 0.0;
+  double frame_seconds = 0.0;
+};
+
 /// Owning file descriptor. Move-only; closes on destruction.
 class Fd {
  public:
@@ -68,5 +85,22 @@ void sendFrame(const Fd& fd, const Frame& f);
 /// boundary (orderly close); throws svc::Error on EOF mid-frame, bad
 /// magic/version/length, or CRC mismatch.
 std::optional<Frame> recvFrame(const Fd& fd);
+
+/// Deadline-aware recvFrame: additionally throws svc::Timeout when the
+/// peer stays silent past `idle_seconds` or stalls a started frame past
+/// `frame_seconds` (poll-based, so a partial frame cannot pin the reader
+/// forever the way a blocking recv can).
+std::optional<Frame> recvFrame(const Fd& fd, const RecvDeadlines& deadlines);
+
+/// Cap how long a send may block on a full socket buffer (SO_SNDTIMEO);
+/// past it, sendFrame throws svc::Error. 0 restores blocking sends.
+void setSendTimeout(const Fd& fd, double seconds);
+
+/// Ignore SIGPIPE process-wide. Library sends already use MSG_NOSIGNAL on
+/// every write, so this is **not** called implicitly anywhere in the
+/// library (a library must not clobber its host's signal handlers);
+/// binaries that own their process (bfv_serve, bfv_client) call it once at
+/// startup to cover any straggler descriptor.
+void ignoreSigpipe();
 
 }  // namespace bfvr::svc

@@ -39,7 +39,10 @@ struct Error : std::runtime_error {
 /// Protocol revision. v2 added observability: Accepted carries the
 /// server-assigned span trace id, and Stats carries a flags word selecting
 /// which live sections (metrics / spans / flight ring) the reply embeds.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3 added durability: Submit carries a client-chosen idempotency key so
+/// a retried submission after a crash or disconnect can be deduplicated
+/// against the server's job journal instead of executing twice.
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Hard ceiling on one frame's payload: large enough for any checkpoint
 /// image the shipped workloads produce, small enough that a corrupted (or

@@ -376,6 +376,34 @@ TEST(RunManifest, ErrorsNameTheOffendingKey) {
   }
 }
 
+TEST(RunManifest, DuplicateKeysAreRejectedNamingBothOccurrences) {
+  // Silent last-wins turns `deadline=30 ... deadline=5` into a hidden bug
+  // in a long sweep row; the parser must name the line and both values.
+  try {
+    parseManifestString(
+        "circuit=a.bench\n"
+        "circuit=b.bench deadline=30 engine=bfv deadline=5\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate key 'deadline'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("deadline=30"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("deadline=5"), std::string::npos) << msg;
+  }
+  // Even an identical repeated value is a duplicate (likely a copy-paste
+  // slip worth surfacing).
+  EXPECT_THROW(parseManifestString("circuit=a.bench name=x name=x\n"),
+               std::runtime_error);
+  // The duplicate check is per line: the same key on different lines is
+  // of course fine, and distinct keys on one line still parse.
+  const std::vector<ManifestEntry> entries = parseManifestString(
+      "circuit=a.bench deadline=1\ncircuit=b.bench deadline=2\n");
+  ASSERT_EQ(entries.size(), 2U);
+  EXPECT_EQ(entries[0].spec.deadline_seconds, 1.0);
+  EXPECT_EQ(entries[1].spec.deadline_seconds, 2.0);
+}
+
 TEST(RunManifest, ParsesShippedSmokeManifest) {
   const std::vector<ManifestEntry> entries =
       parseManifestFile(BFVR_DATA_DIR "/ci_smoke.manifest");

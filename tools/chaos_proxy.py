@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Deterministic seeded chaos TCP proxy for the bfv_serve wire protocol.
+
+Sits between bfv_client and bfv_serve and injects the network failures a
+crash-safe serving tier must shrug off:
+
+  torn frames         forward only a prefix of a frame, then sever the
+                      connection (the kill-9-mid-send shape; the server
+                      must report a wire error and drop only that session)
+  mid-frame stalls    pause between a frame's first and last byte (the
+                      slow-loris shape; bounded by the server's
+                      --frame-timeout, survivable below it)
+  connection drops    sever at a clean frame boundary (client reconnects
+                      and resubmits under the same idempotency keys)
+  duplicated submits  forward a Submit frame twice (the retry-after-lost-
+                      Accepted shape; the journal's idempotency dedup must
+                      execute it once)
+
+Every decision comes from a per-connection random.Random seeded with
+(--seed, connection index), so a failing soak replays exactly with the
+same seed — no wall-clock or PID leaks into the schedule.
+
+The client->server direction is frame-aware (header magic "BFVS", u32
+payload length at offset 8) so faults land on frame boundaries or
+deliberately inside one frame, never as uninterpretable byte noise; the
+server->client direction is relayed verbatim. Counters are written as
+CHAOS_<name>.json on SIGTERM/SIGINT so a soak can assert each fault shape
+actually fired.
+
+Usage:
+    chaos_proxy.py --listen PORT --connect HOST:PORT --seed N
+                   [--tear P] [--stall P] [--stall-ms MS] [--drop P]
+                   [--dup P] [--name chaos]
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import random
+import signal
+import socket
+import struct
+import sys
+import threading
+
+FRAME_HEADER = 16
+FRAME_MAGIC = b"BFVS"
+TYPE_SUBMIT = 3
+
+
+class Stats:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.connections = 0
+        self.frames_forwarded = 0
+        self.torn = 0
+        self.stalls = 0
+        self.drops = 0
+        self.duplicated_submits = 0
+
+    def bump(self, field, n=1):
+        with self.lock:
+            setattr(self, field, getattr(self, field) + n)
+
+    def snapshot(self):
+        with self.lock:
+            return {
+                "connections": self.connections,
+                "frames_forwarded": self.frames_forwarded,
+                "torn_frames": self.torn,
+                "mid_frame_stalls": self.stalls,
+                "connection_drops": self.drops,
+                "duplicated_submits": self.duplicated_submits,
+            }
+
+
+STATS = Stats()
+
+
+def read_exact(sock, n):
+    """Read exactly n bytes; returns fewer only at EOF."""
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            break
+        buf += chunk
+    return buf
+
+
+def sever(*socks):
+    """Hard close: RST where possible, so the peer sees the break at once.
+
+    shutdown() before close() matters: close() alone does not wake a
+    sibling pump thread blocked in recv() on the same socket (the in-
+    flight syscall pins the descriptor), which would leave the *other*
+    side of the relay open forever — the peer would never see the break.
+    """
+    for s in socks:
+        try:
+            s.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                         struct.pack("ii", 1, 0))
+        except OSError:
+            pass
+        try:
+            s.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            s.close()
+        except OSError:
+            pass
+
+
+def pump_c2s(client, server, rng, args, conn_id):
+    """Frame-aware client->server relay with fault injection."""
+    try:
+        while True:
+            header = read_exact(client, FRAME_HEADER)
+            if len(header) < FRAME_HEADER:
+                break  # client went away (EOF or its own torn send)
+            if header[:4] != FRAME_MAGIC:
+                # Not a frame we understand: relay verbatim and go dumb —
+                # the server's codec is the component whose rejection path
+                # we want to exercise, not ours.
+                server.sendall(header)
+                while True:
+                    data = client.recv(65536)
+                    if not data:
+                        return
+                    server.sendall(data)
+            (length,) = struct.unpack_from("<I", header, 8)
+            payload = read_exact(client, length)
+            if len(payload) < length:
+                break
+            frame = header + payload
+
+            roll = rng.random()
+            if roll < args.drop:
+                STATS.bump("drops")
+                print(f"chaos[{conn_id}]: drop at frame boundary",
+                      file=sys.stderr)
+                sever(client, server)
+                return
+            roll = rng.random()
+            if roll < args.tear and length > 0:
+                cut = FRAME_HEADER + rng.randrange(length)
+                STATS.bump("torn")
+                print(f"chaos[{conn_id}]: tear frame after {cut} bytes",
+                      file=sys.stderr)
+                server.sendall(frame[:cut])
+                sever(client, server)
+                return
+            roll = rng.random()
+            if roll < args.stall and length > 0:
+                cut = FRAME_HEADER + rng.randrange(length)
+                STATS.bump("stalls")
+                print(f"chaos[{conn_id}]: stall {args.stall_ms}ms mid-frame",
+                      file=sys.stderr)
+                server.sendall(frame[:cut])
+                threading.Event().wait(args.stall_ms / 1000.0)
+                server.sendall(frame[cut:])
+            else:
+                server.sendall(frame)
+            STATS.bump("frames_forwarded")
+            if header[5] == TYPE_SUBMIT and rng.random() < args.dup:
+                STATS.bump("duplicated_submits")
+                print(f"chaos[{conn_id}]: duplicate Submit", file=sys.stderr)
+                server.sendall(frame)
+    except OSError:
+        pass
+    finally:
+        sever(client, server)
+
+
+def pump_s2c(server, client):
+    """Verbatim server->client relay."""
+    try:
+        while True:
+            data = server.recv(65536)
+            if not data:
+                break
+            client.sendall(data)
+    except OSError:
+        pass
+    finally:
+        sever(client, server)
+
+
+def serve(args):
+    host, _, port = args.connect.rpartition(":")
+    upstream = (host or "127.0.0.1", int(port))
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", args.listen))
+    listener.listen(64)
+    print(f"chaos: listening on 127.0.0.1:{args.listen} -> "
+          f"{upstream[0]}:{upstream[1]} seed={args.seed}", file=sys.stderr)
+
+    def shut(_sig, _frm):
+        path = f"CHAOS_{args.name}.json"
+        with open(path, "w") as f:
+            json.dump(STATS.snapshot(), f, indent=2)
+            f.write("\n")
+        print(f"chaos: wrote {path}", file=sys.stderr)
+        listener.close()
+        sys.exit(0)
+
+    signal.signal(signal.SIGTERM, shut)
+    signal.signal(signal.SIGINT, shut)
+
+    conn_id = 0
+    while True:
+        try:
+            client, _addr = listener.accept()
+        except OSError:
+            return
+        conn_id += 1
+        STATS.bump("connections")
+        try:
+            server = socket.create_connection(upstream, timeout=5.0)
+            server.settimeout(None)
+        except OSError as e:
+            # Upstream down (mid-restart in the soak): the client sees a
+            # refused connection, which is exactly what --retry is for.
+            print(f"chaos[{conn_id}]: upstream unavailable: {e}",
+                  file=sys.stderr)
+            sever(client)
+            continue
+        rng = random.Random(args.seed * 1_000_003 + conn_id)
+        threading.Thread(target=pump_c2s,
+                         args=(client, server, rng, args, conn_id),
+                         daemon=True).start()
+        threading.Thread(target=pump_s2c, args=(server, client),
+                         daemon=True).start()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--listen", type=int, required=True,
+                    metavar="PORT", help="local port to accept clients on")
+    ap.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="upstream bfv_serve tcp endpoint")
+    ap.add_argument("--seed", type=int, default=1,
+                    help="fault-schedule seed (per-connection derivation)")
+    ap.add_argument("--tear", type=float, default=0.0,
+                    help="per-frame probability of a torn frame + sever")
+    ap.add_argument("--stall", type=float, default=0.0,
+                    help="per-frame probability of a mid-frame stall")
+    ap.add_argument("--stall-ms", type=float, default=200.0,
+                    help="mid-frame stall duration (keep below the "
+                         "server's --frame-timeout to be survivable)")
+    ap.add_argument("--drop", type=float, default=0.0,
+                    help="per-frame probability of a clean-boundary drop")
+    ap.add_argument("--dup", type=float, default=0.0,
+                    help="per-Submit probability of a duplicated frame")
+    ap.add_argument("--name", default="chaos",
+                    help="tag for the CHAOS_<name>.json counters file")
+    serve(ap.parse_args())
+
+
+if __name__ == "__main__":
+    main()
